@@ -1,0 +1,23 @@
+"""Fixtures for the reproduction benches.
+
+Every bench writes its table/figure artifact under ``benchmarks/out/`` so
+the reproduced numbers survive the run; the pytest-benchmark timing table
+covers the wall-clock side.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import pytest
+
+from bench_utils import OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR

@@ -1,0 +1,56 @@
+"""Ablation — interconnect sensitivity (DESIGN.md §5; the paper's §1
+motivates deployment from 100 Mb LANs down to constrained wireless devices).
+
+The same distributed crypt run over 1 Gb Ethernet, 100 Mb Ethernet and
+802.11b wireless: speedup must degrade monotonically as the link gets worse,
+while results stay identical.
+"""
+
+from __future__ import annotations
+
+from bench_utils import write_artifact
+
+from repro.harness.pipeline import Pipeline
+from repro.runtime.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    ethernet_1g,
+    ethernet_100m,
+    wireless_80211b,
+)
+
+LINKS = [
+    ("1G ethernet", ethernet_1g()),
+    ("100M ethernet", ethernet_100m()),
+    ("802.11b", wireless_80211b()),
+]
+
+
+def _cluster(link) -> ClusterSpec:
+    return ClusterSpec(
+        nodes=[NodeSpec("service-p3-1700", 1.7e9), NodeSpec("compute-p3-800", 800e6)],
+        link=link,
+    )
+
+
+def test_network_sensitivity(benchmark, out_dir):
+    pipe = Pipeline("crypt", "bench")
+
+    def run():
+        out = []
+        for label, link in LINKS:
+            s = pipe.speedup(cluster=_cluster(link))
+            out.append((label, s["speedup_pct"], s["messages"]))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: link sensitivity (crypt, 2 nodes)"]
+    for label, pct, msgs in rows:
+        lines.append(f"  {label:>14}: speedup={pct:7.1f}%  messages={msgs}")
+    write_artifact(out_dir, "ablation_network.txt", "\n".join(lines))
+
+    speedups = [pct for _, pct, _ in rows]
+    # faster links never hurt
+    assert speedups[0] >= speedups[1] >= speedups[2]
+    # crypt still wins on the paper's 100M testbed
+    assert speedups[1] > 110.0

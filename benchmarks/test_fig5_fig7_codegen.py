@@ -1,0 +1,57 @@
+"""Figures 5, 6 and 7 — quad listing, AST trees, and retargetable codegen.
+
+Asserts the exact structural facts of the paper's listings: the block layout
+``BB0 (ENTRY) → BB2 → BB3 → BB4 → BB1 (EXIT)``, the constant-propagated
+comparison ``IFCMP_I IConst: 4, IConst: 2, LE, BB4``, and the per-target
+instruction selection of Figure 7 (x86 mov+add vs ARM's single three-operand
+add; ``ret eax`` vs ``mov PC, R14``).
+"""
+
+from __future__ import annotations
+
+from bench_utils import write_artifact
+
+from repro.harness.figures import fig5, fig6, fig7
+
+
+def test_fig5_quads(benchmark, out_dir):
+    text = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    write_artifact(out_dir, "fig5_quads.txt", text)
+    assert "BB0 (ENTRY) (in: <none>, out: BB2)" in text
+    assert "BB1 (EXIT)" in text
+    assert "MOVE_I" in text
+    assert "IFCMP_I IConst: 4, IConst: 2, LE, BB4" in text
+    assert "RETURN_I" in text
+
+
+def test_fig6_tree(benchmark, out_dir):
+    text = benchmark.pedantic(fig6, rounds=1, iterations=1)
+    write_artifact(out_dir, "fig6_tree.txt", text)
+    assert "MOVE_I" in text
+    assert "ICONST:4" in text
+    assert "COND:LE" in text
+    assert "RETURN_I" in text
+
+
+def test_fig7_two_targets(benchmark, out_dir):
+    listings = benchmark.pedantic(fig7, rounds=1, iterations=1)
+    write_artifact(
+        out_dir, "fig7_codegen.txt",
+        listings["x86"] + "\n\n" + listings["StrongARM"],
+    )
+    x86 = listings["x86"]
+    arm = listings["StrongARM"]
+    # Figure 7 left: x86
+    assert "mov eax, 4" in x86
+    assert "cmp 4, 2" in x86
+    assert "jle BB4" in x86
+    assert "ret eax" in x86
+    # Figure 7 right: StrongARM
+    assert "mov R1, #4" in arm
+    assert "cmp #4, #2" in arm
+    assert "ble .BB4" in arm
+    assert "mov PC, R14" in arm
+    # the BURS picked ARM's three-operand add (one instruction) where x86
+    # needed mov+add
+    assert "add R2, #4, #1" in arm
+    assert "add" in x86

@@ -1,0 +1,40 @@
+"""Figures 8 & 9 — communication-generating bytecode transformations.
+
+Figure 8: ``account.getSavings()`` becomes an access-typed
+``DependentObject.access`` invocation (``ldc INVOKE_METHOD_HASRETURN``,
+``ldc "getSavings"`` ... ``invokevirtual DependentObject.access``).
+
+Figure 9: ``new Account(...)`` becomes a DependentObject instantiation
+carrying the home-partition number and the class name (our rewriter uses a
+static ``create`` factory instead of the figure's constructor form —
+documented deviation, DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from bench_utils import write_artifact
+
+from repro.harness.figures import fig8_fig9
+
+
+def test_fig8_fig9(benchmark, out_dir):
+    listings = benchmark.pedantic(lambda: fig8_fig9("test"), rounds=1, iterations=1)
+    text = "\n\n".join(f"--- {k} ---\n{v}" for k, v in listings.items())
+    write_artifact(out_dir, "fig8_fig9_rewrite.txt", text)
+
+    before8, after8 = listings["fig8_before"], listings["fig8_after"]
+    # before: plain virtual invocations on Account/Bank
+    assert "invokevirtual Account." in before8 or "invokevirtual Bank." in before8
+    # after: access-typed DependentObject calls (Figure 8's shape)
+    assert "invokevirtual DependentObject.access" in after8
+    assert 'ldc "' in after8
+    assert "pack" in after8
+
+    before9, after9 = listings["fig9_before"], listings["fig9_after"]
+    assert "new Account" in before9
+    assert "invokespecial Account.<init>" in before9
+    # after: no direct allocation; the create factory with home partition +
+    # class name (Figure 9's ldc 0 / ldc "Account" payload)
+    assert "new Account" not in after9
+    assert 'ldc "Account"' in after9
+    assert "invokestatic DependentObject.create" in after9

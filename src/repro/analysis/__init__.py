@@ -1,0 +1,23 @@
+"""Static analysis framework (paper §2): RTA call graph, class relation
+graph (CRG), object set, object dependence graph (ODG), resource model."""
+
+from repro.analysis.rta import CallGraph, rapid_type_analysis
+from repro.analysis.class_relations import ClassRelationGraph, build_crg
+from repro.analysis.object_set import AllocationSite, ObjectNode, compute_object_set
+from repro.analysis.odg import ObjectDependenceGraph, build_odg
+from repro.analysis.resources import ResourceModel, UNIFORM, STATIC_HEURISTIC
+
+__all__ = [
+    "CallGraph",
+    "rapid_type_analysis",
+    "ClassRelationGraph",
+    "build_crg",
+    "AllocationSite",
+    "ObjectNode",
+    "compute_object_set",
+    "ObjectDependenceGraph",
+    "build_odg",
+    "ResourceModel",
+    "UNIFORM",
+    "STATIC_HEURISTIC",
+]

@@ -1,0 +1,158 @@
+"""Rapid Type Analysis (RTA) call-graph construction.
+
+The paper (§2.1): "We use rapid type analysis (RTA) to compute the call graph
+and the program types."  RTA maintains the set of *instantiated* classes
+(from ``NEW`` in reachable code) and resolves virtual calls only against
+instantiated subtypes of the static receiver class, iterating with a
+worklist until no new methods or types appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.model import BMethod, BProgram
+from repro.errors import AnalysisError
+from repro.lang.symbols import DEPENDENT_OBJECT
+
+
+@dataclass
+class CallGraph:
+    """RTA result: reachable methods, instantiated types, call edges.
+
+    ``edges`` maps a caller to the set of (callee, callsite-index) pairs;
+    ``callers`` is the inverse without site info.  Methods are identified by
+    their qualified ``Class.name`` string.
+    """
+
+    program: BProgram
+    reachable: Set[str] = field(default_factory=set)
+    instantiated: Set[str] = field(default_factory=set)
+    edges: Dict[str, Set[Tuple[str, int]]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def method(self, qualified: str) -> BMethod:
+        cls, name = qualified.rsplit(".", 1)
+        m = self.program.classes[cls].methods[name]
+        return m
+
+    def reachable_methods(self) -> List[BMethod]:
+        out = []
+        for q in sorted(self.reachable):
+            cls, name = q.rsplit(".", 1)
+            bc = self.program.classes.get(cls)
+            if bc is not None and name in bc.methods:
+                out.append(bc.methods[name])
+        return out
+
+    def callees(self, qualified: str) -> Set[str]:
+        return {callee for callee, _ in self.edges.get(qualified, set())}
+
+    def call_sites_of(self, qualified: str) -> Set[Tuple[str, int]]:
+        """All (caller, index) sites that may invoke ``qualified``."""
+        sites: Set[Tuple[str, int]] = set()
+        for caller, outs in self.edges.items():
+            for callee, idx in outs:
+                if callee == qualified:
+                    sites.add((caller, idx))
+        return sites
+
+
+def _resolve_virtual_targets(
+    program: BProgram, instantiated: Set[str], static_cls: str, name: str
+) -> Set[str]:
+    """User-class targets of a virtual call: for every instantiated class T
+    that is a subtype of the static receiver class, the implementation T
+    actually inherits."""
+    table = program.table
+    targets: Set[str] = set()
+    for t in instantiated:
+        if t not in program.classes:
+            continue
+        try:
+            if not table.is_subtype(t, static_cls):
+                continue
+        except Exception:
+            continue
+        m = program.lookup_method(t, name)
+        if m is not None:
+            targets.add(m.qualified)
+    return targets
+
+
+def rapid_type_analysis(
+    program: BProgram, entry: Optional[str] = None
+) -> CallGraph:
+    """Run RTA from ``entry`` (default: the program's ``main``)."""
+    if entry is None:
+        if program.main_class is None:
+            raise AnalysisError("program has no main method and no entry given")
+        entry = f"{program.main_class}.main"
+
+    cg = CallGraph(program)
+    work: List[str] = []
+
+    def reach(qualified: str) -> None:
+        if qualified not in cg.reachable:
+            cg.reachable.add(qualified)
+            work.append(qualified)
+
+    reach(entry)
+    for bclass in program.classes.values():
+        if "<clinit>" in bclass.methods:
+            reach(f"{bclass.name}.<clinit>")
+
+    # deferred virtual sites: (caller, index, static_cls, name) re-checked
+    # whenever a new class becomes instantiated
+    virtual_sites: List[Tuple[str, int, str, str]] = []
+
+    def add_edge(caller: str, callee: str, index: int) -> None:
+        cg.edges.setdefault(caller, set()).add((callee, index))
+        cg.callers.setdefault(callee, set()).add(caller)
+        reach(callee)
+
+    processed_sites: Set[Tuple[str, int, str]] = set()
+
+    while work:
+        qualified = work.pop()
+        cls, name = qualified.rsplit(".", 1)
+        bclass = program.classes.get(cls)
+        if bclass is None or name not in bclass.methods:
+            continue  # built-in: no bytecode to scan
+        method = bclass.methods[name]
+        new_types: List[str] = []
+        for idx, ins in enumerate(method.flat()):
+            if ins.op == op.NEW:
+                if ins.a not in cg.instantiated:
+                    cg.instantiated.add(ins.a)
+                    new_types.append(ins.a)
+            elif ins.op == op.INVOKESTATIC:
+                if ins.a == DEPENDENT_OBJECT:
+                    continue
+                callee = program.lookup_method(ins.a, ins.b)
+                if callee is not None:
+                    add_edge(qualified, callee.qualified, idx)
+            elif ins.op == op.INVOKESPECIAL:
+                callee = program.lookup_method(ins.a, ins.b)
+                if callee is not None:
+                    add_edge(qualified, callee.qualified, idx)
+            elif ins.op == op.INVOKEVIRTUAL:
+                if ins.a == DEPENDENT_OBJECT:
+                    continue
+                virtual_sites.append((qualified, idx, ins.a, ins.b))
+        # (re)resolve virtual sites — new methods and new types both matter
+        for caller, idx, static_cls, mname in virtual_sites:
+            key = (caller, idx, static_cls)
+            for target in _resolve_virtual_targets(
+                program, cg.instantiated, static_cls, mname
+            ):
+                add_edge(caller, target, idx)
+            processed_sites.add(key)
+        if new_types:
+            # new instantiated types can turn previously-unresolvable
+            # virtual sites into edges; the loop above already re-scans all
+            # sites each iteration, so nothing more to do
+            pass
+    return cg

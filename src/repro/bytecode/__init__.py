@@ -1,0 +1,23 @@
+"""MJ bytecode: a JVM-style stack bytecode.
+
+This is the substrate standing in for Java class files (see DESIGN.md).  The
+subpackage provides the instruction set (:mod:`opcodes`), the program model
+(:mod:`model`), the AST-to-bytecode compiler (:mod:`compiler`) and a
+disassembler used by the figure benches (:mod:`disassembler`).
+"""
+
+from repro.bytecode.compiler import compile_program
+from repro.bytecode.disassembler import disassemble_method, disassemble_program
+from repro.bytecode.model import BClass, BField, BMethod, BProgram, Instr, Label
+
+__all__ = [
+    "compile_program",
+    "disassemble_method",
+    "disassemble_program",
+    "BProgram",
+    "BClass",
+    "BMethod",
+    "BField",
+    "Instr",
+    "Label",
+]

@@ -1,0 +1,102 @@
+"""Bytecode disassembler producing javap-style listings.
+
+Used by the Figure 8 / Figure 9 benches to show the original and transformed
+bytecode of method invocations and remote instantiations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.model import BMethod, BProgram
+
+
+_LOWER = {
+    op.LDC: "ldc",
+    op.ACONST_NULL: "aconst_null",
+    op.ILOAD: "iload",
+    op.LLOAD: "lload",
+    op.FLOAD: "fload",
+    op.ALOAD: "aload",
+    op.ISTORE: "istore",
+    op.LSTORE: "lstore",
+    op.FSTORE: "fstore",
+    op.ASTORE: "astore",
+    op.DUP: "dup",
+    op.POP: "pop",
+    op.NEW: "new",
+    op.NEWARRAY: "newarray",
+    op.INVOKEVIRTUAL: "invokevirtual",
+    op.INVOKESPECIAL: "invokespecial",
+    op.INVOKESTATIC: "invokestatic",
+    op.GETFIELD: "getfield",
+    op.PUTFIELD: "putfield",
+    op.GETSTATIC: "getstatic",
+    op.PUTSTATIC: "putstatic",
+    op.CHECKCAST: "checkcast",
+    op.INSTANCEOF: "instanceof",
+    op.ARRAYLENGTH: "arraylength",
+    op.PACK: "pack",
+    op.GOTO: "goto",
+    op.RETURN: "return",
+    op.IRETURN: "ireturn",
+    op.LRETURN: "lreturn",
+    op.FRETURN: "freturn",
+    op.ARETURN: "areturn",
+}
+
+
+def _fmt_instr(ins, idx_width: int, index: int) -> str:
+    name = _LOWER.get(ins.op, ins.op.lower())
+    parts: List[str] = []
+    if ins.op == op.LDC:
+        if ins.b == "S":
+            parts.append(f'"{ins.a}"')
+        else:
+            ty = {"I": "int", "J": "long", "F": "float"}.get(ins.b, "")
+            parts.append(f"{ins.a} ({ty})" if ty else str(ins.a))
+    elif ins.op in op.INVOKES:
+        parts.append(f"{ins.a}.{ins.b}:({ins.c})")
+    elif ins.op in (op.GETFIELD, op.PUTFIELD, op.GETSTATIC, op.PUTSTATIC):
+        parts.append(f"{ins.a}.{ins.b}")
+    elif ins.op in op.CMP_BRANCHES:
+        parts.append(f"{ins.a} -> {ins.b}")
+    elif ins.op in op.BOOL_BRANCHES or ins.op == op.GOTO:
+        parts.append(f"-> {ins.a}")
+    else:
+        parts.extend(str(v) for v in ins.operands())
+    text = f"{index:>{idx_width}}: {name}"
+    if parts:
+        text += " " + " ".join(parts)
+    return text
+
+
+def disassemble_method(method: BMethod, header: bool = True) -> str:
+    """Render the *flat* (label-resolved) code of ``method``."""
+    flat = method.flat()
+    width = max(2, len(str(len(flat))))
+    lines: List[str] = []
+    if header:
+        mods = "static " if method.is_static else ""
+        lines.append(f"{mods}{method.ret_type} {method.qualified}"
+                     f"({', '.join(str(t) for t in method.param_types)}):")
+    for i, ins in enumerate(flat):
+        lines.append("  " + _fmt_instr(ins, width, i))
+    return "\n".join(lines)
+
+
+def disassemble_program(program: BProgram) -> str:
+    out: List[str] = []
+    for cname in sorted(program.classes):
+        bclass = program.classes[cname]
+        out.append(f"class {cname} extends {bclass.superclass} {{")
+        for fld in bclass.fields.values():
+            mods = "static " if fld.is_static else ""
+            out.append(f"  {mods}{fld.ty} {fld.name};")
+        for mname in sorted(bclass.methods):
+            out.append(
+                "  " + disassemble_method(bclass.methods[mname]).replace("\n", "\n  ")
+            )
+        out.append("}")
+    return "\n".join(out)

@@ -1,0 +1,266 @@
+"""Program model for MJ bytecode: classes, methods, instructions, labels.
+
+A :class:`BMethod` holds *symbolic* code — a list of :class:`Instr` whose
+branch operands are :class:`Label` objects, with ``LABEL`` pseudo-instructions
+marking their positions.  Symbolic code is what the communication rewriter
+edits (instructions can be inserted freely).  :meth:`BMethod.flat` resolves
+labels to instruction indices and strips the markers, producing the executable
+form consumed by the VM, the quad builder and the profiler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CompileError
+from repro.bytecode import opcodes as op
+from repro.lang.types import Type
+
+
+class Label:
+    """A symbolic branch target; identity-based."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("name",)
+
+    def __init__(self, hint: str = "L") -> None:
+        self.name = f"{hint}{next(Label._ids)}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+class Instr:
+    """One bytecode instruction: an opcode plus up to three operands."""
+
+    __slots__ = ("op", "a", "b", "c", "line")
+
+    def __init__(self, opname: str, a=None, b=None, c=None, line: int = 0) -> None:
+        self.op = opname
+        self.a = a
+        self.b = b
+        self.c = c
+        self.line = line
+
+    def operands(self) -> Tuple:
+        out = []
+        for v in (self.a, self.b, self.c):
+            if v is not None:
+                out.append(v)
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        ops = ", ".join(repr(v) for v in self.operands())
+        return f"{self.op}({ops})" if ops else self.op
+
+
+class FlatCode:
+    """Executable form: label-free instruction list with integer targets."""
+
+    __slots__ = ("instrs", "label_index")
+
+    def __init__(self, instrs: List[Instr], label_index: Dict[Label, int]) -> None:
+        self.instrs = instrs
+        self.label_index = label_index
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __getitem__(self, i: int) -> Instr:
+        return self.instrs[i]
+
+
+class BField:
+    __slots__ = ("name", "ty", "is_static")
+
+    def __init__(self, name: str, ty: Type, is_static: bool) -> None:
+        self.name = name
+        self.ty = ty
+        self.is_static = is_static
+
+
+class BMethod:
+    """Bytecode for one method."""
+
+    __slots__ = (
+        "class_name",
+        "name",
+        "param_types",
+        "ret_type",
+        "is_static",
+        "is_ctor",
+        "max_locals",
+        "code",
+        "_flat",
+    )
+
+    def __init__(
+        self,
+        class_name: str,
+        name: str,
+        param_types: Sequence[Type],
+        ret_type: Type,
+        is_static: bool,
+        is_ctor: bool,
+    ) -> None:
+        self.class_name = class_name
+        self.name = name
+        self.param_types = list(param_types)
+        self.ret_type = ret_type
+        self.is_static = is_static
+        self.is_ctor = is_ctor
+        self.max_locals = 0
+        self.code: List[Instr] = []
+        self._flat: Optional[FlatCode] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+    @property
+    def nargs(self) -> int:
+        return len(self.param_types)
+
+    def emit(self, opname: str, a=None, b=None, c=None, line: int = 0) -> Instr:
+        ins = Instr(opname, a, b, c, line)
+        self.code.append(ins)
+        self._flat = None
+        return ins
+
+    def place(self, label: Label) -> None:
+        self.emit(op.LABEL, label)
+
+    def invalidate(self) -> None:
+        """Mark symbolic code as modified (used by the rewriter)."""
+        self._flat = None
+
+    def flat(self) -> FlatCode:
+        """Resolve labels and strip ``LABEL`` markers (cached)."""
+        if self._flat is not None:
+            return self._flat
+        label_at: Dict[Label, int] = {}
+        instrs: List[Instr] = []
+        for ins in self.code:
+            if ins.op == op.LABEL:
+                label_at[ins.a] = len(instrs)
+            else:
+                instrs.append(ins)
+        resolved: List[Instr] = []
+        for ins in instrs:
+            if ins.op in op.BRANCHES:
+                if ins.op in op.CMP_BRANCHES:
+                    target = ins.b
+                else:
+                    target = ins.a
+                if target not in label_at:
+                    raise CompileError(
+                        f"{self.qualified}: branch to unplaced label {target}"
+                    )
+                idx = label_at[target]
+                if ins.op in op.CMP_BRANCHES:
+                    resolved.append(Instr(ins.op, ins.a, idx, None, ins.line))
+                else:
+                    resolved.append(Instr(ins.op, idx, None, None, ins.line))
+            else:
+                resolved.append(ins)
+        self._flat = FlatCode(resolved, label_at)
+        return self._flat
+
+    def size_bytes(self) -> int:
+        """Rough serialized size (for Table 1's KB column): opcode byte plus
+        two bytes per operand, strings by length."""
+        total = 0
+        for ins in self.code:
+            if ins.op == op.LABEL:
+                continue
+            total += 1
+            for v in ins.operands():
+                total += len(v) if isinstance(v, str) else 2
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BMethod {self.qualified} ({len(self.code)} instrs)>"
+
+
+class BClass:
+    __slots__ = ("name", "superclass", "fields", "methods")
+
+    def __init__(self, name: str, superclass: str) -> None:
+        self.name = name
+        self.superclass = superclass
+        self.fields: Dict[str, BField] = {}
+        self.methods: Dict[str, BMethod] = {}
+
+    def instance_fields(self) -> List[BField]:
+        return [f for f in self.fields.values() if not f.is_static]
+
+    def static_fields(self) -> List[BField]:
+        return [f for f in self.fields.values() if f.is_static]
+
+    def size_bytes(self) -> int:
+        total = 32 + sum(len(f.name) + 4 for f in self.fields.values())
+        total += sum(m.size_bytes() + len(m.name) for m in self.methods.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BClass {self.name}>"
+
+
+class BProgram:
+    """A compiled MJ program: all user classes plus links to the class table."""
+
+    __slots__ = ("classes", "table", "main_class")
+
+    def __init__(self, classes: Dict[str, BClass], table, main_class: Optional[str]):
+        self.classes = classes
+        self.table = table  # repro.lang.symbols.ClassTable
+        self.main_class = main_class
+
+    def lookup_method(self, class_name: str, method: str) -> Optional[BMethod]:
+        """Resolve ``method`` starting at ``class_name``, walking supers
+        (virtual dispatch resolution for compiled classes)."""
+        cur: Optional[str] = class_name
+        while cur is not None and cur in self.classes:
+            bc = self.classes[cur]
+            if method in bc.methods:
+                return bc.methods[method]
+            cur = bc.superclass
+        return None
+
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def num_methods(self) -> int:
+        return sum(len(c.methods) for c in self.classes.values())
+
+    def size_bytes(self) -> int:
+        return sum(c.size_bytes() for c in self.classes.values())
+
+    def copy(self) -> "BProgram":
+        """Deep-copy the symbolic code (used before rewriting so the original
+        program stays runnable for the centralized baseline)."""
+        new_classes: Dict[str, BClass] = {}
+        for name, bc in self.classes.items():
+            nc = BClass(bc.name, bc.superclass)
+            nc.fields = dict(bc.fields)
+            for mname, bm in bc.methods.items():
+                nm = BMethod(
+                    bm.class_name,
+                    bm.name,
+                    bm.param_types,
+                    bm.ret_type,
+                    bm.is_static,
+                    bm.is_ctor,
+                )
+                nm.max_locals = bm.max_locals
+                nm.code = [
+                    Instr(i.op, i.a, i.b, i.c, i.line) for i in bm.code
+                ]
+                nc.methods[mname] = nm
+            new_classes[name] = nc
+        return BProgram(new_classes, self.table, self.main_class)

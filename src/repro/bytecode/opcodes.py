@@ -1,0 +1,160 @@
+"""The MJ bytecode instruction set and its abstract cost model.
+
+Opcode names follow JVM conventions (``iload``-style semantics, spelled in
+upper case).  Branch instructions carry :class:`~repro.bytecode.model.Label`
+operands until :meth:`~repro.bytecode.model.BMethod.flat` resolves them to
+instruction indices.
+
+The **cost model** assigns each opcode an abstract cycle count.  Virtual time
+on a simulated node advances by ``cycles / node.cpu_hz`` — this is what makes
+the Figure 11 speedup experiment deterministic (see
+:mod:`repro.runtime.simnet`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+# --- constants -------------------------------------------------------------
+LDC = "LDC"                    # (value, type_char)
+ACONST_NULL = "ACONST_NULL"
+
+# --- locals ----------------------------------------------------------------
+ILOAD = "ILOAD"
+LLOAD = "LLOAD"
+FLOAD = "FLOAD"
+ALOAD = "ALOAD"
+ISTORE = "ISTORE"
+LSTORE = "LSTORE"
+FSTORE = "FSTORE"
+ASTORE = "ASTORE"
+
+LOADS = frozenset({ILOAD, LLOAD, FLOAD, ALOAD})
+STORES = frozenset({ISTORE, LSTORE, FSTORE, ASTORE})
+
+# --- stack -----------------------------------------------------------------
+DUP = "DUP"
+POP = "POP"
+SWAP = "SWAP"
+
+# --- arithmetic / bitwise ----------------------------------------------------
+IADD, ISUB, IMUL, IDIV, IREM, INEG = "IADD", "ISUB", "IMUL", "IDIV", "IREM", "INEG"
+LADD, LSUB, LMUL, LDIV, LREM, LNEG = "LADD", "LSUB", "LMUL", "LDIV", "LREM", "LNEG"
+FADD, FSUB, FMUL, FDIV, FREM, FNEG = "FADD", "FSUB", "FMUL", "FDIV", "FREM", "FNEG"
+IAND, IOR, IXOR = "IAND", "IOR", "IXOR"
+ISHL, ISHR, IUSHR = "ISHL", "ISHR", "IUSHR"
+LAND, LOR, LXOR = "LAND", "LOR", "LXOR"
+LSHL, LSHR, LUSHR = "LSHL", "LSHR", "LUSHR"
+
+BINOPS: FrozenSet[str] = frozenset(
+    {
+        IADD, ISUB, IMUL, IDIV, IREM,
+        LADD, LSUB, LMUL, LDIV, LREM,
+        FADD, FSUB, FMUL, FDIV, FREM,
+        IAND, IOR, IXOR, ISHL, ISHR, IUSHR,
+        LAND, LOR, LXOR, LSHL, LSHR, LUSHR,
+    }
+)
+NEGOPS = frozenset({INEG, LNEG, FNEG})
+
+# --- conversions ---------------------------------------------------------------
+I2L, I2F, L2I, L2F, F2I, F2L = "I2L", "I2F", "L2I", "L2F", "F2I", "F2L"
+CONVERSIONS = frozenset({I2L, I2F, L2I, L2F, F2I, F2L})
+
+# --- control flow ----------------------------------------------------------------
+IF_ICMP = "IF_ICMP"            # (cond, label)   cond in EQ NE LT LE GT GE
+IF_LCMP = "IF_LCMP"
+IF_FCMP = "IF_FCMP"
+IF_ACMP = "IF_ACMP"            # (cond, label)   cond in EQ NE
+IFTRUE = "IFTRUE"              # (label,)
+IFFALSE = "IFFALSE"
+GOTO = "GOTO"
+CMP_BRANCHES = frozenset({IF_ICMP, IF_LCMP, IF_FCMP, IF_ACMP})
+BOOL_BRANCHES = frozenset({IFTRUE, IFFALSE})
+BRANCHES = CMP_BRANCHES | BOOL_BRANCHES | {GOTO}
+
+# --- objects -----------------------------------------------------------------------
+NEW = "NEW"                          # (class_name,)
+INVOKEVIRTUAL = "INVOKEVIRTUAL"      # (class_name, method, nargs)
+INVOKESPECIAL = "INVOKESPECIAL"      # (class_name, method, nargs)  (constructors)
+INVOKESTATIC = "INVOKESTATIC"        # (class_name, method, nargs)
+GETFIELD = "GETFIELD"                # (class_name, field)
+PUTFIELD = "PUTFIELD"
+GETSTATIC = "GETSTATIC"
+PUTSTATIC = "PUTSTATIC"
+CHECKCAST = "CHECKCAST"              # (class_name,)
+INSTANCEOF = "INSTANCEOF"
+INVOKES = frozenset({INVOKEVIRTUAL, INVOKESPECIAL, INVOKESTATIC})
+
+# --- arrays ----------------------------------------------------------------------
+NEWARRAY = "NEWARRAY"          # (elem_descriptor,)
+ARRAYLENGTH = "ARRAYLENGTH"
+XALOAD = "XALOAD"              # (type_char,)   array element load
+XASTORE = "XASTORE"
+
+# --- returns ----------------------------------------------------------------------
+RETURN = "RETURN"
+IRETURN, LRETURN, FRETURN, ARETURN = "IRETURN", "LRETURN", "FRETURN", "ARETURN"
+RETURNS = frozenset({RETURN, IRETURN, LRETURN, FRETURN, ARETURN})
+
+# --- distribution support (inserted by the communication rewriter) -----------------
+PACK = "PACK"                  # (n,)  pop n values, push a LinkedList of them
+
+# --- pseudo ------------------------------------------------------------------------
+LABEL = "LABEL"                # (Label,)  marker, removed by flattening
+
+
+#: abstract cycles per opcode (defaults to 1)
+COST: Dict[str, int] = {
+    LDC: 1,
+    ACONST_NULL: 1,
+    DUP: 1,
+    POP: 1,
+    SWAP: 1,
+    IMUL: 3,
+    LMUL: 4,
+    FMUL: 4,
+    IDIV: 12,
+    LDIV: 16,
+    FDIV: 16,
+    IREM: 12,
+    LREM: 16,
+    FREM: 18,
+    FADD: 3,
+    FSUB: 3,
+    NEW: 24,
+    NEWARRAY: 24,
+    GETFIELD: 3,
+    PUTFIELD: 3,
+    GETSTATIC: 2,
+    PUTSTATIC: 2,
+    XALOAD: 3,
+    XASTORE: 3,
+    ARRAYLENGTH: 2,
+    CHECKCAST: 3,
+    INSTANCEOF: 3,
+    INVOKEVIRTUAL: 14,
+    INVOKESPECIAL: 12,
+    INVOKESTATIC: 10,
+    IRETURN: 4,
+    LRETURN: 4,
+    FRETURN: 4,
+    ARETURN: 4,
+    RETURN: 4,
+    PACK: 8,
+}
+
+
+def cost_of(op: str) -> int:
+    """Abstract cycle cost of one opcode (see module docstring)."""
+    return COST.get(op, 1)
+
+
+#: result type char pushed by each arithmetic/conversion opcode; used by the
+#: quad builder's abstract stack interpretation
+RESULT_TYPE: Dict[str, str] = {}
+for _op in BINOPS | NEGOPS:
+    RESULT_TYPE[_op] = {"I": "I", "L": "J", "F": "F"}[_op[0]]
+RESULT_TYPE.update(
+    {I2L: "J", I2F: "F", L2I: "I", L2F: "F", F2I: "I", F2L: "J", ARRAYLENGTH: "I"}
+)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the infrastructure's phases:
+
+* ``run <workload>``        — centralized execution (prints output + virtual time)
+* ``analyze <workload>``    — CRG/ODG summary (+ ``--vcg DIR`` to dump Figure 3/4 files)
+* ``distribute <workload>`` — plan, rewrite and execute on the paper's
+  2-node testbed (``--nodes N`` for more), printing the Figure 11 numbers
+* ``tables``                — regenerate Tables 1/2/3 and Figure 11 to stdout
+* ``codegen``               — the Figure 5/6/7 tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.workloads import TABLE1_ORDER, WORKLOADS
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.pipeline import Pipeline
+
+    pipe = Pipeline(args.workload, args.size)
+    seq = pipe.run_sequential()
+    for line in seq.stdout:
+        print(line)
+    print(f"[{args.workload}] {seq.cycles} cycles, "
+          f"{seq.exec_time_s * 1e3:.3f} virtual ms on the 800 MHz baseline")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.harness.pipeline import Pipeline
+
+    pipe = Pipeline(args.workload, args.size)
+    a = pipe.analyze()
+    print(f"classes={pipe.work.num_classes} methods={pipe.work.num_methods} "
+          f"size={pipe.work.size_kb:.1f}KB")
+    print(f"CRG: {a.crg.num_nodes} nodes, {a.crg.num_edges} edges, "
+          f"2-way edgecut {a.crg_partition.edgecut:.0f}")
+    print(f"ODG: {a.odg.num_nodes} objects, {a.odg.num_edges} relations, "
+          f"2-way edgecut {a.odg_partition.edgecut:.0f}")
+    for obj in a.odg.objects:
+        print(f"  {obj.label:18s} {obj.uid}")
+    if args.vcg:
+        out = pathlib.Path(args.vcg)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{args.workload}_crg.vcg").write_text(
+            a.crg.to_vcg(f"{args.workload} CRG")
+        )
+        graph, order = a.odg.partition_graph()
+        from repro.graph.vcg import vcg_digraph
+
+        nodes = [(uid, a.odg.nodes[uid]) for uid in order]
+        edges = [
+            (e.src, e.dst, e.kind) for e in a.odg.edges() if e.kind != "reference"
+        ]
+        (out / f"{args.workload}_odg.vcg").write_text(
+            vcg_digraph(f"{args.workload} ODG", nodes, edges)
+        )
+        print(f"VCG files written to {out}/")
+    return 0
+
+
+def _cmd_distribute(args: argparse.Namespace) -> int:
+    from repro.harness.pipeline import Pipeline
+    from repro.runtime.cluster import homogeneous, paper_testbed
+
+    pipe = Pipeline(args.workload, args.size)
+    cluster = paper_testbed() if args.nodes == 2 else homogeneous(args.nodes)
+    s = pipe.speedup(nparts=args.nodes, cluster=cluster)
+    print(f"sequential : {s['sequential_s'] * 1e3:10.3f} virtual ms")
+    print(f"distributed: {s['distributed_s'] * 1e3:10.3f} virtual ms "
+          f"on {args.nodes} nodes")
+    print(f"messages   : {s['messages']}  ({s['bytes']} bytes)")
+    print(f"rewrites   : {s['rewrites']}  (plan edgecut {s['edgecut']:.0f})")
+    print(f"speedup    : {s['speedup_pct']:.1f}%  (paper range: 79.2%..175.2%)")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.harness.tables import figure11, table1, table2, table3
+
+    for fn, kwargs in (
+        (table1, {"size": args.size}),
+        (table2, {"size": args.size}),
+        (table3, {"size": args.size}),
+        (figure11, {"size": "bench" if args.size == "test" else args.size}),
+    ):
+        _, text = fn(**kwargs)
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.harness.figures import fig5, fig6, fig7
+
+    print("Quad IR (Figure 5):")
+    print(fig5())
+    print("\nTrees (Figure 6):")
+    print(fig6())
+    print("\nMachine code (Figure 7):")
+    listings = fig7()
+    print(listings["x86"])
+    print()
+    print(listings["StrongARM"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic program distribution infrastructure "
+        "(Diaconescu et al., IPPS 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    workloads = sorted(WORKLOADS)
+
+    p = sub.add_parser("run", help="centralized execution")
+    p.add_argument("workload", choices=workloads)
+    p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("analyze", help="dependence analysis summary")
+    p.add_argument("workload", choices=workloads)
+    p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.add_argument("--vcg", help="directory for Figure 3/4 VCG files")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("distribute", help="distributed execution (Figure 11)")
+    p.add_argument("workload", choices=workloads)
+    p.add_argument("--size", default="bench", choices=("test", "bench", "large"))
+    p.add_argument("--nodes", type=int, default=2)
+    p.set_defaults(fn=_cmd_distribute)
+
+    p = sub.add_parser("tables", help="regenerate Tables 1-3 + Figure 11")
+    p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser("codegen", help="Figure 5/6/7 tour")
+    p.set_defaults(fn=_cmd_codegen)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Retargetable code generation (paper §4.1).
+
+Quads become operator trees (:mod:`repro.codegen.tree`, the ANTLR-built AST
+of Figure 6), which a BURS engine (:mod:`repro.codegen.burs`, the JBurg
+stand-in) labels bottom-up with dynamic programming and reduces top-down to
+target instructions.  Two rule sets ship, matching the paper's Figure 7
+targets: :mod:`repro.codegen.x86` and :mod:`repro.codegen.strongarm`.
+"""
+
+from repro.codegen.burs import BURS, Rule
+from repro.codegen.strongarm import StrongARMTarget
+from repro.codegen.tree import TreeNode, method_to_trees, quad_to_tree, render_tree
+from repro.codegen.x86 import X86Target
+
+__all__ = [
+    "BURS",
+    "Rule",
+    "TreeNode",
+    "quad_to_tree",
+    "method_to_trees",
+    "render_tree",
+    "X86Target",
+    "StrongARMTarget",
+]

@@ -1,0 +1,72 @@
+"""Shared emission context for the BURS back-ends: physical-register
+allocation (first-use order, so the Figure 7 listings come out with ``eax``
+/ ``R1`` first) and the output line buffer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.quad.quads import QuadMethod, Reg
+
+
+class EmitCtx:
+    """Per-method emission state."""
+
+    def __init__(self, phys_names: List[str], tmp_prefix: str = "t") -> None:
+        self.lines: List[str] = []
+        self.phys_names = phys_names
+        self.tmp_prefix = tmp_prefix
+        self.regmap: Dict[int, str] = {}
+        self._next_phys = 0
+        self._next_tmp = 0
+
+    def phys(self, vreg: Reg) -> str:
+        """Physical name for a virtual register (allocated on first use)."""
+        name = self.regmap.get(vreg.index)
+        if name is None:
+            if self._next_phys < len(self.phys_names):
+                name = self.phys_names[self._next_phys]
+                self._next_phys += 1
+            else:
+                name = f"{self.tmp_prefix}{self._next_tmp}"
+                self._next_tmp += 1
+            self.regmap[vreg.index] = name
+        return name
+
+    def fresh(self) -> str:
+        """A scratch register for materialized immediates."""
+        if self._next_phys < len(self.phys_names):
+            name = self.phys_names[self._next_phys]
+            self._next_phys += 1
+            return name
+        name = f"{self.tmp_prefix}{self._next_tmp}"
+        self._next_tmp += 1
+        return name
+
+    def emit(self, text: str, comment: Optional[str] = None) -> None:
+        if comment:
+            text = f"{text:<28}; {comment}"
+        self.lines.append(text)
+
+
+def operand(value) -> str:
+    """Render a rule result (register name or immediate) as an operand."""
+    return str(value)
+
+
+def assemble_method(target, qm: QuadMethod) -> str:
+    """Drive a target's BURS over every block of ``qm``; returns the listing."""
+    ctx = target.new_ctx()
+    out: List[str] = [f"; {target.name} code for {qm.qualified}"]
+    from repro.codegen.tree import quad_to_tree
+
+    for block in qm.block_order():
+        if block.bid in (0, 1) and not block.quads:
+            continue
+        out.append(target.block_label(block.bid))
+        start = len(ctx.lines)
+        for quad in block.quads:
+            tree = quad_to_tree(quad)
+            target.burs.generate(tree, "stmt", ctx)
+        out.extend("    " + line for line in ctx.lines[start:])
+    return "\n".join(out)

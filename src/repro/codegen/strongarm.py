@@ -1,0 +1,206 @@
+"""StrongARM BURS rule set (paper Figure 7, right column).
+
+ARM's three-operand data processing lets ``ADD_I R1, IConst 4, IConst 1``
+reduce to the single ``add R1, #4, #1``-style instruction the figure shows
+(``add R1, 4, 4`` in the paper's rendering), where x86 needed a mov+add —
+the per-target cost tables drive the BURS to different derivations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.burs import BURS, Rule, aux
+from repro.codegen.emitter import EmitCtx, assemble_method
+from repro.quad.quads import QuadMethod
+
+_BCC = {"EQ": "beq", "NE": "bne", "LT": "blt", "LE": "ble", "GT": "bgt", "GE": "bge"}
+_ARITH = {
+    "ADD": "add", "SUB": "sub", "MUL": "mul", "DIV": "sdiv", "REM": "srem",
+    "AND": "and", "OR": "orr", "XOR": "eor", "SHL": "lsl", "SHR": "asr",
+    "USHR": "lsr",
+}
+_SUFFIXES = ("I", "L", "F")
+
+
+def _imm(v) -> str:
+    return f"#{v}" if isinstance(v, (int, float)) else str(v)
+
+
+def _rules() -> List[Rule]:
+    rules: List[Rule] = []
+    rules.append(Rule("reg", ("REG",), 0, lambda ctx, n, k: ctx.phys(n.value)))
+    for leaf in ("ICONST", "LCONST", "FCONST"):
+        rules.append(Rule("imm", (leaf,), 0, lambda ctx, n, k: n.value))
+    rules.append(Rule("imm", ("SCONST",), 0, lambda ctx, n, k: f'="{n.value}"'))
+    rules.append(Rule("imm", ("NULL",), 0, lambda ctx, n, k: 0))
+    rules.append(Rule("val", "reg", 0, lambda ctx, n, k: k[0]))
+    rules.append(Rule("val", "imm", 0, lambda ctx, n, k: _imm(k[0])))
+
+    def mat_imm(ctx, n, k):
+        r = ctx.fresh()
+        ctx.emit(f"mov {r}, {_imm(k[0])}")
+        return r
+
+    rules.append(Rule("reg", "imm", 1, mat_imm))
+
+    def emit_move(ctx, n, k):
+        dst, src = k
+        if str(dst) != str(src):
+            ctx.emit(f"mov {dst}, {src if str(src).startswith(('R', '#', '=')) else _imm(src)}")
+        return None
+
+    for sfx in _SUFFIXES + ("A",):
+        rules.append(Rule("stmt", (f"MOVE_{sfx}", "reg", "val"), 1, emit_move))
+
+    # three-operand data processing: one instruction regardless of operands
+    def make_arith(mn):
+        def emit(ctx, n, k):
+            dst, a, b = k
+            ctx.emit(f"{mn} {dst}, {a}, {b}")
+            return None
+
+        return emit
+
+    for base, mn in _ARITH.items():
+        for sfx in _SUFFIXES:
+            rules.append(
+                Rule("stmt", (f"{base}_{sfx}", "reg", "val", "val"), 1, make_arith(mn))
+            )
+    for sfx in _SUFFIXES:
+        rules.append(
+            Rule("stmt", (f"NEG_{sfx}", "reg", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"rsb {k[0]}, {k[1]}, #0"))
+        )
+    for conv in ("I2L", "I2F", "L2I", "L2F", "F2I", "F2L"):
+        rules.append(
+            Rule("stmt", (conv, "reg", "val"), 1,
+                 lambda ctx, n, k, _c=conv: ctx.emit(f"mov {k[0]}, {k[1]}", comment=_c.lower()))
+        )
+
+    def emit_ifcmp(ctx, n, k):
+        ctx.emit(f"cmp {k[0]}, {k[1]}")
+        ctx.emit(f"{_BCC[aux(n, 'COND')]} .BB{aux(n, 'TARGET')}")
+        return None
+
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(Rule("stmt", (f"IFCMP_{sfx}", "val", "val"), 2, emit_ifcmp))
+    rules.append(
+        Rule("stmt", ("GOTO",), 1, lambda ctx, n, k: ctx.emit(f"b .BB{aux(n, 'TARGET')}"))
+    )
+
+    # returns: result in R0, return by mov PC, R14 (Figure 7)
+    def emit_ret_val(ctx, n, k):
+        if str(k[0]) != "R0":
+            ctx.emit(f"mov R0, {k[0]}")
+        ctx.emit("mov PC, R14")
+        return None
+
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(Rule("stmt", (f"RETURN_{sfx}", "val"), 2, emit_ret_val))
+    rules.append(Rule("stmt", ("RETURN",), 1, lambda ctx, n, k: ctx.emit("mov PC, R14")))
+
+    def emit_invoke(ctx, n, k, has_dst):
+        kids = list(k)
+        dst = kids.pop(0) if has_dst else None
+        for i, arg in enumerate(kids):
+            ctx.emit(f"mov a{i + 1}, {arg}")
+        ctx.emit(f"bl {aux(n, 'MEMBER')}")
+        if dst is not None and str(dst) != "R0":
+            ctx.emit(f"mov {dst}, R0")
+        return None
+
+    for mnem in ("INVOKEVIRTUAL", "INVOKESPECIAL", "INVOKESTATIC"):
+        for nargs in range(0, 9):
+            args = ["val"] * nargs
+            rules.append(
+                Rule("stmt", (mnem, *args), 3 + nargs,
+                     lambda ctx, n, k: emit_invoke(ctx, n, k, False))
+            )
+            for sfx in ("I", "L", "F", "A"):
+                rules.append(
+                    Rule("stmt", (f"{mnem}_{sfx}", "reg", *args), 3 + nargs,
+                         lambda ctx, n, k: emit_invoke(ctx, n, k, True))
+                )
+
+    rules.append(
+        Rule("stmt", ("NEW_A", "reg"), 3,
+             lambda ctx, n, k: (ctx.emit(f"bl new {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, R0"))[-1])
+    )
+    rules.append(
+        Rule("stmt", ("NEWARRAY_A", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov a1, {k[1]}"),
+                                ctx.emit(f"bl newarray {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, R0"))[-1])
+    )
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(
+            Rule("stmt", (f"GETFIELD_{sfx}", "reg", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"ldr {k[0]}, [{k[1]}, {aux(n, 'MEMBER')}]"))
+        )
+        rules.append(
+            Rule("stmt", (f"PUTFIELD_{sfx}", "val", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"str {k[1]}, [{k[0]}, {aux(n, 'MEMBER')}]"))
+        )
+        rules.append(
+            Rule("stmt", (f"GETSTATIC_{sfx}", "reg"), 1,
+                 lambda ctx, n, k: ctx.emit(f"ldr {k[0]}, ={aux(n, 'MEMBER')}"))
+        )
+        rules.append(
+            Rule("stmt", (f"PUTSTATIC_{sfx}", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"str {k[0]}, ={aux(n, 'MEMBER')}"))
+        )
+        rules.append(
+            Rule("stmt", (f"ALOAD_{sfx}", "reg", "val", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"ldr {k[0]}, [{k[1]}, {k[2]}, lsl #3]"))
+        )
+        rules.append(
+            Rule("stmt", (f"ASTORE_{sfx}", "val", "val", "val"), 1,
+                 lambda ctx, n, k: ctx.emit(f"str {k[2]}, [{k[0]}, {k[1]}, lsl #3]"))
+        )
+    rules.append(
+        Rule("stmt", ("ARRAYLENGTH_I", "reg", "val"), 1,
+             lambda ctx, n, k: ctx.emit(f"ldr {k[0]}, [{k[1]}, #-8]"))
+    )
+    rules.append(
+        Rule("stmt", ("CHECKCAST_A", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov a1, {k[1]}"),
+                                ctx.emit(f"bl checkcast {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, R0"))[-1])
+    )
+    rules.append(
+        Rule("stmt", ("INSTANCEOF_I", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov a1, {k[1]}"),
+                                ctx.emit(f"bl instanceof {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, R0"))[-1])
+    )
+    for nargs in range(0, 9):
+        rules.append(
+            Rule("stmt", ("PACK_A", "reg", *["val"] * nargs), 3 + nargs,
+                 lambda ctx, n, k: (
+                     [ctx.emit(f"mov a{i + 1}, {a}") for i, a in enumerate(k[1:])],
+                     ctx.emit("bl pack"),
+                     ctx.emit(f"mov {k[0]}, R0"),
+                 )[-1])
+        )
+    return rules
+
+
+class StrongARMTarget:
+    """Figure 7 right column: the StrongARM back-end."""
+
+    name = "StrongARM"
+    phys = [f"R{i}" for i in range(1, 11)]
+
+    def __init__(self) -> None:
+        self.burs = BURS(_rules())
+
+    def new_ctx(self) -> EmitCtx:
+        return EmitCtx(self.phys, tmp_prefix="R1")
+
+    def block_label(self, bid: int) -> str:
+        return f".BB{bid}"
+
+    def emit_method(self, qm: QuadMethod) -> str:
+        return assemble_method(self, qm)

@@ -1,0 +1,90 @@
+"""Operator trees over quads — the code generator's AST (paper Figure 6).
+
+"The AST is structured such that each instruction acts as a root node, with
+instruction parameters represented as child leaves."  Register operands
+become ``REG`` leaves, constants ``ICONST``/``FCONST``/... leaves, and
+IFCMP's condition/target become ``COND``/``TARGET`` leaves, exactly as in
+the figure (where ``LE`` and ``BB4`` are children of ``IFCMP_I``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.quad.quads import Const, Quad, QuadMethod, Reg
+
+
+class TreeNode:
+    """One AST node: an operator label with children; leaves carry values."""
+
+    __slots__ = ("op", "value", "kids", "ty", "state")
+
+    def __init__(self, op: str, value=None, kids: Optional[List["TreeNode"]] = None,
+                 ty: str = "V") -> None:
+        self.op = op
+        self.value = value
+        self.kids = kids or []
+        self.ty = ty
+        self.state = None  # BURS labeler scratch: {nonterminal: (cost, rule)}
+
+    def is_leaf(self) -> bool:
+        return not self.kids
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.is_leaf():
+            return f"{self.op}({self.value})" if self.value is not None else self.op
+        return f"{self.op}({', '.join(repr(k) for k in self.kids)})"
+
+
+_CONST_OP = {"I": "ICONST", "J": "LCONST", "F": "FCONST", "S": "SCONST", "N": "NULL"}
+
+
+def _operand_node(operand) -> TreeNode:
+    if isinstance(operand, Reg):
+        return TreeNode("REG", value=operand, ty=operand.ty)
+    assert isinstance(operand, Const)
+    return TreeNode(_CONST_OP.get(operand.ty, "ICONST"), value=operand.value,
+                    ty=operand.ty)
+
+
+def quad_to_tree(quad: Quad) -> TreeNode:
+    """Lift one quad to its tree: the mnemonic is the root, the destination
+    register (if any) the first child, then source operands, then
+    operator-specific leaves."""
+    kids: List[TreeNode] = []
+    if quad.dst is not None:
+        kids.append(TreeNode("REG", value=quad.dst, ty=quad.dst.ty))
+    kids.extend(_operand_node(s) for s in quad.srcs)
+    if quad.op == "IFCMP":
+        cond, target = quad.extra
+        kids.append(TreeNode("COND", value=cond))
+        kids.append(TreeNode("TARGET", value=target))
+    elif quad.op == "GOTO":
+        kids.append(TreeNode("TARGET", value=quad.extra[0]))
+    elif quad.op in ("GETFIELD", "PUTFIELD", "GETSTATIC", "PUTSTATIC"):
+        kids.append(TreeNode("MEMBER", value=".".join(quad.extra)))
+    elif quad.op.startswith("INVOKE"):
+        kids.append(TreeNode("MEMBER", value=".".join(quad.extra[:2])))
+    elif quad.op in ("NEW", "NEWARRAY", "CHECKCAST", "INSTANCEOF"):
+        kids.append(TreeNode("MEMBER", value=str(quad.extra[0])))
+    return TreeNode(quad.mnemonic, kids=kids, ty=quad.ty)
+
+
+def method_to_trees(qm: QuadMethod) -> List[Tuple[int, List[TreeNode]]]:
+    """Per basic block (bid, [trees]) in the method's display order."""
+    out: List[Tuple[int, List[TreeNode]]] = []
+    for block in qm.block_order():
+        out.append((block.bid, [quad_to_tree(q) for q in block.quads]))
+    return out
+
+
+def render_tree(node: TreeNode, indent: int = 0) -> str:
+    """ASCII rendering of a tree (the Figure 6 bench prints these)."""
+    pad = "  " * indent
+    if node.is_leaf():
+        label = node.op if node.value is None else f"{node.op}:{node.value}"
+        return pad + label
+    lines = [pad + node.op]
+    for kid in node.kids:
+        lines.append(render_tree(kid, indent + 1))
+    return "\n".join(lines)

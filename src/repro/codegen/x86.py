@@ -1,0 +1,224 @@
+"""x86 BURS rule set (paper Figure 7, left column).
+
+The instruction selection demonstrates the BURS win on the paper's example:
+``MOVE_I R1, IConst 4`` derives directly to ``mov eax, 4`` (cost 1) instead
+of materializing the immediate first (cost 2) — the dynamic programming
+labeler picks the cheaper derivation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.burs import BURS, Rule, aux
+from repro.codegen.emitter import EmitCtx, assemble_method
+from repro.quad.quads import QuadMethod
+
+_JCC = {"EQ": "je", "NE": "jne", "LT": "jl", "LE": "jle", "GT": "jg", "GE": "jge"}
+_ARITH = {
+    "ADD": "add", "SUB": "sub", "MUL": "imul", "DIV": "idiv", "REM": "irem",
+    "AND": "and", "OR": "or", "XOR": "xor", "SHL": "shl", "SHR": "sar",
+    "USHR": "shr",
+}
+_SUFFIXES = ("I", "L", "F")
+
+
+def _rules() -> List[Rule]:
+    rules: List[Rule] = []
+
+    # ----- leaves / chains
+    rules.append(Rule("reg", ("REG",), 0, lambda ctx, n, k: ctx.phys(n.value)))
+    for leaf in ("ICONST", "LCONST", "FCONST"):
+        rules.append(Rule("imm", (leaf,), 0, lambda ctx, n, k: n.value))
+    rules.append(Rule("imm", ("SCONST",), 0, lambda ctx, n, k: f'offset "{n.value}"'))
+    rules.append(Rule("imm", ("NULL",), 0, lambda ctx, n, k: 0))
+    rules.append(Rule("val", "reg", 0, lambda ctx, n, k: k[0]))
+    rules.append(Rule("val", "imm", 0, lambda ctx, n, k: k[0]))
+
+    def mat_imm(ctx: EmitCtx, n, k):
+        r = ctx.fresh()
+        ctx.emit(f"mov {r}, {k[0]}")
+        return r
+
+    rules.append(Rule("reg", "imm", 1, mat_imm, name="materialize-imm"))
+
+    # ----- moves
+    def emit_move(ctx, n, k):
+        dst, src = k
+        if dst != src:
+            ctx.emit(f"mov {dst}, {src}")
+        return None
+
+    for sfx in _SUFFIXES:
+        rules.append(Rule("stmt", (f"MOVE_{sfx}", "reg", "val"), 1, emit_move))
+        rules.append(Rule("stmt", (f"MOVE_A", "reg", "val"), 1, emit_move))
+
+    # ----- arithmetic: dst = a OP b
+    def make_arith(mn: str):
+        def emit(ctx, n, k):
+            dst, a, b = k
+            if str(dst) != str(a):
+                ctx.emit(f"mov {dst}, {a}")
+            ctx.emit(f"{mn} {dst}, {b}")
+            return None
+
+        return emit
+
+    for base, mn in _ARITH.items():
+        for sfx in _SUFFIXES:
+            rules.append(
+                Rule("stmt", (f"{base}_{sfx}", "reg", "val", "val"), 2, make_arith(mn))
+            )
+
+    def emit_neg(ctx, n, k):
+        dst, a = k
+        if str(dst) != str(a):
+            ctx.emit(f"mov {dst}, {a}")
+        ctx.emit(f"neg {dst}")
+        return None
+
+    for sfx in _SUFFIXES:
+        rules.append(Rule("stmt", (f"NEG_{sfx}", "reg", "val"), 2, emit_neg))
+
+    # ----- conversions (pseudo: x86 widening moves)
+    for conv in ("I2L", "I2F", "L2I", "L2F", "F2I", "F2L"):
+        def emit_conv(ctx, n, k, _c=conv):
+            dst, a = k
+            ctx.emit(f"mov {dst}, {a}", comment=_c.lower())
+            return None
+
+        rules.append(Rule("stmt", (conv, "reg", "val"), 1, emit_conv))
+
+    # ----- control flow
+    def emit_ifcmp(ctx, n, k):
+        a, b = k
+        ctx.emit(f"cmp {a}, {b}")
+        ctx.emit(f"{_JCC[aux(n, 'COND')]} BB{aux(n, 'TARGET')}")
+        return None
+
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(Rule("stmt", (f"IFCMP_{sfx}", "val", "val"), 2, emit_ifcmp))
+    rules.append(
+        Rule("stmt", ("GOTO",), 1, lambda ctx, n, k: ctx.emit(f"jmp BB{aux(n, 'TARGET')}"))
+    )
+
+    # ----- returns (the paper's pseudo-x86 spells `ret eax`)
+    def emit_ret_val(ctx, n, k):
+        val = k[0]
+        if str(val) != "eax":
+            ctx.emit(f"mov eax, {val}")
+        ctx.emit("ret eax")
+        return None
+
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(Rule("stmt", (f"RETURN_{sfx}", "val"), 2, emit_ret_val))
+    rules.append(Rule("stmt", ("RETURN",), 1, lambda ctx, n, k: ctx.emit("ret")))
+
+    # ----- object / array operations lower to runtime calls & addressing
+    def emit_invoke(ctx, n, k, has_dst: bool):
+        kids = list(k)
+        dst = kids.pop(0) if has_dst else None
+        for i, arg in enumerate(kids):
+            ctx.emit(f"mov arg{i}, {arg}")
+        ctx.emit(f"call {aux(n, 'MEMBER')}")
+        if dst is not None and str(dst) != "eax":
+            ctx.emit(f"mov {dst}, eax")
+        return None
+
+    for mnem in ("INVOKEVIRTUAL", "INVOKESPECIAL", "INVOKESTATIC"):
+        for nargs in range(0, 9):
+            args = ["val"] * nargs
+            rules.append(
+                Rule("stmt", (mnem, *args), 3 + nargs,
+                     lambda ctx, n, k: emit_invoke(ctx, n, k, False))
+            )
+            for sfx in ("I", "L", "F", "A"):
+                rules.append(
+                    Rule("stmt", (f"{mnem}_{sfx}", "reg", *args), 3 + nargs,
+                         lambda ctx, n, k: emit_invoke(ctx, n, k, True))
+                )
+
+    def emit_new(ctx, n, k):
+        ctx.emit(f"call new {aux(n, 'MEMBER')}")
+        if str(k[0]) != "eax":
+            ctx.emit(f"mov {k[0]}, eax")
+        return None
+
+    rules.append(Rule("stmt", ("NEW_A", "reg"), 3, emit_new))
+    rules.append(
+        Rule("stmt", ("NEWARRAY_A", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov arg0, {k[1]}"), emit_new(ctx, n, k))[-1])
+    )
+
+    def emit_getfield(ctx, n, k):
+        ctx.emit(f"mov {k[0]}, [{k[1]}+{aux(n, 'MEMBER')}]")
+        return None
+
+    def emit_putfield(ctx, n, k):
+        ctx.emit(f"mov [{k[0]}+{aux(n, 'MEMBER')}], {k[1]}")
+        return None
+
+    for sfx in ("I", "L", "F", "A"):
+        rules.append(Rule("stmt", (f"GETFIELD_{sfx}", "reg", "val"), 2, emit_getfield))
+        rules.append(Rule("stmt", (f"PUTFIELD_{sfx}", "val", "val"), 2, emit_putfield))
+        rules.append(
+            Rule("stmt", (f"GETSTATIC_{sfx}", "reg"), 2,
+                 lambda ctx, n, k: ctx.emit(f"mov {k[0]}, [{aux(n, 'MEMBER')}]"))
+        )
+        rules.append(
+            Rule("stmt", (f"PUTSTATIC_{sfx}", "val"), 2,
+                 lambda ctx, n, k: ctx.emit(f"mov [{aux(n, 'MEMBER')}], {k[0]}"))
+        )
+        rules.append(
+            Rule("stmt", (f"ALOAD_{sfx}", "reg", "val", "val"), 2,
+                 lambda ctx, n, k: ctx.emit(f"mov {k[0]}, [{k[1]}+{k[2]}*8]"))
+        )
+        rules.append(
+            Rule("stmt", (f"ASTORE_{sfx}", "val", "val", "val"), 2,
+                 lambda ctx, n, k: ctx.emit(f"mov [{k[0]}+{k[1]}*8], {k[2]}"))
+        )
+    rules.append(
+        Rule("stmt", ("ARRAYLENGTH_I", "reg", "val"), 2,
+             lambda ctx, n, k: ctx.emit(f"mov {k[0]}, [{k[1]}-8]"))
+    )
+    rules.append(
+        Rule("stmt", ("CHECKCAST_A", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov arg0, {k[1]}"),
+                                ctx.emit(f"call checkcast {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, eax"))[-1])
+    )
+    rules.append(
+        Rule("stmt", ("INSTANCEOF_I", "reg", "val"), 3,
+             lambda ctx, n, k: (ctx.emit(f"mov arg0, {k[1]}"),
+                                ctx.emit(f"call instanceof {aux(n, 'MEMBER')}"),
+                                ctx.emit(f"mov {k[0]}, eax"))[-1])
+    )
+    for nargs in range(0, 9):
+        rules.append(
+            Rule("stmt", ("PACK_A", "reg", *["val"] * nargs), 3 + nargs,
+                 lambda ctx, n, k: (
+                     [ctx.emit(f"mov arg{i}, {a}") for i, a in enumerate(k[1:])],
+                     ctx.emit("call pack"),
+                     ctx.emit(f"mov {k[0]}, eax"),
+                 )[-1])
+        )
+    return rules
+
+
+class X86Target:
+    """Figure 7 left column: the x86 back-end."""
+
+    name = "x86"
+    phys = ["eax", "ebx", "ecx", "edx", "esi", "edi"]
+
+    def __init__(self) -> None:
+        self.burs = BURS(_rules())
+
+    def new_ctx(self) -> EmitCtx:
+        return EmitCtx(self.phys, tmp_prefix="t")
+
+    def block_label(self, bid: int) -> str:
+        return f"BB{bid}:"
+
+    def emit_method(self, qm: QuadMethod) -> str:
+        return assemble_method(self, qm)

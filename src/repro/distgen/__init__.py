@@ -1,0 +1,16 @@
+"""Communication generation (paper §4.2): classify objects as local vs
+dependent, build distribution plans for 1..n nodes offline, and rewrite
+bytecode so remote dependences go through ``DependentObject`` accesses
+(Figures 8 and 9 of the paper)."""
+
+from repro.distgen.classify import classify_dependent
+from repro.distgen.plan import DistributionPlan, build_plan, build_plans
+from repro.distgen.rewriter import rewrite_program
+
+__all__ = [
+    "classify_dependent",
+    "DistributionPlan",
+    "build_plan",
+    "build_plans",
+    "rewrite_program",
+]

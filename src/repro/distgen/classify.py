@@ -1,0 +1,68 @@
+"""Local vs dependent classification (paper §4).
+
+"Local objects have no dependences on objects in different address spaces.
+Thus, they are treated as normal objects and no communication is generated
+for those.  Dependent objects have dependences across address spaces and
+thus, messages are inserted to resolve these dependences."
+
+Classification happens at class granularity for rewriting purposes (the
+rewriter operates on bytecode, which names classes): a class is *dependent*
+when any dependence edge touching one of its objects (or class parts)
+crosses partitions under the given assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+from repro.analysis.class_relations import ClassRelationGraph
+from repro.analysis.odg import ObjectDependenceGraph
+
+
+def _class_of_part(part: str) -> str:
+    # "ST_Foo"/"DT_Foo" -> "Foo"
+    return part.split("_", 1)[1]
+
+
+def classify_dependent_crg(
+    crg: ClassRelationGraph, part_of: Dict[str, int]
+) -> Set[str]:
+    """Dependent classes under a CRG-node -> partition assignment."""
+    dependent: Set[str] = set()
+    for e in crg.edges():
+        if e.kind not in ("use", "export", "import", "create"):
+            continue
+        src_p = part_of.get(e.src)
+        dst_p = part_of.get(e.dst)
+        if src_p is None or dst_p is None or src_p == dst_p:
+            continue
+        dependent.add(_class_of_part(e.src))
+        dependent.add(_class_of_part(e.dst))
+    return dependent
+
+
+def classify_dependent_odg(
+    odg: ObjectDependenceGraph, part_of: Dict[str, int]
+) -> Set[str]:
+    """Dependent classes under an ODG-object -> partition assignment."""
+    cls_of = {obj.uid: obj.class_name for obj in odg.objects}
+    dependent: Set[str] = set()
+    for e in odg.edges():
+        if e.kind == "reference":
+            continue  # redundant relation (paper: "we can safely abandon it")
+        src_p = part_of.get(e.src)
+        dst_p = part_of.get(e.dst)
+        if src_p is None or dst_p is None or src_p == dst_p:
+            continue
+        if e.src in cls_of:
+            dependent.add(cls_of[e.src])
+        if e.dst in cls_of:
+            dependent.add(cls_of[e.dst])
+    return dependent
+
+
+def classify_dependent(graph, part_of: Dict[str, int]) -> Set[str]:
+    """Dispatch on graph flavor."""
+    if isinstance(graph, ObjectDependenceGraph):
+        return classify_dependent_odg(graph, part_of)
+    return classify_dependent_crg(graph, part_of)

@@ -1,0 +1,250 @@
+"""Distribution plans: the offline output of analysis + partitioning.
+
+"To generate communication, we generate partitions off-line for 1, 2, ...
+nodes.  This is a form of off-line rather than runtime specialization."
+(paper §4.2) — :func:`build_plans` produces exactly that sequence.
+
+A plan fixes, for a given node count: the home partition of every class
+(class granularity — what the paper's evaluation uses: "currently we use the
+class relation graph partitioning to distribute the program") or of every
+allocation site (object granularity over the ODG), the dependent-class set,
+and where ``main`` starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.class_relations import build_crg
+from repro.analysis.object_set import compute_object_set
+from repro.analysis.odg import build_odg
+from repro.analysis.resources import ResourceModel, UNIFORM
+from repro.analysis.rta import rapid_type_analysis
+from repro.bytecode.model import BProgram
+from repro.distgen.classify import classify_dependent_crg, classify_dependent_odg
+from repro.errors import AnalysisError
+from repro.partition.api import part_graph
+
+
+@dataclass
+class DistributionPlan:
+    """Everything the rewriter and the runtime need for one node count."""
+
+    nparts: int
+    granularity: str                      # 'class' | 'object'
+    class_home: Dict[str, int]           # class -> partition
+    site_home: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    dependent_classes: Set[str] = field(default_factory=set)
+    main_partition: int = 0
+    edgecut: float = 0.0
+    method: str = "multilevel"
+
+    def home_of_site(self, method_q: str, index: int, class_name: str) -> int:
+        if self.granularity == "object":
+            home = self.site_home.get((method_q, index))
+            if home is not None:
+                return home
+        return self.class_home.get(class_name, self.main_partition)
+
+    def rewritten_classes(self) -> Set[str]:
+        """Classes whose allocations/accesses the rewriter must transform."""
+        if self.nparts <= 1:
+            return set()
+        return set(self.dependent_classes)
+
+
+#: estimated communication cycles per static dependence-volume unit on a
+#: cut edge (latency-dominated small messages; calibrated against the
+#: simulated 100 Mb Ethernet and the static loop-frequency scale)
+COMM_CYCLES_PER_VOLUME = 20.0
+
+
+def estimate_plan_cost(
+    graph,
+    parts: List[int],
+    nparts: int,
+    tpwgts: Optional[List[float]],
+) -> float:
+    """Static makespan estimate for a candidate placement of a *sequential*
+    program: every piece of work runs serially on its home node, so the
+    estimate is Σ cpu(node i)/relative_speed(home(i)) plus a communication
+    charge for every dependence edge crossing the cut.  This is the cost
+    model that lets offline specialization pick between balance-tight and
+    balance-loose partitions (paper §1: "study their interaction")."""
+    if tpwgts is None:
+        rel = [1.0] * nparts
+    else:
+        top = max(tpwgts)
+        rel = [max(t, 1e-9) / top for t in tpwgts]
+    vw = graph.vwgts()
+    cpu = 0.0
+    for i in range(graph.num_nodes):
+        cpu += float(vw[i].sum()) / rel[parts[i]]
+    comm = 0.0
+    for u, v, w in graph.edges():
+        if parts[u] != parts[v]:
+            comm += w * COMM_CYCLES_PER_VOLUME
+    return cpu + comm
+
+
+def build_plan(
+    program: BProgram,
+    nparts: int,
+    granularity: str = "class",
+    method: str = "multilevel",
+    model: Optional[ResourceModel] = None,
+    seed: int = 17,
+    tpwgts: Optional[List[float]] = None,
+    ubfactor: float = 1.30,
+    pin_main_to: Optional[int] = None,
+    force_distribution: bool = False,
+    measured_cpu: Optional[Dict[str, float]] = None,
+) -> DistributionPlan:
+    """Analyze ``program`` and produce a distribution plan for ``nparts``.
+
+    ``tpwgts`` gives target capacity fractions per partition (e.g. relative
+    CPU speeds of the actual machines — the paper's resource-availability
+    modeling); CPU-heuristic node weights make the balance constraint mean
+    *compute* balance, not class-count balance."""
+    if granularity not in ("class", "object"):
+        raise AnalysisError(f"unknown granularity {granularity!r}")
+    cg = rapid_type_analysis(program)
+    crg = build_crg(cg)
+    main_cls = program.main_class
+
+    if granularity == "class" or nparts == 1:
+        graph, order = crg.use_graph()
+        # weight each class part by its CPU estimate — measured cycles when a
+        # profile is available (adaptive repartitioning input), the static
+        # loop-scaled heuristic otherwise
+        from repro.analysis.resources import _class_cpu
+
+        for i, node in enumerate(order):
+            cls = node.split("_", 1)[1]
+            if measured_cpu is not None and cls in measured_cpu:
+                graph.set_weight(i, [max(measured_cpu[cls], 1.0)])
+            else:
+                graph.set_weight(i, [max(_class_cpu(cls, program), 1.0)])
+
+        main_node = f"ST_{main_cls}"
+
+        def pinned_parts(parts: List[int]) -> List[int]:
+            if pin_main_to is None:
+                return list(parts)
+            out = list(parts)
+            for i, node in enumerate(order):
+                if node == main_node:
+                    out[i] = pin_main_to
+            return out
+
+        # The placement objective for a *sequential* program is a makespan
+        # estimate, not balance: try several balance tolerances and keep
+        # the candidate with the lowest estimated cost (CPU on assigned
+        # node speeds + communication across the cut).
+        best = None
+        candidates = []
+        for ub in (1.05, 1.3, 2.0, ubfactor, 2 * ubfactor):
+            res = part_graph(
+                graph, nparts, method=method, seed=seed, tpwgts=tpwgts,
+                ubfactor=ub,
+            )
+            candidates.append((pinned_parts(res.parts), res))
+        if nparts > 1 and not force_distribution:
+            # degenerate candidate: everything co-located with main — the
+            # right answer for chatty programs ("many programs may not need
+            # distribution at all", §1)
+            home = pin_main_to if pin_main_to is not None else 0
+            trivial = part_graph(graph, 1, method=method, seed=seed)
+            candidates.append(([home] * graph.num_nodes, trivial))
+        for parts, res in candidates:
+            if force_distribution and len(set(parts)) < min(nparts, 2):
+                continue  # collapsed after pinning; not a real distribution
+            cost = estimate_plan_cost(graph, parts, nparts, tpwgts)
+            if best is None or cost < best[0]:
+                best = (cost, parts, res)
+        if best is None:
+            # every candidate collapsed; fall back to isolating the heaviest
+            # non-main node on partition (pin+1) % nparts
+            vw = graph.vwgts()
+            fallback = pinned_parts([0] * graph.num_nodes)
+            movable = [
+                i for i, node in enumerate(order) if node != main_node
+            ]
+            if movable and nparts > 1:
+                heavy = max(movable, key=lambda i: float(vw[i].sum()))
+                home = fallback[heavy]
+                fallback[heavy] = (home + 1) % nparts
+            best = (
+                estimate_plan_cost(graph, fallback, nparts, tpwgts),
+                fallback,
+                part_graph(graph, 1, method=method, seed=seed),
+            )
+        _, parts, result = best
+        part_of = {node: parts[i] for i, node in enumerate(order)}
+        class_home: Dict[str, int] = {}
+        for node, p in part_of.items():
+            kind, cls = node.split("_", 1)
+            if kind == "DT" or cls not in class_home:
+                class_home[cls] = p
+        dependent = classify_dependent_crg(crg, part_of)
+        main_partition = part_of.get(f"ST_{main_cls}", 0)
+        plan = DistributionPlan(
+            nparts=nparts,
+            granularity="class",
+            class_home=class_home,
+            dependent_classes=dependent if nparts > 1 else set(),
+            main_partition=main_partition,
+            edgecut=result.edgecut,
+            method=method,
+        )
+        return plan
+
+    objects = compute_object_set(cg)
+    odg = build_odg(cg, crg, objects)
+    graph, order = odg.partition_graph()
+    if model is None:
+        model = UNIFORM
+    objects_by_uid = {o.uid: o for o in objects}
+    graph = model.apply(graph, objects_by_uid, program)
+    result = part_graph(
+        graph, nparts, method=method, seed=seed, tpwgts=tpwgts, ubfactor=ubfactor
+    )
+    part_of = {uid: result.parts[i] for i, uid in enumerate(order)}
+    if pin_main_to is not None and f"ST_{main_cls}" in part_of:
+        part_of[f"ST_{main_cls}"] = pin_main_to
+    site_home: Dict[Tuple[str, int], int] = {}
+    class_home: Dict[str, int] = {}
+    for obj in objects:
+        p = part_of.get(obj.uid, 0)
+        if obj.static_part:
+            class_home.setdefault(obj.class_name, p)
+        else:
+            site_home[obj.site] = p
+            class_home.setdefault(obj.class_name, p)
+    dependent = classify_dependent_odg(odg, part_of)
+    main_partition = part_of.get(f"ST_{main_cls}", 0)
+    return DistributionPlan(
+        nparts=nparts,
+        granularity="object",
+        class_home=class_home,
+        site_home=site_home,
+        dependent_classes=dependent if nparts > 1 else set(),
+        main_partition=main_partition,
+        edgecut=result.edgecut,
+        method=method,
+    )
+
+
+def build_plans(
+    program: BProgram,
+    max_nodes: int,
+    granularity: str = "class",
+    method: str = "multilevel",
+    seed: int = 17,
+) -> List[DistributionPlan]:
+    """Offline specialization: plans for 1, 2, ..., ``max_nodes`` nodes."""
+    return [
+        build_plan(program, n, granularity=granularity, method=method, seed=seed)
+        for n in range(1, max_nodes + 1)
+    ]

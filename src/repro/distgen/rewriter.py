@@ -1,0 +1,338 @@
+"""Bytecode rewriting for communication generation (paper Figures 8 & 9).
+
+Three transformations, applied to every method (code is replicated on all
+nodes, so any method may execute anywhere):
+
+* **remote instantiation** (Figure 9) — ``NEW C; DUP; <args>;
+  INVOKESPECIAL C.<init>`` of a dependent class becomes ``<args>; PACK n;
+  LDC home(C); LDC "C"; INVOKESTATIC DependentObject.create`` — the static
+  factory returns a local ``Ref`` when the site's home partition is the
+  executing node, or a ``DependentRef`` after a ``NEW`` message otherwise.
+  (Deviation from the figure's literal ``new DependentObject``+ctor shape:
+  a factory return value replaces in-place construction, because the proxy
+  *is* the reference in our VM; DESIGN.md §2 records this.)
+
+* **method invocation** (Figure 8) — ``INVOKEVIRTUAL C.m`` on a dependent
+  class becomes ``PACK n; LDC INVOKE_METHOD_*; LDC "m"; INVOKEVIRTUAL
+  DependentObject.access`` (+ ``CHECKCAST`` of the return class / ``POP``
+  for void).
+
+* **field access** — ``GETFIELD``/``PUTFIELD`` on dependent classes become
+  ``FIELD_GET``/``FIELD_SET`` accesses the same way.
+
+A peephole keeps ``this``-receiver accesses direct: an instance method of a
+dependent class always executes on its object's home node, so accesses
+through ``this`` can never be remote (J-Orchestra applies the same
+co-location optimization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.model import BMethod, BProgram, Instr
+from repro.errors import CompileError
+from repro.lang.symbols import (
+    DEPENDENT_OBJECT,
+    FIELD_GET,
+    FIELD_SET,
+    INVOKE_METHOD_HASRETURN,
+    INVOKE_METHOD_VOID,
+    ClassTable,
+)
+from repro.lang.types import VOID, ClassType
+from repro.distgen.plan import DistributionPlan
+
+
+class RewriteStats:
+    """Counts of each transformation (reported by the Table 2 bench)."""
+
+    def __init__(self) -> None:
+        self.instantiations = 0
+        self.invocations = 0
+        self.field_gets = 0
+        self.field_sets = 0
+        self.this_peepholes = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.instantiations + self.invocations + self.field_gets + self.field_sets
+        )
+
+
+def _expand_rewrite_targets(table: ClassTable, dependent: Set[str]) -> Set[str]:
+    """A call through static type D must be rewritten when any subtype of D
+    is dependent (the runtime receiver may be the dependent subclass)."""
+    out: Set[str] = set()
+    for cls in table.classes:
+        info = table.classes[cls]
+        if info.is_builtin:
+            continue
+        for dep in dependent:
+            try:
+                if table.is_subtype(dep, cls):
+                    out.add(cls)
+                    break
+            except Exception:
+                continue
+    return out & _all_supers_closed(table, dependent)
+
+
+def _all_supers_closed(table: ClassTable, dependent: Set[str]) -> Set[str]:
+    # any class related to a dependent class by subtyping in either direction
+    out: Set[str] = set()
+    for cls in table.classes:
+        if table.classes[cls].is_builtin:
+            continue
+        for dep in dependent:
+            try:
+                if table.is_subtype(dep, cls) or table.is_subtype(cls, dep):
+                    out.add(cls)
+                    break
+            except Exception:
+                continue
+    return out
+
+
+class _MethodRewriter:
+    def __init__(
+        self,
+        program: BProgram,
+        method: BMethod,
+        plan: DistributionPlan,
+        call_targets: Set[str],
+        stats: RewriteStats,
+    ) -> None:
+        self.program = program
+        self.table = program.table
+        self.method = method
+        self.plan = plan
+        self.call_targets = call_targets
+        self.stats = stats
+
+    # -- pairing of NEW with its INVOKESPECIAL ------------------------------
+    def _pair_allocations(self) -> Dict[int, int]:
+        pairs: Dict[int, int] = {}
+        pending: List[int] = []
+        for idx, ins in enumerate(self.method.code):
+            if ins.op == op.NEW:
+                pending.append(idx)
+            elif ins.op == op.INVOKESPECIAL and ins.b == "<init>":
+                if not pending or self.method.code[pending[-1]].a != ins.a:
+                    # superclass constructor chain call inside a <init>
+                    # prologue: no allocation to pair with
+                    continue
+                pairs[idx] = pending.pop()
+        return pairs
+
+    # -- 'this'-ness tracking -------------------------------------------------
+    def _thisness(self) -> List[Optional[List[bool]]]:
+        """Forward dataflow over the *flat* code: for each symbolic (non-
+        LABEL) instruction index, the abstract operand stack as booleans —
+        is this entry provably ``this``?  Merge is element-wise AND.  Static
+        methods never push True, so every peephole stays off."""
+        flat = self.method.flat()
+        n = len(flat)
+        states: List[Optional[List[bool]]] = [None] * n
+        if n:
+            states[0] = []
+        work = [0] if n else []
+        is_instance = not self.method.is_static
+
+        def transfer(i: int, state: List[bool]) -> Optional[List[bool]]:
+            ins = flat[i]
+            sim = list(state)
+            if ins.op == op.DUP:
+                if not sim:
+                    return None
+                sim.append(sim[-1])
+                return sim
+            try:
+                pops, pushes = _sim_effect(ins, self.table)
+            except Exception:
+                return None
+            if pops > len(sim):
+                return None
+            if pops:
+                del sim[-pops:]
+            push_this = ins.op == op.ALOAD and ins.a == 0 and is_instance
+            sim.extend([push_this] * pushes)
+            return sim
+
+        def merge(a: Optional[List[bool]], b: List[bool]) -> Optional[List[bool]]:
+            if a is None:
+                return list(b)
+            if len(a) != len(b):  # malformed; keep whichever, peepholes off
+                return a
+            return [x and y for x, y in zip(a, b)]
+
+        iterations = 0
+        while work and iterations < 20 * max(n, 1):
+            iterations += 1
+            i = work.pop()
+            state = states[i]
+            if state is None:
+                continue
+            out = transfer(i, state)
+            ins = flat[i]
+            succs: List[int] = []
+            if ins.op == op.GOTO:
+                succs = [ins.a]
+            elif ins.op in op.CMP_BRANCHES:
+                succs = [ins.b, i + 1]
+            elif ins.op in op.BOOL_BRANCHES:
+                succs = [ins.a, i + 1]
+            elif ins.op in op.RETURNS:
+                succs = []
+            else:
+                succs = [i + 1]
+            if out is None:
+                continue
+            for s in succs:
+                if not 0 <= s < n:
+                    continue
+                merged = merge(states[s], out)
+                if merged != states[s]:
+                    states[s] = merged
+                    work.append(s)
+
+        # map back to symbolic indices (LABELs get None)
+        out_states: List[Optional[List[bool]]] = []
+        flat_idx = 0
+        for ins in self.method.code:
+            if ins.op == op.LABEL:
+                out_states.append(None)
+            else:
+                out_states.append(states[flat_idx] if flat_idx < n else None)
+                flat_idx += 1
+        return out_states
+
+    # -- the rewrite ----------------------------------------------------------
+    def rewrite(self) -> bool:
+        code = self.method.code
+        pairs = self._pair_allocations()
+        rewritten_news: Set[int] = set()
+        for call_idx, new_idx in pairs.items():
+            cls = code[new_idx].a
+            if cls in self.plan.rewritten_classes():
+                rewritten_news.add(new_idx)
+        thisness = self._thisness()
+
+        new_code: List[Instr] = []
+        skip: Set[int] = set()
+        changed = False
+        for idx, ins in enumerate(code):
+            if idx in skip:
+                continue
+            if idx in rewritten_news:
+                # drop NEW + DUP; the create factory replaces them
+                if idx + 1 >= len(code) or code[idx + 1].op != op.DUP:
+                    raise CompileError(
+                        f"{self.method.qualified}: NEW without DUP at {idx}"
+                    )
+                skip.add(idx + 1)
+                changed = True
+                continue
+            if (
+                ins.op == op.INVOKESPECIAL
+                and ins.b == "<init>"
+                and pairs.get(idx) in rewritten_news
+            ):
+                cls = ins.a
+                nargs = ins.c
+                home = self.plan.home_of_site(self.method.qualified, idx, cls)
+                new_code.append(Instr(op.PACK, nargs, line=ins.line))
+                new_code.append(Instr(op.LDC, home, "I", line=ins.line))
+                new_code.append(Instr(op.LDC, cls, "S", line=ins.line))
+                new_code.append(
+                    Instr(op.INVOKESTATIC, DEPENDENT_OBJECT, "create", 3, ins.line)
+                )
+                self.stats.instantiations += 1
+                changed = True
+                continue
+            if ins.op == op.INVOKEVIRTUAL and ins.a in self.call_targets:
+                nargs = ins.c
+                sim = thisness[idx]
+                if sim is not None and len(sim) > nargs and sim[-1 - nargs]:
+                    self.stats.this_peepholes += 1
+                    new_code.append(ins)
+                    continue
+                mi = self.table.resolve_method(ins.a, ins.b)
+                ret = mi.ret if mi is not None else None
+                acc = (
+                    INVOKE_METHOD_VOID
+                    if ret is VOID
+                    else INVOKE_METHOD_HASRETURN
+                )
+                new_code.append(Instr(op.PACK, nargs, line=ins.line))
+                new_code.append(Instr(op.LDC, acc, "I", line=ins.line))
+                new_code.append(Instr(op.LDC, ins.b, "S", line=ins.line))
+                new_code.append(
+                    Instr(op.INVOKEVIRTUAL, DEPENDENT_OBJECT, "access", 3, ins.line)
+                )
+                if ret is VOID:
+                    new_code.append(Instr(op.POP, line=ins.line))
+                elif isinstance(ret, ClassType) and ret.name in self.program.classes:
+                    new_code.append(Instr(op.CHECKCAST, ret.name, line=ins.line))
+                self.stats.invocations += 1
+                changed = True
+                continue
+            if ins.op in (op.GETFIELD, op.PUTFIELD) and ins.a in self.call_targets:
+                is_put = ins.op == op.PUTFIELD
+                npops = 2 if is_put else 1
+                sim = thisness[idx]
+                recv_pos = -npops
+                if sim is not None and len(sim) >= npops and sim[recv_pos]:
+                    self.stats.this_peepholes += 1
+                    new_code.append(ins)
+                    continue
+                fi = self.table.resolve_field(ins.a, ins.b)
+                if is_put:
+                    new_code.append(Instr(op.PACK, 1, line=ins.line))
+                    new_code.append(Instr(op.LDC, FIELD_SET, "I", line=ins.line))
+                    self.stats.field_sets += 1
+                else:
+                    new_code.append(Instr(op.PACK, 0, line=ins.line))
+                    new_code.append(Instr(op.LDC, FIELD_GET, "I", line=ins.line))
+                    self.stats.field_gets += 1
+                new_code.append(Instr(op.LDC, ins.b, "S", line=ins.line))
+                new_code.append(
+                    Instr(op.INVOKEVIRTUAL, DEPENDENT_OBJECT, "access", 3, ins.line)
+                )
+                if is_put:
+                    new_code.append(Instr(op.POP, line=ins.line))
+                elif fi is not None and isinstance(fi.ty, ClassType) and (
+                    fi.ty.name in self.program.classes
+                ):
+                    new_code.append(Instr(op.CHECKCAST, fi.ty.name, line=ins.line))
+                changed = True
+                continue
+            new_code.append(ins)
+        if changed:
+            self.method.code = new_code
+            self.method.invalidate()
+        return changed
+
+
+def _sim_effect(ins: Instr, table: ClassTable) -> Tuple[int, int]:
+    from repro.quad.builder import stack_effect
+
+    return stack_effect(ins, table)
+
+
+def rewrite_program(
+    program: BProgram, plan: DistributionPlan
+) -> Tuple[BProgram, RewriteStats]:
+    """Return a rewritten **copy** of ``program`` for ``plan`` (the original
+    stays intact for the centralized baseline), plus transformation stats."""
+    stats = RewriteStats()
+    out = program.copy()
+    if plan.nparts <= 1 or not plan.rewritten_classes():
+        return out, stats
+    call_targets = _expand_rewrite_targets(out.table, plan.rewritten_classes())
+    for bclass in out.classes.values():
+        for method in bclass.methods.values():
+            _MethodRewriter(out, method, plan, call_targets, stats).rewrite()
+    return out, stats

@@ -1,0 +1,9 @@
+"""Weighted-graph substrate: the data structure the partitioner consumes,
+plus VCG export (the aiSee format used for the paper's Figures 3 and 4) and
+partition-quality metrics."""
+
+from repro.graph.metrics import edgecut, imbalance
+from repro.graph.vcg import vcg_digraph, vcg_graph
+from repro.graph.wgraph import WeightedGraph
+
+__all__ = ["WeightedGraph", "edgecut", "imbalance", "vcg_graph", "vcg_digraph"]

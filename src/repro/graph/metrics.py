@@ -1,0 +1,50 @@
+"""Partition quality metrics: edgecut and per-constraint imbalance."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.wgraph import WeightedGraph
+
+
+def edgecut(graph: WeightedGraph, parts: Sequence[int]) -> float:
+    """Total weight of edges straddling partitions (the paper's 'EC')."""
+    if len(parts) != graph.num_nodes:
+        raise PartitionError("parts vector length mismatch")
+    cut = 0.0
+    for u, v, w in graph.edges():
+        if parts[u] != parts[v]:
+            cut += w
+    return cut
+
+
+def part_weights(graph: WeightedGraph, parts: Sequence[int], nparts: int) -> np.ndarray:
+    """(nparts, ncon) matrix of per-partition weight sums."""
+    vw = graph.vwgts()
+    out = np.zeros((nparts, graph.ncon))
+    for i, p in enumerate(parts):
+        if not 0 <= p < nparts:
+            raise PartitionError(f"node {i} assigned to invalid part {p}")
+        out[p] += vw[i]
+    return out
+
+
+def imbalance(graph: WeightedGraph, parts: Sequence[int], nparts: int) -> np.ndarray:
+    """Per-constraint load imbalance: ``max_p w(p,c) / (total(c)/nparts)``.
+
+    1.0 means perfectly balanced; Metis' conventional tolerance is ~1.03 for
+    one constraint and looser for several.
+    """
+    weights = part_weights(graph, parts, nparts)
+    totals = weights.sum(axis=0)
+    ideal = np.where(totals > 0, totals / nparts, 1.0)
+    return weights.max(axis=0) / ideal
+
+
+def is_balanced(
+    graph: WeightedGraph, parts: Sequence[int], nparts: int, ubvec: Sequence[float]
+) -> bool:
+    return bool(np.all(imbalance(graph, parts, nparts) <= np.asarray(ubvec)))

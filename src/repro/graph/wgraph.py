@@ -1,0 +1,145 @@
+"""Undirected vertex- and edge-weighted graph with vector vertex weights.
+
+This is the input format of the partitioner (the Metis stand-in): vertex
+weights are ``ncon``-dimensional vectors — the paper models (memory, CPU,
+battery) resource vectors per object — and edge weights are scalar
+communication volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+class WeightedGraph:
+    """Adjacency-map graph; nodes are dense indices with optional labels."""
+
+    def __init__(self, ncon: int = 1) -> None:
+        if ncon < 1:
+            raise PartitionError("ncon must be >= 1")
+        self.ncon = ncon
+        self._vwgts: List[Sequence[float]] = []
+        self.labels: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+        self.adj: List[Dict[int, float]] = []
+
+    # ------------------------------------------------------------------ build
+    def add_node(
+        self, label: Optional[Hashable] = None, weights: Optional[Sequence[float]] = None
+    ) -> int:
+        idx = len(self.adj)
+        if label is None:
+            label = idx
+        if label in self._index:
+            raise PartitionError(f"duplicate node label {label!r}")
+        if weights is None:
+            weights = [1.0] * self.ncon
+        if len(weights) != self.ncon:
+            raise PartitionError(
+                f"node weight vector has {len(weights)} entries, expected {self.ncon}"
+            )
+        self._index[label] = idx
+        self.labels.append(label)
+        self._vwgts.append(list(weights))
+        self.adj.append({})
+        return idx
+
+    def index_of(self, label: Hashable) -> int:
+        try:
+            return self._index[label]
+        except KeyError:
+            raise PartitionError(f"unknown node {label!r}") from None
+
+    def has_node(self, label: Hashable) -> bool:
+        return label in self._index
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the undirected edge u—v."""
+        n = len(self.adj)
+        if not (0 <= u < n and 0 <= v < n):
+            raise PartitionError(f"edge ({u},{v}) out of range")
+        if u == v:
+            return  # self loops carry no cut contribution
+        self.adj[u][v] = self.adj[u].get(v, 0.0) + weight
+        self.adj[v][u] = self.adj[v].get(u, 0.0) + weight
+
+    def set_weight(self, u: int, weights: Sequence[float]) -> None:
+        if len(weights) != self.ncon:
+            raise PartitionError("bad weight vector length")
+        self._vwgts[u] = list(weights)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_nodes(self) -> int:
+        return len(self.adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.adj) // 2
+
+    def vwgts(self) -> np.ndarray:
+        """(n, ncon) float array of vertex weights."""
+        if not self._vwgts:
+            return np.zeros((0, self.ncon))
+        return np.asarray(self._vwgts, dtype=float)
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        for u, nbrs in enumerate(self.adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def degree(self, u: int) -> float:
+        return sum(self.adj[u].values())
+
+    def total_weight(self) -> np.ndarray:
+        return self.vwgts().sum(axis=0)
+
+    def neighbors(self, u: int) -> Dict[int, float]:
+        return self.adj[u]
+
+    # ------------------------------------------------------------------ misc
+    def subgraph(self, nodes: Sequence[int]) -> Tuple["WeightedGraph", List[int]]:
+        """Induced subgraph; returns (graph, mapping new->old index)."""
+        remap = {old: new for new, old in enumerate(nodes)}
+        sub = WeightedGraph(self.ncon)
+        for old in nodes:
+            sub.add_node(self.labels[old], self._vwgts[old])
+        for old in nodes:
+            for v, w in self.adj[old].items():
+                if v in remap and old < v:
+                    sub.add_edge(remap[old], remap[v], w)
+        return sub, list(nodes)
+
+    def to_networkx(self):
+        """Export to networkx (used by tests for cross-validation)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i, label in enumerate(self.labels):
+            g.add_node(i, label=label, weight=self._vwgts[i])
+        for u, v, w in self.edges():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int, float]],
+        vwgts: Optional[Sequence[Sequence[float]]] = None,
+        ncon: int = 1,
+    ) -> "WeightedGraph":
+        g = cls(ncon)
+        for i in range(n):
+            g.add_node(i, list(vwgts[i]) if vwgts is not None else None)
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<WeightedGraph n={self.num_nodes} m={self.num_edges} ncon={self.ncon}>"

@@ -1,0 +1,6 @@
+"""Experiment harness: the end-to-end pipeline plus per-table/figure
+reproduction code (see DESIGN.md §4 for the experiment index)."""
+
+from repro.harness.pipeline import CompiledWorkload, Pipeline, compile_workload
+
+__all__ = ["Pipeline", "CompiledWorkload", "compile_workload"]

@@ -1,0 +1,235 @@
+"""The end-to-end pipeline driver.
+
+Chains every stage of Figure 1 of the paper: MJ source → bytecode → RTA →
+CRG → object set → ODG → partitioning → communication rewriting →
+centralized / distributed execution — with wall-clock timing per stage
+(that's Table 2) and virtual-time results (that's Figure 11).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.class_relations import ClassRelationGraph, build_crg
+from repro.analysis.object_set import ObjectNode, compute_object_set
+from repro.analysis.odg import ObjectDependenceGraph, build_odg
+from repro.analysis.resources import _class_cpu
+from repro.analysis.rta import CallGraph, rapid_type_analysis
+from repro.bytecode import compile_program
+from repro.bytecode.model import BProgram
+from repro.distgen.plan import DistributionPlan, build_plan
+from repro.distgen.rewriter import RewriteStats, rewrite_program
+from repro.lang import analyze, parse_program
+from repro.partition.api import PartitionResult, part_graph
+from repro.runtime.cluster import ClusterSpec, NodeSpec, paper_testbed
+from repro.runtime.executor import (
+    DistributedExecutor,
+    DistributedResult,
+    SequentialResult,
+    run_sequential,
+)
+from repro.vm.loader import LoadedProgram, load_program
+from repro.workloads import WORKLOADS
+
+
+@dataclass
+class CompiledWorkload:
+    name: str
+    size: str
+    source: str
+    bprogram: BProgram
+    loaded: LoadedProgram
+
+    @property
+    def num_classes(self) -> int:
+        return self.bprogram.num_classes()
+
+    @property
+    def num_methods(self) -> int:
+        return self.bprogram.num_methods()
+
+    @property
+    def size_kb(self) -> float:
+        return self.bprogram.size_bytes() / 1024.0
+
+
+def compile_workload(name: str, size: str = "test") -> CompiledWorkload:
+    source = WORKLOADS[name].source(size)
+    ast = parse_program(source)
+    table = analyze(ast)
+    bprogram = compile_program(ast, table)
+    return CompiledWorkload(name, size, source, bprogram, load_program(bprogram))
+
+
+@dataclass
+class AnalysisTimings:
+    """Table 2's measured stages, in milliseconds of wall-clock."""
+
+    construct_crg_ms: float = 0.0
+    construct_odg_ms: float = 0.0
+    partition_trg_ms: float = 0.0
+    partition_odg_ms: float = 0.0
+    rewrite_ms: float = 0.0
+
+
+@dataclass
+class AnalysisResult:
+    cg: CallGraph
+    crg: ClassRelationGraph
+    objects: List[ObjectNode]
+    odg: ObjectDependenceGraph
+    crg_partition: PartitionResult
+    odg_partition: PartitionResult
+    timings: AnalysisTimings
+
+
+class Pipeline:
+    """One workload through the whole infrastructure."""
+
+    def __init__(self, name: str, size: str = "test") -> None:
+        self.work = compile_workload(name, size)
+        self._analysis: Optional[AnalysisResult] = None
+
+    @property
+    def bprogram(self) -> BProgram:
+        return self.work.bprogram
+
+    # ------------------------------------------------------------------ analysis
+    def analyze(self, nparts: int = 2, method: str = "multilevel") -> AnalysisResult:
+        if self._analysis is not None:
+            return self._analysis
+        timings = AnalysisTimings()
+        t0 = time.perf_counter()
+        cg = rapid_type_analysis(self.bprogram)
+        crg = build_crg(cg)
+        timings.construct_crg_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        objects = compute_object_set(cg)
+        odg = build_odg(cg, crg, objects)
+        timings.construct_odg_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        trg_graph, _ = crg.use_graph()
+        crg_part = part_graph(trg_graph, min(nparts, max(trg_graph.num_nodes, 1)), method=method)
+        timings.partition_trg_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        odg_graph, _ = odg.partition_graph()
+        odg_part = part_graph(odg_graph, min(nparts, max(odg_graph.num_nodes, 1)), method=method)
+        timings.partition_odg_ms = (time.perf_counter() - t0) * 1e3
+
+        self._analysis = AnalysisResult(
+            cg, crg, objects, odg, crg_part, odg_part, timings
+        )
+        return self._analysis
+
+    # ------------------------------------------------------------------ distribution
+    #: CPU-balance tolerance used for distribution plans.  Distribution of a
+    #: *sequential* program is about placement, not load balance — the cut
+    #: objective must dominate, so the tolerance is loose (the binding
+    #: constraints on constrained devices are memory/battery, not CPU).
+    PLAN_UBFACTOR = 4.0
+
+    def plan(
+        self,
+        nparts: int = 2,
+        granularity: str = "class",
+        method: str = "multilevel",
+        cluster: Optional[ClusterSpec] = None,
+        pin_main: bool = True,
+    ) -> DistributionPlan:
+        tpwgts = None
+        pin_to = None
+        if cluster is not None:
+            speeds = [cluster.nodes[p].cpu_hz for p in range(nparts)]
+            total = sum(speeds)
+            tpwgts = [s / total for s in speeds]
+            if pin_main:
+                # the user launches the program on the slowest machine (the
+                # "computation node" of the paper's testbed); ExecutionStarter
+                # lives there
+                pin_to = min(range(nparts), key=lambda p: speeds[p])
+        return build_plan(
+            self.bprogram, nparts, granularity=granularity, method=method,
+            tpwgts=tpwgts, ubfactor=self.PLAN_UBFACTOR, pin_main_to=pin_to,
+        )
+
+    def rewrite(self, plan: DistributionPlan) -> Tuple[BProgram, RewriteStats, float]:
+        t0 = time.perf_counter()
+        rewritten, stats = rewrite_program(self.bprogram, plan)
+        return rewritten, stats, (time.perf_counter() - t0) * 1e3
+
+    # ------------------------------------------------------------------ execution
+    def run_sequential(self, node: Optional[NodeSpec] = None) -> SequentialResult:
+        if node is None:
+            node = paper_testbed().nodes[1]  # the 800 MHz baseline machine
+        return run_sequential(self.bprogram, node, loaded=self.work.loaded)
+
+    def map_partitions(
+        self, plan: DistributionPlan, cluster: ClusterSpec
+    ) -> ClusterSpec:
+        """Runtime virtual-processor → machine mapping (paper §4: "the
+        program can be distributed by mapping virtual processors to actual
+        processing units at runtime"): the partition with the largest static
+        CPU weight gets the fastest machine, and so on down."""
+        nparts = plan.nparts
+        weights = [0.0] * nparts
+        for cls, part in plan.class_home.items():
+            if 0 <= part < nparts:
+                weights[part] += _class_cpu(cls, self.bprogram)
+        order_parts = sorted(range(nparts), key=lambda p: -weights[p])
+        order_specs = sorted(cluster.nodes, key=lambda s: -s.cpu_hz)
+        specs: List[NodeSpec] = list(cluster.nodes)[:nparts]
+        for part, spec in zip(order_parts, order_specs):
+            specs[part] = spec
+        return ClusterSpec(nodes=specs, link=cluster.link)
+
+    def run_distributed(
+        self,
+        nparts: int = 2,
+        cluster: Optional[ClusterSpec] = None,
+        granularity: str = "class",
+        method: str = "multilevel",
+        auto_map: bool = True,
+    ) -> Tuple[DistributedResult, DistributionPlan, RewriteStats]:
+        cluster = cluster or paper_testbed()
+        # partition with capacity-proportional targets: partition p is sized
+        # for cluster node p, so no remapping is needed afterwards
+        plan = self.plan(nparts, granularity=granularity, method=method,
+                         cluster=cluster if auto_map else None)
+        rewritten, stats, _ = self.rewrite(plan)
+        result = DistributedExecutor(rewritten, plan, cluster).run()
+        return result, plan, stats
+
+    # ------------------------------------------------------------------ figure 11
+    def speedup(
+        self,
+        nparts: int = 2,
+        cluster: Optional[ClusterSpec] = None,
+        granularity: str = "class",
+    ) -> Dict[str, float]:
+        """The Figure 11 measurement: distributed vs the sequential baseline
+        on the slow machine; returns percentages like the paper's y-axis."""
+        cluster = cluster or paper_testbed()
+        baseline_node = min(cluster.nodes, key=lambda n: n.cpu_hz)
+        seq = self.run_sequential(baseline_node)
+        dist, plan, stats = self.run_distributed(
+            nparts, cluster, granularity=granularity
+        )
+        if dist.stdout and seq.stdout and dist.stdout[-1] != seq.stdout[-1]:
+            raise AssertionError(
+                f"{self.work.name}: distributed output diverged: "
+                f"{seq.stdout[-1]!r} vs {dist.stdout[-1]!r}"
+            )
+        return {
+            "sequential_s": seq.exec_time_s,
+            "distributed_s": dist.makespan_s,
+            "speedup_pct": 100.0 * seq.exec_time_s / dist.makespan_s,
+            "messages": dist.total_messages,
+            "bytes": dist.total_bytes,
+            "rewrites": stats.total,
+            "edgecut": plan.edgecut,
+        }

@@ -1,0 +1,192 @@
+"""The MJ type lattice.
+
+MJ has the primitive types ``int`` (32-bit), ``long`` (64-bit), ``float``
+(binary64 — MJ's ``float`` plays the role of Java's ``double``), ``boolean``
+and ``void``; reference types are class types (user classes plus the built-in
+``Object``, ``String``, ``Vector``, ``LinkedList``) and array types.  ``null``
+has the bottom reference type.
+
+Type objects are interned so identity comparison works for primitives and the
+constructors below can be used freely without allocation churn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Type:
+    """Base class for MJ types."""
+
+    name: str
+
+    def is_primitive(self) -> bool:
+        return False
+
+    def is_reference(self) -> bool:
+        return False
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def descriptor(self) -> str:
+        """A one-character (primitives) or textual descriptor used by the
+        bytecode layer, e.g. ``I``, ``J``, ``F``, ``Z``, ``V``,
+        ``LBank;``, ``[I``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class PrimType(Type):
+    """A primitive type; singletons INT/LONG/FLOAT/BOOLEAN/VOID."""
+
+    __slots__ = ("name", "_desc", "width")
+
+    def __init__(self, name: str, desc: str, width: int) -> None:
+        self.name = name
+        self._desc = desc
+        #: size of a value of this type in bytes (used by the resource model)
+        self.width = width
+
+    def is_primitive(self) -> bool:
+        return True
+
+    def is_numeric(self) -> bool:
+        return self in (INT, LONG, FLOAT)
+
+    def descriptor(self) -> str:
+        return self._desc
+
+
+INT = PrimType("int", "I", 4)
+LONG = PrimType("long", "J", 8)
+FLOAT = PrimType("float", "F", 8)
+BOOLEAN = PrimType("boolean", "Z", 1)
+VOID = PrimType("void", "V", 0)
+
+
+class ClassType(Type):
+    """A (possibly built-in) class reference type, interned by name."""
+
+    __slots__ = ("name",)
+    _interned: Dict[str, "ClassType"] = {}
+
+    def __new__(cls, name: str) -> "ClassType":
+        inst = cls._interned.get(name)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst.name = name
+            cls._interned[name] = inst
+        return inst
+
+    def is_reference(self) -> bool:
+        return True
+
+    def descriptor(self) -> str:
+        return f"L{self.name};"
+
+
+class ArrayType(Type):
+    """Array-of-``elem`` type, interned by element type."""
+
+    __slots__ = ("name", "elem")
+    _interned: Dict[Type, "ArrayType"] = {}
+
+    def __new__(cls, elem: Type) -> "ArrayType":
+        inst = cls._interned.get(elem)
+        if inst is None:
+            inst = super().__new__(cls)
+            inst.elem = elem
+            inst.name = elem.name + "[]"
+            cls._interned[elem] = inst
+        return inst
+
+    def is_reference(self) -> bool:
+        return True
+
+    def descriptor(self) -> str:
+        return "[" + self.elem.descriptor()
+
+
+class NullType(Type):
+    """The type of the ``null`` literal: assignable to any reference type."""
+
+    name = "null"
+
+    def is_reference(self) -> bool:
+        return True
+
+    def descriptor(self) -> str:
+        return "N"
+
+
+NULL = NullType()
+
+OBJECT = ClassType("Object")
+STRING = ClassType("String")
+VECTOR = ClassType("Vector")
+LINKED_LIST = ClassType("LinkedList")
+
+
+def elem_width(ty: Type) -> int:
+    """Byte width of an element of ``ty`` when stored in an array or field
+    (references are modelled as 8-byte slots)."""
+    if isinstance(ty, PrimType):
+        return max(ty.width, 1)
+    return 8
+
+
+def numeric_rank(ty: Type) -> int:
+    """Promotion rank: int < long < float.  Raises KeyError for others."""
+    return {INT: 0, LONG: 1, FLOAT: 2}[ty]
+
+
+def promote(a: Type, b: Type) -> Optional[Type]:
+    """Binary numeric promotion: the wider of the two, or None if either is
+    not numeric."""
+    if not (a.is_numeric() and b.is_numeric()):
+        return None
+    order = [INT, LONG, FLOAT]
+    return order[max(numeric_rank(a), numeric_rank(b))]
+
+
+def is_assignable(src: Type, dst: Type, subtype_fn=None) -> bool:
+    """Can a value of static type ``src`` be assigned to a slot of type
+    ``dst``?
+
+    ``subtype_fn(sub_name, super_name)`` resolves user-class subtyping; when
+    omitted only reflexive class assignment (plus Object-as-top) is allowed.
+    Widening primitive conversions (int->long, int->float, long->float) are
+    implicit, as in Java.
+    """
+    if src is dst:
+        return True
+    if src.is_numeric() and dst.is_numeric():
+        return numeric_rank(src) <= numeric_rank(dst)
+    if isinstance(src, NullType) and dst.is_reference():
+        return True
+    if dst is OBJECT and src.is_reference():
+        return True
+    if isinstance(src, ClassType) and isinstance(dst, ClassType):
+        if subtype_fn is not None:
+            return subtype_fn(src.name, dst.name)
+        return src.name == dst.name
+    if isinstance(src, ArrayType) and isinstance(dst, ArrayType):
+        # MJ arrays are invariant (safer than Java's covariant arrays).
+        return src.elem is dst.elem
+    return False
+
+
+def parse_descriptor(desc: str) -> Type:
+    """Inverse of :meth:`Type.descriptor` (used by tooling and tests)."""
+    if desc.startswith("["):
+        return ArrayType(parse_descriptor(desc[1:]))
+    if desc.startswith("L") and desc.endswith(";"):
+        return ClassType(desc[1:-1])
+    table = {"I": INT, "J": LONG, "F": FLOAT, "Z": BOOLEAN, "V": VOID, "N": NULL}
+    try:
+        return table[desc]
+    except KeyError:
+        raise ValueError(f"bad type descriptor: {desc!r}") from None

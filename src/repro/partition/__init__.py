@@ -1,0 +1,18 @@
+"""Graph partitioning — the from-scratch Metis stand-in.
+
+The paper partitions the object dependence graph with Metis'
+multi-objective, multi-constraint multilevel algorithms (its §3); this
+package implements the same algorithmic family:
+
+* :mod:`repro.partition.coarsen`   — heavy-edge-matching coarsening
+* :mod:`repro.partition.initial`   — greedy graph-growing initial bisection
+* :mod:`repro.partition.refine`    — FM boundary refinement (multi-constraint)
+* :mod:`repro.partition.multilevel`— the V-cycle + recursive k-way bisection
+* :mod:`repro.partition.kl`        — Kernighan–Lin baseline
+* :mod:`repro.partition.spectral`  — spectral (Fiedler) baseline
+* :mod:`repro.partition.api`       — ``part_graph``, the Metis-like entry point
+"""
+
+from repro.partition.api import PartitionResult, part_graph
+
+__all__ = ["part_graph", "PartitionResult"]

@@ -1,0 +1,132 @@
+"""``part_graph`` — the Metis-like public entry point.
+
+The paper wraps Metis behind a ~10 kLoC Java wrapper ("jMetis"); this module
+is our equivalent surface: one call that takes a
+:class:`~repro.graph.wgraph.WeightedGraph`, the number of partitions, a
+method name and a balance tolerance, and returns a
+:class:`PartitionResult` with the assignment, edgecut and imbalance.
+
+Methods:
+
+* ``multilevel`` — the full multilevel multi-constraint scheme (default);
+* ``kl``         — Kernighan–Lin baseline (bisection; k-way via recursion);
+* ``spectral``   — Fiedler-vector baseline;
+* ``roundrobin`` — the "suboptimal naive partitioning" the paper's §7.2
+  mentions (node *i* to partition ``i mod k``);
+* ``random``     — uniform random assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.metrics import edgecut, imbalance
+from repro.graph.wgraph import WeightedGraph
+from repro.partition.kl import kernighan_lin
+from repro.partition.multilevel import multilevel_bisect, recursive_kway
+from repro.partition.spectral import spectral_bisect
+
+METHODS = ("multilevel", "kl", "spectral", "roundrobin", "random")
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one partitioning call."""
+
+    parts: List[int]
+    nparts: int
+    method: str
+    edgecut: float
+    imbalance: List[float] = field(default_factory=list)
+
+    def part_of(self, node: int) -> int:
+        return self.parts[node]
+
+    def groups(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in range(self.nparts)]
+        for node, p in enumerate(self.parts):
+            out[p].append(node)
+        return out
+
+
+def _kway_from_bisector(graph: WeightedGraph, nparts: int, bisector) -> List[int]:
+    parts = [0] * graph.num_nodes
+
+    def split(node_ids: List[int], k: int, base: int) -> None:
+        if k == 1 or len(node_ids) <= 1:
+            for u in node_ids:
+                parts[u] = base
+            return
+        sub, mapping = graph.subgraph(node_ids)
+        bis = bisector(sub)
+        left = [mapping[i] for i, p in enumerate(bis) if p == 0]
+        right = [mapping[i] for i, p in enumerate(bis) if p == 1]
+        if not left or not right:
+            mid = max(1, len(node_ids) // 2)
+            left, right = node_ids[:mid], node_ids[mid:]
+        k_left = k // 2
+        split(left, k_left, base)
+        split(right, k - k_left, base + k_left)
+
+    split(list(range(graph.num_nodes)), nparts, 0)
+    return parts
+
+
+def part_graph(
+    graph: WeightedGraph,
+    nparts: int,
+    method: str = "multilevel",
+    ubfactor: float = 1.10,
+    seed: int = 17,
+    tpwgts: Optional[Sequence[float]] = None,
+) -> PartitionResult:
+    """Partition ``graph`` into ``nparts`` parts.  See module docstring.
+
+    ``tpwgts`` sets per-partition target weight fractions (heterogeneous
+    node capacities); multilevel only — baselines ignore it."""
+    if nparts < 1:
+        raise PartitionError(f"nparts must be >= 1, got {nparts}")
+    if method not in METHODS:
+        raise PartitionError(f"unknown method {method!r}; pick one of {METHODS}")
+    if tpwgts is not None and len(tpwgts) != nparts:
+        raise PartitionError("tpwgts length must equal nparts")
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+
+    if nparts == 1 or n == 0:
+        parts: List[int] = [0] * n
+    elif nparts >= n:
+        parts = list(range(n))  # one node per part; extra parts stay empty
+    elif method == "multilevel":
+        parts = recursive_kway(
+            graph, nparts, rng, ubfactor,
+            tpwgts=list(tpwgts) if tpwgts is not None else None,
+        )
+    elif method == "kl":
+        parts = _kway_from_bisector(
+            graph, nparts, lambda sub: kernighan_lin(sub, rng)
+        )
+    elif method == "spectral":
+        parts = _kway_from_bisector(
+            graph,
+            nparts,
+            lambda sub: spectral_bisect(sub)
+            if sub.num_nodes >= 2
+            else [0] * sub.num_nodes,
+        )
+    elif method == "roundrobin":
+        parts = [i % nparts for i in range(n)]
+    else:  # random
+        parts = [int(rng.integers(nparts)) for _ in range(n)]
+
+    return PartitionResult(
+        parts=parts,
+        nparts=nparts,
+        method=method,
+        edgecut=edgecut(graph, parts),
+        imbalance=list(imbalance(graph, parts, nparts)) if n else [],
+    )

@@ -1,0 +1,76 @@
+"""Mixed instrumentation / sampling profiler (paper §6).
+
+Six metrics over four resource categories (CPU, memory, battery,
+communication):
+
+====================  ==============  ===========================================
+metric                technique       module
+====================  ==============  ===========================================
+method duration       instrumentation :class:`repro.profiler.instrument.MethodDurationProfiler`
+method frequency      instrumentation :class:`repro.profiler.instrument.MethodFrequencyProfiler`
+hot methods           sampling        :class:`repro.profiler.sampling.HotMethodsProfiler`
+hot paths             sampling        :class:`repro.profiler.sampling.HotPathsProfiler`
+dynamic call graph    sampling        :class:`repro.profiler.sampling.DynamicCallGraphProfiler`
+memory allocation     VM hooks        :class:`repro.profiler.memory.MemoryProfiler`
+====================  ==============  ===========================================
+
+Each profiler charges a realistic overhead in abstract cycles, so the
+Table 3 experiment (overhead of each metric vs an instrumented-but-disabled
+baseline) reproduces: instrumented metrics cost notably more than sampled
+ones, hot-methods sampling is cheapest.
+"""
+
+from repro.profiler.base import BaselineProfiler, Profiler, attach, detach
+from repro.profiler.instrument import MethodDurationProfiler, MethodFrequencyProfiler
+from repro.profiler.memory import MemoryProfiler
+from repro.profiler.report import ProfileReport, to_resource_inputs
+from repro.profiler.sampling import (
+    DynamicCallGraphProfiler,
+    HotMethodsProfiler,
+    HotPathsProfiler,
+)
+
+ALL_METRICS = (
+    "baseline",
+    "hot-paths",
+    "dynamic-call-graph",
+    "hot-methods",
+    "method-duration",
+    "method-frequency",
+    "memory-usage",
+)
+
+
+def make_profiler(metric: str, **kwargs) -> Profiler:
+    """Factory by Table 3 column name."""
+    table = {
+        "baseline": BaselineProfiler,
+        "hot-paths": HotPathsProfiler,
+        "dynamic-call-graph": DynamicCallGraphProfiler,
+        "hot-methods": HotMethodsProfiler,
+        "method-duration": MethodDurationProfiler,
+        "method-frequency": MethodFrequencyProfiler,
+        "memory-usage": MemoryProfiler,
+    }
+    try:
+        return table[metric](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown metric {metric!r}; pick one of {ALL_METRICS}") from None
+
+
+__all__ = [
+    "Profiler",
+    "BaselineProfiler",
+    "MethodDurationProfiler",
+    "MethodFrequencyProfiler",
+    "HotMethodsProfiler",
+    "HotPathsProfiler",
+    "DynamicCallGraphProfiler",
+    "MemoryProfiler",
+    "ProfileReport",
+    "to_resource_inputs",
+    "attach",
+    "detach",
+    "make_profiler",
+    "ALL_METRICS",
+]

@@ -1,0 +1,59 @@
+"""Profiler protocol and attachment to a VM machine.
+
+The interpreter calls ``on_step`` before executing each instruction (the
+return value is extra overhead cycles) and ``on_invoke`` / ``on_return``
+when frames push/pop (these charge overhead via ``machine.pending_extra``).
+The heap's ``alloc_hook`` routes allocations to ``on_alloc``.
+
+The *baseline* profiler mirrors the paper's baseline column: "the execution
+times with all the profiling code compiled in but not enabled" — the hooks
+are installed but charge nothing and record nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Profiler:
+    """Base class; subclasses override the hooks they need."""
+
+    name = "profiler"
+
+    def on_invoke(self, machine, method) -> None:  # pragma: no cover - override
+        pass
+
+    def on_return(self, machine, method) -> None:  # pragma: no cover - override
+        pass
+
+    def on_step(self, machine, cost: int) -> int:
+        return 0
+
+    def on_alloc(self, machine, kind: str, size: int) -> None:  # pragma: no cover
+        pass
+
+    def report(self):
+        from repro.profiler.report import ProfileReport
+
+        return ProfileReport(self.name, {})
+
+
+class BaselineProfiler(Profiler):
+    """Profiling code present but disabled — zero overhead, zero data."""
+
+    name = "baseline"
+
+
+def attach(machine, profiler: Optional[Profiler]) -> None:
+    """Install ``profiler`` on ``machine`` (and its heap)."""
+    machine.profiler = profiler
+    if profiler is None:
+        machine.heap.alloc_hook = None
+    else:
+        machine.heap.alloc_hook = lambda kind, size: profiler.on_alloc(
+            machine, kind, size
+        )
+
+
+def detach(machine) -> None:
+    attach(machine, None)

@@ -1,0 +1,74 @@
+"""Instrumentation-based metrics (paper §6).
+
+Method duration and method frequency hook every method entry/exit.  The
+paper measured these with (source-level) instrumentation and found them the
+most expensive metrics (49.3% and 26.1% average overhead); the cycle charges
+below model the timestamp read + record write per event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.profiler.base import Profiler
+from repro.profiler.report import ProfileReport
+
+#: cycles per entry/exit timestamp + record (duration metric)
+DURATION_EVENT_CYCLES = 28
+#: cycles per counter bump (frequency metric)
+FREQUENCY_EVENT_CYCLES = 30
+
+
+class MethodDurationProfiler(Profiler):
+    """Wall (virtual) time spent in each method, inclusive of callees.
+
+    Records the entry cycle count per activation; on exit accumulates the
+    difference.  Both system-level (built-in dispatch shows up in the caller)
+    and user-level methods are covered.
+    """
+
+    name = "method-duration"
+
+    def __init__(self) -> None:
+        self._entry_stack: List[tuple] = []
+        self.durations: Dict[str, int] = {}
+        self.calls: Dict[str, int] = {}
+
+    def on_invoke(self, machine, method) -> None:
+        machine.pending_extra += DURATION_EVENT_CYCLES
+        self._entry_stack.append((method.qualified, machine.cycles))
+
+    def on_return(self, machine, method) -> None:
+        machine.pending_extra += DURATION_EVENT_CYCLES
+        if not self._entry_stack:
+            return
+        name, entry = self._entry_stack.pop()
+        self.durations[name] = self.durations.get(name, 0) + (machine.cycles - entry)
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(
+            self.name,
+            {
+                "durations_cycles": dict(self.durations),
+                "calls": dict(self.calls),
+            },
+        )
+
+
+class MethodFrequencyProfiler(Profiler):
+    """Invocation counter per method — "a less expensive substitute for the
+    method duration metric"."""
+
+    name = "method-frequency"
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def on_invoke(self, machine, method) -> None:
+        machine.pending_extra += FREQUENCY_EVENT_CYCLES
+        q = method.qualified
+        self.counts[q] = self.counts.get(q, 0) + 1
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(self.name, {"counts": dict(self.counts)})

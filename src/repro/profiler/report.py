@@ -1,0 +1,55 @@
+"""Profile reports and the feedback path to the resource model.
+
+``to_resource_inputs`` converts measured per-method durations and per-class
+allocation volumes into the per-class (cycles, bytes) maps that
+:func:`repro.analysis.resources.from_profile` consumes — the concrete hook
+for the paper's planned adaptive repartitioning ("use this information to
+gain insight into static partitioning ... perform adaptive repartitioning").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class ProfileReport:
+    metric: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def top(self, key: str, k: int = 10):
+        table = self.data.get(key, {})
+        if not isinstance(table, dict):
+            return []
+        return sorted(table.items(), key=lambda kv: -kv[1])[:k]
+
+    def format(self, k: int = 10) -> str:
+        lines = [f"== profile: {self.metric} =="]
+        for key, value in self.data.items():
+            if isinstance(value, dict):
+                lines.append(f"  {key}:")
+                for name, count in self.top(key, k):
+                    lines.append(f"    {name}: {count}")
+            else:
+                lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def to_resource_inputs(
+    duration_report: ProfileReport, memory_report: ProfileReport
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """(per-class cycles, per-class bytes) from a duration + memory run."""
+    cycles: Dict[str, float] = {}
+    durations = duration_report.data.get("durations_cycles", {})
+    if isinstance(durations, dict):
+        for qualified, cyc in durations.items():
+            cls = qualified.rsplit(".", 1)[0]
+            cycles[cls] = cycles.get(cls, 0.0) + float(cyc)
+    bytes_by: Dict[str, float] = {}
+    per_kind = memory_report.data.get("bytes_by_kind", {})
+    if isinstance(per_kind, dict):
+        for kind, total in per_kind.items():
+            cls = kind.replace("[]", "")
+            bytes_by[cls] = bytes_by.get(cls, 0.0) + float(total)
+    return cycles, bytes_by

@@ -1,0 +1,25 @@
+"""Quad IR — the register-style quadruple representation (Joeq stand-in).
+
+Bytecode is lifted to quads by abstract interpretation of the operand stack
+(:mod:`repro.quad.builder`), organized into basic blocks with an explicit
+CFG (:mod:`repro.quad.cfg`), and printable in the exact format of Figure 5
+of the paper (:mod:`repro.quad.printer`).
+"""
+
+from repro.quad.builder import build_quads
+from repro.quad.cfg import QuadCFG, dominators, natural_loops
+from repro.quad.printer import format_method
+from repro.quad.quads import BasicBlock, Const, Quad, QuadMethod, Reg
+
+__all__ = [
+    "build_quads",
+    "QuadCFG",
+    "dominators",
+    "natural_loops",
+    "format_method",
+    "Quad",
+    "QuadMethod",
+    "BasicBlock",
+    "Reg",
+    "Const",
+]

@@ -1,0 +1,110 @@
+"""CFG algorithms over quad methods: dominators, natural loops.
+
+Loop membership feeds two consumers:
+
+* the object-set analysis (paper §2: allocation sites inside control
+  structures become ``*`` summary instances), and
+* the heuristic resource model (paper §3: "objects created inside the loops
+  can be considered heavier").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.quad.quads import QuadMethod
+
+
+class QuadCFG:
+    """Light adapter exposing pred/succ maps of a :class:`QuadMethod`."""
+
+    def __init__(self, qm: QuadMethod) -> None:
+        self.qm = qm
+        self.succs: Dict[int, List[int]] = {
+            b.bid: list(b.succs) for b in qm.blocks.values()
+        }
+        self.preds: Dict[int, List[int]] = {
+            b.bid: list(b.preds) for b in qm.blocks.values()
+        }
+        self.entry = 0
+
+    def reachable(self) -> Set[int]:
+        seen = {self.entry}
+        work = [self.entry]
+        while work:
+            b = work.pop()
+            for s in self.succs.get(b, []):
+                if s not in seen:
+                    seen.add(s)
+                    work.append(s)
+        return seen
+
+
+def dominators(cfg: QuadCFG) -> Dict[int, Set[int]]:
+    """Classic iterative dominator computation; ``dom[b]`` is the set of
+    blocks dominating ``b`` (including itself).  Unreachable blocks map to
+    the full set."""
+    nodes = sorted(cfg.reachable())
+    full = set(nodes)
+    dom: Dict[int, Set[int]] = {b: set(full) for b in nodes}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in nodes:
+            if b == cfg.entry:
+                continue
+            preds = [p for p in cfg.preds.get(b, []) if p in dom]
+            if not preds:
+                continue
+            new = set(full)
+            for p in preds:
+                new &= dom[p]
+            new.add(b)
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def natural_loops(cfg: QuadCFG) -> List[Tuple[int, Set[int]]]:
+    """All natural loops as ``(header, body_block_set)`` pairs.  A back edge
+    is an edge ``t -> h`` with ``h`` dominating ``t``."""
+    dom = dominators(cfg)
+    loops: List[Tuple[int, Set[int]]] = []
+    for t, outs in cfg.succs.items():
+        if t not in dom:
+            continue
+        for h in outs:
+            if h in dom.get(t, set()):
+                body = {h, t}
+                work = [t]
+                while work:
+                    b = work.pop()
+                    if b == h:
+                        continue
+                    for p in cfg.preds.get(b, []):
+                        if p not in body and p in dom:
+                            body.add(p)
+                            work.append(p)
+                loops.append((h, body))
+    return loops
+
+
+def blocks_in_loops(qm: QuadMethod) -> Set[int]:
+    """Union of all natural-loop bodies of ``qm``."""
+    cfg = QuadCFG(qm)
+    blocks: Set[int] = set()
+    for _, body in natural_loops(cfg):
+        blocks |= body
+    return blocks
+
+
+def loop_depth(qm: QuadMethod) -> Dict[int, int]:
+    """Nesting depth per block (0 = not in any loop)."""
+    cfg = QuadCFG(qm)
+    depth: Dict[int, int] = {b: 0 for b in qm.blocks}
+    for _, body in natural_loops(cfg):
+        for b in body:
+            depth[b] = depth.get(b, 0) + 1
+    return depth

@@ -1,0 +1,36 @@
+"""Quad listing in the exact format of Figure 5 of the paper::
+
+    BB0 (ENTRY) (in: <none>, out: BB2)
+    BB2 (in: BB0 (ENTRY), out: BB3, BB4)
+    1 MOVE_I R1 int, IConst: 4
+    2 IFCMP_I IConst: 4, IConst: 2, LE, BB4
+    ...
+    BB1 (EXIT) (in: BB4, out: <none>)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.quad.quads import QuadMethod
+
+
+def _block_name(qm: QuadMethod, bid: int) -> str:
+    if bid == 0:
+        return "BB0 (ENTRY)"
+    if bid == 1:
+        return "BB1 (EXIT)"
+    return f"BB{bid}"
+
+
+def format_method(qm: QuadMethod) -> str:
+    lines: List[str] = []
+    counter = 1
+    for block in qm.block_order():
+        ins = ", ".join(_block_name(qm, p) for p in sorted(block.preds)) or "<none>"
+        outs = ", ".join(_block_name(qm, s) for s in sorted(block.succs)) or "<none>"
+        lines.append(f"{_block_name(qm, block.bid)} (in: {ins}, out: {outs})")
+        for quad in block.quads:
+            lines.append(f"{counter} {quad!r}")
+            counter += 1
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Quad instruction and basic-block definitions.
+
+A quad is ``OP_t dst, op1, op2, ...`` where ``t`` is the type suffix
+(``I``/``J``→shown as ``L`` in names/``F``/``A``).  Operands are registers
+(:class:`Reg`) or constants (:class:`Const`).  Naming follows Figure 5 of
+the paper (``MOVE_I R1 int, IConst: 4``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+_TYPE_NAME = {"I": "int", "J": "long", "F": "float", "A": "ref", "V": "void"}
+_SUFFIX = {"I": "I", "J": "L", "F": "F", "A": "A", "V": ""}
+
+
+class Reg:
+    """A virtual register with a type char; interned per (index, char)."""
+
+    __slots__ = ("index", "ty")
+
+    def __init__(self, index: int, ty: str) -> None:
+        self.index = index
+        self.ty = ty
+
+    @property
+    def name(self) -> str:
+        return f"R{self.index}"
+
+    def __repr__(self) -> str:
+        return f"{self.name} {_TYPE_NAME.get(self.ty, self.ty)}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.index))
+
+
+class Const:
+    """A constant operand (``IConst: 4`` in Figure 5)."""
+
+    __slots__ = ("value", "ty")
+
+    def __init__(self, value, ty: str) -> None:
+        self.value = value
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        prefix = {"I": "IConst", "J": "LConst", "F": "FConst", "S": "SConst",
+                  "N": "NullConst", "A": "AConst"}.get(self.ty, "Const")
+        if self.ty == "N":
+            return "NullConst"
+        if self.ty == "S":
+            return f'SConst: "{self.value}"'
+        return f"{prefix}: {self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and other.value == self.value
+            and other.ty == self.ty
+        )
+
+    def __hash__(self) -> int:
+        return hash(("const", self.ty, self.value))
+
+
+Operand = Union[Reg, Const]
+
+
+class Quad:
+    """One quadruple.
+
+    ``op`` is the base operator (``MOVE``, ``ADD``, ``IFCMP``, ``INVOKE``...),
+    ``ty`` the type suffix char, ``dst`` an optional destination register,
+    ``srcs`` the operand list, and ``extra`` operator-specific data
+    (condition code + target block for IFCMP, (class, member) for field and
+    invoke quads, class name for NEW...).
+    """
+
+    __slots__ = ("op", "ty", "dst", "srcs", "extra", "line")
+
+    def __init__(
+        self,
+        op: str,
+        ty: str = "V",
+        dst: Optional[Reg] = None,
+        srcs: Sequence[Operand] = (),
+        extra: Tuple = (),
+        line: int = 0,
+    ) -> None:
+        self.op = op
+        self.ty = ty
+        self.dst = dst
+        self.srcs = list(srcs)
+        self.extra = tuple(extra)
+        self.line = line
+
+    @property
+    def mnemonic(self) -> str:
+        suffix = _SUFFIX.get(self.ty, self.ty)
+        return f"{self.op}_{suffix}" if suffix else self.op
+
+    def operands_repr(self) -> str:
+        parts: List[str] = []
+        if self.dst is not None:
+            parts.append(repr(self.dst))
+        parts.extend(repr(s) for s in self.srcs)
+        if self.op == "IFCMP":
+            cond, target = self.extra
+            parts.append(cond)
+            parts.append(f"BB{target}")
+        elif self.op == "GOTO":
+            parts.append(f"BB{self.extra[0]}")
+        elif self.op in ("GETFIELD", "PUTFIELD", "GETSTATIC", "PUTSTATIC"):
+            parts.append(".".join(self.extra))
+        elif self.op.startswith("INVOKE"):
+            parts.append(".".join(self.extra[:2]))
+        elif self.op in ("NEW", "CHECKCAST", "INSTANCEOF", "NEWARRAY"):
+            parts.append(str(self.extra[0]))
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        ops = self.operands_repr()
+        return f"{self.mnemonic} {ops}" if ops else self.mnemonic
+
+
+class BasicBlock:
+    """A straight-line run of quads.  ``bid`` 0 is ENTRY, 1 is EXIT."""
+
+    __slots__ = ("bid", "quads", "preds", "succs")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.quads: List[Quad] = []
+        self.preds: List[int] = []
+        self.succs: List[int] = []
+
+    @property
+    def label(self) -> str:
+        if self.bid == 0:
+            return "BB0 (ENTRY)"
+        if self.bid == 1:
+            return "BB1 (EXIT)"
+        return f"BB{self.bid}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.label}: {len(self.quads)} quads>"
+
+
+class QuadMethod:
+    """All blocks of one method in numbering order, plus register info."""
+
+    __slots__ = ("name", "class_name", "blocks", "num_regs", "param_regs")
+
+    def __init__(self, class_name: str, name: str) -> None:
+        self.class_name = class_name
+        self.name = name
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.num_regs = 0
+        self.param_regs: List[Reg] = []
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+    def block_order(self) -> List[BasicBlock]:
+        """ENTRY, body blocks in index order, EXIT last (Figure 5's order)."""
+        body = sorted(b for b in self.blocks if b >= 2)
+        order = [0] + body + [1]
+        return [self.blocks[b] for b in order if b in self.blocks]
+
+    def all_quads(self) -> List[Quad]:
+        out: List[Quad] = []
+        for block in self.block_order():
+            out.extend(block.quads)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<QuadMethod {self.qualified} ({len(self.blocks)} blocks)>"

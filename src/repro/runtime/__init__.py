@@ -1,0 +1,32 @@
+"""Distributed runtime: simulated cluster, MPI service, message exchange.
+
+Mirrors Section 5 of the paper.  Each simulated node runs three services —
+``MPIService``, ``ExecutionStarter`` and ``MessageExchange`` — on top of a
+discrete-event network (:mod:`repro.runtime.simnet`).  Messages use the
+streamed format of :mod:`repro.runtime.serial` and the ``NEW`` /
+``DEPENDENCE`` kinds of :mod:`repro.runtime.message`.
+
+Submodules are imported lazily to keep ``repro.vm`` usable standalone.
+"""
+
+_EXPORTS = {
+    "ClusterSpec": "repro.runtime.cluster",
+    "NodeSpec": "repro.runtime.cluster",
+    "ethernet_100m": "repro.runtime.cluster",
+    "DistributedExecutor": "repro.runtime.executor",
+    "DistributedResult": "repro.runtime.executor",
+    "run_distributed": "repro.runtime.executor",
+    "Message": "repro.runtime.message",
+    "MessageKind": "repro.runtime.message",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,84 @@
+"""Cluster descriptions: node resources and link characteristics.
+
+The paper's testbed (§7): "a service node, 1.7GHz Pentium III machine (512MB
+RAM), and another computation node, a 800MHz Pentium III (384MB RAM) ...
+connected via 100M Ethernet".  :func:`paper_testbed` reproduces exactly that
+configuration for the Figure 11 experiment; other topologies (more nodes,
+heterogeneous speeds, resource-constrained devices) are first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import RuntimeServiceError
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine in the networked system."""
+
+    name: str
+    cpu_hz: float                 # abstract cycles per second
+    mem_bytes: int = 512 * MB
+    battery_j: float = float("inf")  # resource-constrained devices are finite
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Uniform interconnect: one-way latency plus serialization bandwidth."""
+
+    latency_s: float
+    bandwidth_Bps: float
+
+
+def ethernet_100m() -> LinkSpec:
+    """100 Mb/s switched Ethernet: ~120 µs one-way small-message latency
+    (typical for 2005-era stacks), 12.5 MB/s payload bandwidth."""
+    return LinkSpec(latency_s=120e-6, bandwidth_Bps=12.5e6)
+
+
+def ethernet_1g() -> LinkSpec:
+    return LinkSpec(latency_s=40e-6, bandwidth_Bps=125e6)
+
+
+def wireless_80211b() -> LinkSpec:
+    """For the pervasive/mobile-device scenarios the paper motivates."""
+    return LinkSpec(latency_s=2e-3, bandwidth_Bps=700e3)
+
+
+@dataclass
+class ClusterSpec:
+    """A set of nodes and the (uniform) link between them."""
+
+    nodes: List[NodeSpec] = field(default_factory=list)
+    link: LinkSpec = field(default_factory=ethernet_100m)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise RuntimeServiceError("cluster needs at least one node")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def paper_testbed() -> ClusterSpec:
+    """The exact two-node configuration of the paper's §7."""
+    return ClusterSpec(
+        nodes=[
+            NodeSpec("service-p3-1700", 1.7e9, mem_bytes=512 * MB),
+            NodeSpec("compute-p3-800", 800e6, mem_bytes=384 * MB),
+        ],
+        link=ethernet_100m(),
+    )
+
+
+def homogeneous(n: int, cpu_hz: float = 1e9, link: LinkSpec | None = None) -> ClusterSpec:
+    return ClusterSpec(
+        nodes=[NodeSpec(f"node{i}", cpu_hz) for i in range(n)],
+        link=link or ethernet_100m(),
+    )

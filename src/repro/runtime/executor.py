@@ -1,0 +1,170 @@
+"""Distributed execution driver (paper §5 + §7.2).
+
+``DistributedExecutor`` wires a rewritten program and a distribution plan
+onto a simulated cluster: one VM machine per node (own heap, own statics —
+per-JVM semantics), the three services per node, ``main`` started on the
+plan's main partition, service loops elsewhere; then runs the discrete-event
+scheduler to completion.
+
+``run_sequential`` executes the *original* program on one node spec — the
+centralized baseline of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bytecode.model import BProgram
+from repro.distgen.plan import DistributionPlan
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.services import ExecutionStarter, MessageExchange, make_node_syscall
+from repro.runtime.simnet import SimCluster
+from repro.runtime.mpi import MPIService
+from repro.vm.heap import Heap
+from repro.vm.interpreter import Machine, run_sync
+from repro.vm.loader import LoadedProgram, load_program
+
+
+@dataclass
+class NodeStats:
+    name: str
+    clock_s: float
+    busy_s: float
+    messages_sent: int
+    bytes_sent: int
+    requests_served: int
+    heap_objects: int
+    heap_bytes: int
+    stdout: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DistributedResult:
+    """Everything the Figure 11 harness needs."""
+
+    result: object
+    makespan_s: float
+    total_messages: int
+    total_bytes: int
+    node_stats: List[NodeStats]
+    stdout: List[str] = field(default_factory=list)
+
+    @property
+    def exec_time_s(self) -> float:
+        return self.makespan_s
+
+
+@dataclass
+class SequentialResult:
+    result: object
+    exec_time_s: float
+    cycles: int
+    stdout: List[str] = field(default_factory=list)
+
+
+class DistributedExecutor:
+    def __init__(
+        self,
+        program: BProgram,
+        plan: DistributionPlan,
+        cluster_spec: ClusterSpec,
+        loaded: Optional[LoadedProgram] = None,
+        async_writes: bool = False,
+    ) -> None:
+        if plan.nparts > cluster_spec.size:
+            raise RuntimeServiceError(
+                f"plan needs {plan.nparts} nodes, cluster has {cluster_spec.size}"
+            )
+        self.program = program
+        self.plan = plan
+        self.cluster_spec = cluster_spec
+        self.loaded = loaded if loaded is not None else load_program(program)
+        #: paper §4.2 communication optimization: fire-and-forget remote
+        #: writes (FIFO links keep read-after-write consistent)
+        self.async_writes = async_writes
+
+    def run(self, max_events: int = 200_000_000) -> DistributedResult:
+        cluster = SimCluster(self.cluster_spec)
+        main_partition = self.plan.main_partition
+        if not 0 <= main_partition < cluster_spec_size(self.cluster_spec):
+            main_partition = 0
+
+        starter: Optional[ExecutionStarter] = None
+        for node in cluster.nodes:
+            machine = Machine(self.loaded, heap=Heap(), node_id=node.node_id)
+            machine.statics = self.loaded.fresh_statics()
+            node.machine = machine
+            node.mpi = MPIService(node, cluster)
+            node.exchange = MessageExchange(node)
+            machine.syscall = make_node_syscall(node, async_writes=self.async_writes)
+            if node.node_id == main_partition:
+                starter = ExecutionStarter(node, self.loaded.main_method())
+                node.gen = starter.run()
+            else:
+                node.gen = node.exchange.serve_forever()
+
+        assert starter is not None
+        cluster.run(max_events=max_events)
+
+        stats = [
+            NodeStats(
+                name=n.spec.name,
+                clock_s=n.clock,
+                busy_s=n.busy_s,
+                messages_sent=n.msgs_sent,
+                bytes_sent=n.bytes_sent,
+                requests_served=n.exchange.requests_served,
+                heap_objects=n.machine.heap.allocated_objects,
+                heap_bytes=n.machine.heap.allocated_bytes,
+                stdout=list(n.machine.stdout),
+            )
+            for n in cluster.nodes
+        ]
+        stdout: List[str] = []
+        for n in cluster.nodes:
+            stdout.extend(n.machine.stdout)
+        return DistributedResult(
+            result=starter.result,
+            makespan_s=cluster.makespan,
+            total_messages=cluster.total_messages,
+            total_bytes=cluster.total_bytes,
+            node_stats=stats,
+            stdout=stdout,
+        )
+
+
+def cluster_spec_size(spec: ClusterSpec) -> int:
+    return spec.size
+
+
+def run_sequential(
+    program: BProgram,
+    node: NodeSpec,
+    loaded: Optional[LoadedProgram] = None,
+) -> SequentialResult:
+    """Centralized baseline: the original program on one machine."""
+    loaded = loaded if loaded is not None else load_program(program)
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    machine.call_bmethod(loaded.main_method(), None, [None])
+    run_sync(machine)
+    return SequentialResult(
+        result=machine.result,
+        exec_time_s=machine.cycles / node.cpu_hz,
+        cycles=machine.cycles,
+        stdout=list(machine.stdout),
+    )
+
+
+def run_distributed(
+    program: BProgram,
+    plan: DistributionPlan,
+    cluster_spec: ClusterSpec,
+) -> DistributedResult:
+    """Convenience wrapper: rewrite for ``plan``, then execute."""
+    from repro.distgen.rewriter import rewrite_program
+
+    rewritten, _stats = rewrite_program(program, plan)
+    return DistributedExecutor(rewritten, plan, cluster_spec).run()

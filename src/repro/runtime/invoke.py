@@ -1,0 +1,38 @@
+"""Re-entrant method invocation on a steppable machine.
+
+Both the local dispatcher and the MessageExchange service need to run one
+method call to completion *inside* an already-running machine (the paper's
+runtime does the same when a DEPENDENCE request arrives at an object's home
+node).  ``call_and_run`` pushes a frame whose return value is captured
+instead of being handed to a caller frame, then steps the machine until that
+capture fires — delegating any nested syscalls, so remote calls may nest
+arbitrarily."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bytecode.model import BMethod
+
+
+def call_and_run(machine, method: BMethod, receiver, args) -> Iterator:
+    """Generator: runs ``method`` to completion on ``machine``; yields cost
+    events; returns the method's return value."""
+    captured = {}
+
+    def on_return(value) -> None:
+        captured["value"] = value
+        captured["done"] = True
+
+    machine.call_bmethod(method, receiver, args, on_return=on_return)
+    while "done" not in captured:
+        r = machine.step()
+        if isinstance(r, int):
+            yield ("cost", r)
+        else:
+            _, gen, push, cost = r
+            yield ("cost", cost)
+            value = yield from gen
+            if push and machine.frames:
+                machine.frames[-1].push(value)
+    return captured.get("value")

@@ -1,0 +1,45 @@
+"""Message structure (paper §5).
+
+"We currently identify two types of messages: NEW and DEPENDENCE for object
+instantiation and data dependence."  REPLY carries responses back (the
+paper's receive half of each send/receive pair) and SHUTDOWN ends the
+per-node service loops after ``main`` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: fixed per-message header bytes charged to the network (kind, src, dst,
+#: req id, length)
+HEADER_BYTES = 24
+
+
+class MessageKind(Enum):
+    NEW = 1
+    DEPENDENCE = 2
+    REPLY = 3
+    SHUTDOWN = 4
+
+
+@dataclass
+class Message:
+    """One wire message.  ``payload`` is already in the streamed format;
+    ``req_id`` ties a REPLY to its request."""
+
+    kind: MessageKind
+    src: int
+    dst: int
+    req_id: int
+    payload: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return HEADER_BYTES + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{self.kind.name} {self.src}->{self.dst} req={self.req_id} "
+            f"{len(self.payload)}B>"
+        )

@@ -1,0 +1,103 @@
+"""The MPI service (paper §5, Figure 10).
+
+"The MPI service sets up the necessary MPI working environment — such as
+groups, communicators, and the communication context."  The API follows
+mpi4py's lowercase, pickle-style object methods (``send``/``recv``/
+``isend``/``iprobe``) but all methods that can block are generators driven
+by the discrete-event scheduler, and serialization uses the streamed format
+of :mod:`repro.runtime.serial`.
+
+Send/receive CPU costs model marshalling: a fixed per-call overhead plus a
+per-byte copy cost, charged to the calling node's clock.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Iterator, Optional
+
+from repro.runtime.message import Message, MessageKind
+from repro.runtime.simnet import SimCluster, SimNode
+
+#: marshalling cost model (abstract cycles)
+SEND_BASE_CYCLES = 400
+RECV_BASE_CYCLES = 300
+CYCLES_PER_BYTE = 2
+
+
+class Communicator:
+    """A communication context over a subset of ranks (COMM_WORLD default)."""
+
+    def __init__(self, cluster: SimCluster, ranks: Optional[list] = None) -> None:
+        self.cluster = cluster
+        self.ranks = ranks if ranks is not None else list(range(len(cluster.nodes)))
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+
+class MPIService:
+    """Per-node endpoint: rank, communicator, typed send/recv."""
+
+    def __init__(self, node: SimNode, cluster: SimCluster) -> None:
+        self.node = node
+        self.cluster = cluster
+        self.comm_world = Communicator(cluster)
+        self._req_ids = count(node.node_id * 1_000_000 + 1)
+
+    @property
+    def rank(self) -> int:
+        return self.node.node_id
+
+    @property
+    def size(self) -> int:
+        return self.comm_world.size
+
+    def next_req_id(self) -> int:
+        return next(self._req_ids)
+
+    # ------------------------------------------------------------------ send
+    def send(self, msg: Message) -> Iterator:
+        """Generator: charge marshalling cost, then post to the network."""
+        yield ("cost", SEND_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload))
+        self.cluster.post(self.node.node_id, msg.dst, msg)
+        return None
+
+    def isend(self, msg: Message) -> Iterator:
+        """Fire-and-forget send (the asynchronous point-to-point style the
+        paper argues for over RPC); same cost, no completion handle needed
+        in the simulated world."""
+        return self.send(msg)
+
+    # ------------------------------------------------------------------ recv
+    def recv(self, match: Callable[[Message], bool]) -> Iterator:
+        """Generator: blocks (yields ``('wait',)``) until a message matching
+        ``match`` has *arrived*; returns it after charging unmarshalling
+        cost."""
+        while True:
+            msg = self.node.take_matching(match)
+            if msg is not None:
+                yield ("cost", RECV_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload))
+                return msg
+            yield ("wait",)
+
+    def recv_any(self) -> Iterator:
+        return self.recv(lambda m: True)
+
+    def iprobe(self, match: Callable[[Message], bool]) -> bool:
+        """Non-blocking arrival check."""
+        return any(
+            arrival <= self.node.clock + 1e-15 and match(m)
+            for arrival, _, m in self.node.inbox
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def reply_to(self, request: Message, payload: bytes) -> Message:
+        return Message(
+            MessageKind.REPLY,
+            src=self.node.node_id,
+            dst=request.src,
+            req_id=request.req_id,
+            payload=payload,
+        )

@@ -1,0 +1,130 @@
+"""The streamed message format (paper §5: "The Message Exchange service
+passes objects between nodes using a streamed format").
+
+A compact tagged binary encoding.  Primitives and strings travel by value;
+LinkedLists (packed argument lists) by value, element-wise; heap references
+travel as *remote reference descriptors* — (node, oid, class) triples — which
+the receiver swizzles back: a descriptor naming the receiving node becomes a
+local :class:`~repro.vm.values.Ref`, anything else a
+:class:`~repro.vm.values.DependentRef`.  Encoded length is the byte volume
+charged to the simulated network.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import RuntimeServiceError
+from repro.vm.values import DependentRef, Ref
+
+_TAG_NULL = b"N"
+_TAG_I32 = b"I"
+_TAG_I64 = b"J"
+_TAG_F64 = b"F"
+_TAG_STR = b"S"
+_TAG_REF = b"R"
+_TAG_LIST = b"L"
+
+ARRAY_CLASS = "<array>"
+
+
+def _class_of_ref(heap, ref: Ref) -> str:
+    entry = heap.get(ref)
+    return getattr(entry, "class_name", ARRAY_CLASS)
+
+
+def encode_value(value, node_id: int, heap) -> bytes:
+    """Serialize one MJ value into the streamed format."""
+    out = bytearray()
+    _encode(value, node_id, heap, out)
+    return bytes(out)
+
+
+def _encode(value, node_id: int, heap, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NULL
+    elif isinstance(value, bool):
+        out += _TAG_I32
+        out += struct.pack("<i", int(value))
+    elif isinstance(value, int):
+        if -0x80000000 <= value < 0x80000000:
+            out += _TAG_I32
+            out += struct.pack("<i", value)
+        else:
+            out += _TAG_I64
+            out += struct.pack("<q", value)
+    elif isinstance(value, float):
+        out += _TAG_F64
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, Ref):
+        cls = _class_of_ref(heap, value).encode("utf-8")
+        out += _TAG_REF
+        out += struct.pack("<hI", node_id, value.oid)
+        out += struct.pack("<H", len(cls))
+        out += cls
+    elif isinstance(value, DependentRef):
+        cls = value.class_name.encode("utf-8")
+        out += _TAG_REF
+        out += struct.pack("<hI", value.node, value.oid)
+        out += struct.pack("<H", len(cls))
+        out += cls
+    elif isinstance(value, list):
+        out += _TAG_LIST
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _encode(item, node_id, heap, out)
+    else:
+        raise RuntimeServiceError(f"cannot stream value {value!r}")
+
+
+def decode_value(data: bytes, node_id: int) -> object:
+    """Deserialize; inverse of :func:`encode_value` from the view of node
+    ``node_id`` (reference swizzling happens here)."""
+    value, offset = _decode(data, 0, node_id)
+    if offset != len(data):
+        raise RuntimeServiceError(
+            f"trailing bytes in message ({len(data) - offset})"
+        )
+    return value
+
+
+def _decode(data: bytes, i: int, node_id: int) -> Tuple[object, int]:
+    tag = data[i : i + 1]
+    i += 1
+    if tag == _TAG_NULL:
+        return None, i
+    if tag == _TAG_I32:
+        return struct.unpack_from("<i", data, i)[0], i + 4
+    if tag == _TAG_I64:
+        return struct.unpack_from("<q", data, i)[0], i + 8
+    if tag == _TAG_F64:
+        return struct.unpack_from("<d", data, i)[0], i + 8
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from("<I", data, i)
+        i += 4
+        return data[i : i + length].decode("utf-8"), i + length
+    if tag == _TAG_REF:
+        node, oid = struct.unpack_from("<hI", data, i)
+        i += 6
+        (clen,) = struct.unpack_from("<H", data, i)
+        i += 2
+        cls = data[i : i + clen].decode("utf-8")
+        i += clen
+        if node == node_id:
+            return Ref(oid), i
+        return DependentRef(node, oid, cls), i
+    if tag == _TAG_LIST:
+        (count,) = struct.unpack_from("<I", data, i)
+        i += 4
+        items: List[object] = []
+        for _ in range(count):
+            item, i = _decode(data, i, node_id)
+            items.append(item)
+        return items, i
+    raise RuntimeServiceError(f"bad stream tag {tag!r} at offset {i - 1}")

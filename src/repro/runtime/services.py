@@ -1,0 +1,206 @@
+"""Runtime services (paper §5, Figure 10): ExecutionStarter and
+MessageExchange, plus the DependentObject syscall dispatcher that connects
+the VM to them.
+
+"The core of this MPI-aware runtime support is the Message Exchange service.
+This service processes all the send and receive MPI communication generated
+from the object dependence information."
+
+Protocol (all request/reply, with nested requests served while waiting —
+remote calls may call back into the requester):
+
+* ``NEW  [class_name, ctor_args]``          → reply ``[status, ref]``
+* ``DEPENDENCE [oid, access_type, member, args]`` → reply ``[status, value]``
+* ``REPLY [status, value]`` — status 0 = ok, 1 = remote error (message text)
+* ``SHUTDOWN`` — ends a node's serve loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import RuntimeServiceError, VMError
+from repro.runtime.invoke import call_and_run
+from repro.runtime.local import access_local, create_local
+from repro.runtime.message import Message, MessageKind
+from repro.runtime.serial import decode_value, encode_value
+from repro.runtime.simnet import SimNode
+from repro.vm.values import DependentRef, Ref
+
+OK = 0
+ERR = 1
+
+#: cycles charged for dispatching one incoming request (scheduling + lookup)
+DISPATCH_CYCLES = 250
+
+#: req_id marking a fire-and-forget request (no reply expected)
+NO_REPLY = 0
+
+
+class MessageExchange:
+    """Per-node request/reply engine over the MPI service."""
+
+    def __init__(self, node: SimNode) -> None:
+        self.node = node
+        self.requests_served = 0
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------ client
+    def request(self, dst: int, kind: MessageKind, payload_obj) -> Iterator:
+        """Generator: send a request and wait for its reply, serving any
+        incoming requests in the meantime (nested remote calls)."""
+        node = self.node
+        if dst == node.node_id:
+            raise RuntimeServiceError("request addressed to self")
+        req_id = node.mpi.next_req_id()
+        payload = encode_value(payload_obj, node.node_id, node.machine.heap)
+        msg = Message(kind, node.node_id, dst, req_id, payload)
+        self.requests_sent += 1
+        yield from node.mpi.send(msg)
+        return (yield from self._await_reply(req_id))
+
+    def post(self, dst: int, kind: MessageKind, payload_obj) -> Iterator:
+        """Fire-and-forget request (the asynchronous point-to-point style
+        the paper argues message exchange enables over RPC).  Per-link FIFO
+        ordering keeps later synchronous reads consistent.  Remote errors
+        are lost — only safe for idempotent state writes."""
+        node = self.node
+        if dst == node.node_id:
+            raise RuntimeServiceError("post addressed to self")
+        payload = encode_value(payload_obj, node.node_id, node.machine.heap)
+        msg = Message(kind, node.node_id, dst, NO_REPLY, payload)
+        self.requests_sent += 1
+        yield from node.mpi.isend(msg)
+        return None
+
+    def _await_reply(self, req_id: int) -> Iterator:
+        node = self.node
+
+        def match(m: Message) -> bool:
+            if m.kind is MessageKind.REPLY:
+                return m.req_id == req_id
+            return m.kind in (MessageKind.NEW, MessageKind.DEPENDENCE)
+
+        while True:
+            msg = yield from node.mpi.recv(match)
+            if msg.kind is MessageKind.REPLY:
+                status, value = decode_value(msg.payload, node.node_id)
+                if status == ERR:
+                    raise VMError(f"remote error from node {msg.src}: {value}")
+                return value
+            yield from self.handle_request(msg)
+
+    # ------------------------------------------------------------------ server
+    def handle_request(self, msg: Message) -> Iterator:
+        node = self.node
+        machine = node.machine
+        self.requests_served += 1
+        yield ("cost", DISPATCH_CYCLES)
+        try:
+            body = decode_value(msg.payload, node.node_id)
+            if msg.kind is MessageKind.NEW:
+                class_name, ctor_args = body
+                ref = yield from create_local(machine, class_name, ctor_args or [])
+                result: List = [OK, ref]
+            elif msg.kind is MessageKind.DEPENDENCE:
+                oid, access_type, member, args = body
+                recv = Ref(oid)
+                value = yield from access_local(
+                    machine, recv, access_type, member, args or []
+                )
+                result = [OK, value]
+            else:
+                raise RuntimeServiceError(f"unexpected request {msg!r}")
+        except VMError as exc:
+            result = [ERR, str(exc)]
+        if msg.req_id == NO_REPLY:
+            return None  # asynchronous request: nobody is waiting
+        payload = encode_value(result, node.node_id, machine.heap)
+        yield from node.mpi.send(node.mpi.reply_to(msg, payload))
+
+    def serve_forever(self) -> Iterator:
+        """The service loop for non-initiating nodes: handle requests until
+        SHUTDOWN."""
+        node = self.node
+        while True:
+            msg = yield from node.mpi.recv_any()
+            if msg.kind is MessageKind.SHUTDOWN:
+                return None
+            yield from self.handle_request(msg)
+
+
+def make_node_syscall(node: SimNode, async_writes: bool = False):
+    """The DependentObject dispatcher for a cluster node: resolves create/
+    access locally when possible, otherwise exchanges NEW / DEPENDENCE
+    messages with the object's home node.
+
+    ``async_writes`` enables the communication optimization of paper §4.2:
+    remote field/array *writes* go fire-and-forget instead of waiting for a
+    reply (FIFO links keep read-after-write consistent)."""
+    from repro.lang.symbols import ARRAY_SET, FIELD_SET
+
+    def syscall(kind: str, recv, args) -> Iterator:
+        machine = node.machine
+        if kind == "create":
+            ctor_args, location, class_name = args
+            if location == node.node_id:
+                result = yield from create_local(machine, class_name, ctor_args or [])
+                return result
+            result = yield from node.exchange.request(
+                location, MessageKind.NEW, [class_name, ctor_args or []]
+            )
+            return result
+        if kind == "access":
+            call_args, access_type, member = args
+            if isinstance(recv, DependentRef):
+                if recv.node == node.node_id:
+                    recv = Ref(recv.oid)
+                elif async_writes and access_type in (FIELD_SET, ARRAY_SET):
+                    yield from node.exchange.post(
+                        recv.node,
+                        MessageKind.DEPENDENCE,
+                        [recv.oid, access_type, member, call_args or []],
+                    )
+                    return None
+                else:
+                    result = yield from node.exchange.request(
+                        recv.node,
+                        MessageKind.DEPENDENCE,
+                        [recv.oid, access_type, member, call_args or []],
+                    )
+                    return result
+            if recv is None:
+                raise VMError("dependence access on null")
+            result = yield from access_local(
+                machine, recv, access_type, member, call_args or []
+            )
+            return result
+        raise RuntimeServiceError(f"unknown syscall {kind!r}")  # pragma: no cover
+
+    return syscall
+
+
+class ExecutionStarter:
+    """Starts the application (paper: "The Execution Starter service starts
+    the application by invoking the main() method ... Only one copy needs to
+    be active on the processor node where the user initiates the
+    application.")."""
+
+    def __init__(self, node: SimNode, main_method) -> None:
+        self.node = node
+        self.main_method = main_method
+        self.result = None
+
+    def run(self) -> Iterator:
+        node = self.node
+        self.result = yield from call_and_run(
+            node.machine, self.main_method, None, [None]
+        )
+        # application finished: stop every other node's service loop
+        for other in range(len(node.mpi.cluster.nodes)):
+            if other == node.node_id:
+                continue
+            yield from node.mpi.send(
+                Message(MessageKind.SHUTDOWN, node.node_id, other, 0)
+            )
+        return self.result

@@ -1,0 +1,174 @@
+"""Discrete-event simulated cluster (the substitution for the paper's real
+two-machine testbed; see DESIGN.md §2).
+
+Each :class:`SimNode` owns a steppable VM machine and a generator (its
+"process").  The scheduler always advances the runnable node with the
+smallest virtual clock, which makes execution deterministic.  Generators
+yield events:
+
+* ``('cost', cycles)`` — CPU work: the node's clock advances by
+  ``cycles / cpu_hz`` and the machine's cycle counter by ``cycles``;
+* ``('wait',)``       — the node is blocked on message arrival; the
+  scheduler fast-forwards its clock to the earliest in-flight arrival, or
+  parks it until a sender posts one.
+
+Message timing models a store-and-forward link with per-pair FIFO:
+``arrival = max(sender_clock + latency, link_busy_until) + size/bandwidth``.
+FIFO per (src, dst) pair preserves the ordering guarantees the message
+exchange protocol relies on (e.g. asynchronous field writes followed by a
+synchronous read).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.message import Message
+
+
+class SimNode:
+    """One simulated machine: VM + clock + inbox."""
+
+    def __init__(self, node_id: int, spec: NodeSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.clock = 0.0                     # seconds of virtual time
+        self.inbox: List[Tuple[float, int, Message]] = []  # heap by arrival
+        self.gen = None                      # the node's process generator
+        self.done = False
+        self.parked = False                  # blocked with empty inbox
+        self.machine = None                  # repro.vm.interpreter.Machine
+        self.exchange = None                 # services.MessageExchange
+        self.mpi = None                      # mpi.MPIService
+        # statistics
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.msgs_received = 0
+        self.busy_s = 0.0                    # CPU time actually charged
+
+    def earliest_arrival(self) -> Optional[float]:
+        return self.inbox[0][0] if self.inbox else None
+
+    def earliest_future_arrival(self) -> Optional[float]:
+        future = [a for a, _, _ in self.inbox if a > self.clock + 1e-15]
+        return min(future) if future else None
+
+    def take_matching(
+        self, match: Callable[[Message], bool]
+    ) -> Optional[Message]:
+        """Pop the earliest message with arrival <= clock satisfying
+        ``match`` (non-matching messages stay queued)."""
+        eligible = [
+            (arrival, seq)
+            for arrival, seq, msg in self.inbox
+            if arrival <= self.clock + 1e-15 and match(msg)
+        ]
+        if not eligible:
+            return None
+        arrival, seq = min(eligible)
+        for i, (a, s, m) in enumerate(self.inbox):
+            if s == seq:
+                self.inbox.pop(i)
+                heapq.heapify(self.inbox)
+                self.msgs_received += 1
+                return m
+        raise RuntimeServiceError("inbox invariant violated")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SimNode {self.node_id} {self.spec.name} t={self.clock:.6f}>"
+
+
+class SimCluster:
+    """The networked system: nodes + link + the event scheduler."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes = [SimNode(i, ns) for i, ns in enumerate(spec.nodes)]
+        self._seq = count()
+        self._link_busy: Dict[Tuple[int, int], float] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------ network
+    def post(self, src: int, dst: int, msg: Message) -> None:
+        """Inject a message; called by the sender's MPI service after it
+        charged its serialization cost."""
+        if not 0 <= dst < len(self.nodes):
+            raise RuntimeServiceError(f"message to unknown node {dst}")
+        sender = self.nodes[src]
+        link = self.spec.link
+        key = (src, dst)
+        depart = max(sender.clock + link.latency_s, self._link_busy.get(key, 0.0))
+        arrival = depart + msg.size / link.bandwidth_Bps
+        self._link_busy[key] = arrival
+        receiver = self.nodes[dst]
+        heapq.heappush(receiver.inbox, (arrival, next(self._seq), msg))
+        receiver.parked = False
+        sender.msgs_sent += 1
+        sender.bytes_sent += msg.size
+        self.total_messages += 1
+        self.total_bytes += msg.size
+
+    # ------------------------------------------------------------------ scheduler
+    def run(self, max_events: int = 200_000_000) -> None:
+        """Drive all node generators to completion."""
+        events = 0
+        while True:
+            runnable = [n for n in self.nodes if not n.done and not n.parked]
+            if not runnable:
+                # a parked node has, by construction, examined every message
+                # whose arrival is <= its clock; only *future* arrivals can
+                # unblock it
+                blocked = [
+                    (a, n)
+                    for n in self.nodes
+                    if not n.done
+                    for a in [n.earliest_future_arrival()]
+                    if a is not None
+                ]
+                if not blocked:
+                    if all(n.done for n in self.nodes):
+                        return
+                    raise RuntimeServiceError(
+                        "distributed deadlock: all nodes blocked with no "
+                        "messages in flight"
+                    )
+                arrival, node = min(blocked, key=lambda t: (t[0], t[1].node_id))
+                node.clock = max(node.clock, arrival)
+                node.parked = False
+                continue
+            node = min(runnable, key=lambda n: (n.clock, n.node_id))
+            events += 1
+            if events > max_events:
+                raise RuntimeServiceError("simulation exceeded event budget")
+            try:
+                event = next(node.gen)
+            except StopIteration:
+                node.done = True
+                continue
+            kind = event[0]
+            if kind == "cost":
+                cycles = event[1]
+                dt = cycles / node.spec.cpu_hz
+                node.clock += dt
+                node.busy_s += dt
+                if node.machine is not None:
+                    node.machine.cycles += cycles
+            elif kind == "wait":
+                # the node just failed to find a matching message among the
+                # arrivals <= clock; only a *future* arrival can change that
+                future = node.earliest_future_arrival()
+                if future is None:
+                    node.parked = True
+                else:
+                    node.clock = future
+            else:  # pragma: no cover
+                raise RuntimeServiceError(f"unknown event {event!r}")
+
+    @property
+    def makespan(self) -> float:
+        return max(n.clock for n in self.nodes)

@@ -1,0 +1,25 @@
+"""The MJ virtual machine — the substrate standing in for Joeq / the JVM.
+
+The interpreter is *steppable*: :meth:`Machine.step` executes exactly one
+bytecode instruction and returns its abstract cycle cost.  That is what lets
+the distributed runtime drive many simulated nodes deterministically and lets
+the sampling profiler fire at exact virtual-time quanta.
+"""
+
+from repro.vm.heap import Heap, HeapArray, HeapObject
+from repro.vm.interpreter import Machine, run_main
+from repro.vm.loader import LoadedProgram, load_program
+from repro.vm.values import DependentRef, Ref, default_value
+
+__all__ = [
+    "Machine",
+    "run_main",
+    "Heap",
+    "HeapObject",
+    "HeapArray",
+    "Ref",
+    "DependentRef",
+    "default_value",
+    "LoadedProgram",
+    "load_program",
+]

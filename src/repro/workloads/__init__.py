@@ -1,0 +1,99 @@
+"""Benchmark workloads (paper Table 1).
+
+MJ re-implementations of the evaluation programs:
+
+* Java Grande section 1: ``create`` (JGFCreateBench), ``method``
+  (JGFMethodBench);
+* Java Grande section 2: ``crypt`` (JGFCryptBench, IDEA-style cipher),
+  ``heapsort`` (JGFHeapSortBench);
+* Java Grande section 3: ``moldyn`` (JGFMolDynBench, Lennard-Jones MD),
+  ``search`` (JGFSearchBench, alpha-beta game search);
+* SPEC JVM98: ``compress`` (201_compress, LZW), ``db`` (209_db, in-memory
+  address database).
+
+Each workload provides parameterized MJ source (``size`` in {'test',
+'bench', 'large'}) plus the expected final line of output for correctness
+checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.workloads import (
+    bank,
+    jgf_create,
+    jgf_method,
+    jgf_crypt,
+    jgf_heapsort,
+    jgf_moldyn,
+    jgf_search,
+    spec_compress,
+    spec_db,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    paper_name: str
+    source_fn: Callable[[str], str]
+    description: str
+
+    def source(self, size: str = "test") -> str:
+        return self.source_fn(size)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "bank": Workload(
+        "bank", "running example (Fig. 2)", bank.source,
+        "The Bank/Account running example used throughout the paper.",
+    ),
+    "create": Workload(
+        "create", "JGFCreateBench", jgf_create.source,
+        "Object/array creation rates across many element types.",
+    ),
+    "method": Workload(
+        "method", "JGFMethodBench", jgf_method.source,
+        "Method invocation costs (same-instance, other-instance, static).",
+    ),
+    "crypt": Workload(
+        "crypt", "JGFCryptBench", jgf_crypt.source,
+        "IDEA-style block cipher encrypt/decrypt over int arrays.",
+    ),
+    "heapsort": Workload(
+        "heapsort", "JGFHeapSortBench", jgf_heapsort.source,
+        "In-place heapsort of a pseudo-random int array.",
+    ),
+    "moldyn": Workload(
+        "moldyn", "JGFMolDynBench", jgf_moldyn.source,
+        "Lennard-Jones molecular dynamics (N-body) iterations.",
+    ),
+    "search": Workload(
+        "search", "JGFSearchBench", jgf_search.source,
+        "Alpha-beta game-tree search over a small connect game.",
+    ),
+    "compress": Workload(
+        "compress", "SPEC JVM98 201_compress", spec_compress.source,
+        "LZW compression/decompression round trip.",
+    ),
+    "db": Workload(
+        "db", "SPEC JVM98 209_db", spec_db.source,
+        "In-memory address database: add/find/delete/sort operations.",
+    ),
+}
+
+#: the eight rows of the paper's Table 1 in row order
+TABLE1_ORDER = (
+    "create", "method", "crypt", "heapsort", "moldyn", "search", "compress", "db",
+)
+
+
+def get(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None

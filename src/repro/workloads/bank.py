@@ -1,0 +1,102 @@
+"""The Bank/Account running example — the paper's Figure 2, completed into a
+runnable program (the figure elides bodies)."""
+
+from __future__ import annotations
+
+_SIZES = {"test": 20, "bench": 200, "large": 2000}
+
+_TEMPLATE = """
+class Account {{
+    int id;
+    String name;
+    int checking;
+    int savings;
+    int loan;
+    Account(int id, String name, int savings, int checking, int loan) {{
+        this.id = id;
+        this.name = name;
+        this.savings = savings;
+        this.checking = checking;
+        this.loan = loan;
+    }}
+    int getId() {{ return id; }}
+    int getSavings() {{ return savings; }}
+    int getChecking() {{ return checking; }}
+    int getLoan() {{ return loan; }}
+    int getBalance() {{ return checking + savings; }}
+    void setBalance(int b) {{ checking = b - savings; }}
+}}
+
+class Bank {{
+    int id;
+    String name;
+    int numCustomers;
+    Vector accounts;
+    Bank(String name, int numCustomers, int initialBalance) {{
+        this.name = name;
+        this.numCustomers = numCustomers;
+        this.accounts = new Vector();
+        initializeAccounts(initialBalance);
+    }}
+    void initializeAccounts(int initialBalance) {{
+        int i = 0;
+        int n = numCustomers;
+        while (i < n) {{
+            Account a = new Account(i, "customer", initialBalance, 0, 0);
+            accounts.add(a);
+            i++;
+        }}
+    }}
+    void openAccount(Account a) {{
+        accounts.add(a);
+        numCustomers++;
+    }}
+    Account getCustomer(int customerID) {{
+        int i;
+        for (i = 0; i < accounts.size(); i++) {{
+            Account a = (Account) accounts.get(i);
+            if (a.getId() == customerID) {{ return a; }}
+        }}
+        return null;
+    }}
+    boolean withdraw(int customerID, int amount) {{
+        Account a = this.getCustomer(customerID);
+        if (a != null && a.getBalance() >= amount) {{
+            a.setBalance(a.getBalance() - amount);
+            return true;
+        }} else {{
+            return false;
+        }}
+    }}
+    int totalAssets() {{
+        int total = 0;
+        int i;
+        for (i = 0; i < accounts.size(); i++) {{
+            Account a = (Account) accounts.get(i);
+            total = total + a.getBalance();
+        }}
+        return total;
+    }}
+}}
+
+class BankMain {{
+    static void main(String[] args) {{
+        Bank merchants = new Bank("Merchants", {n}, 10000);
+        Account a4 = new Account(100001, "ABC Market", 1000000, 100000, 20000000);
+        Account a5 = new Account(100002, "CDE Outlet", 5000000, 300000, 150000000);
+        merchants.openAccount(a4);
+        merchants.openAccount(a5);
+        Account a = merchants.getCustomer(2);
+        merchants.withdraw(a.getId(), 900);
+        int i;
+        for (i = 0; i < {n}; i++) {{
+            merchants.withdraw(i, 100);
+        }}
+        Sys.println("assets=" + merchants.totalAssets());
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    return _TEMPLATE.format(n=_SIZES[size])

@@ -1,0 +1,107 @@
+"""JGFCreateBench — object and array creation rates.
+
+Mirrors the Java Grande section-1 benchmark variants the paper profiles in
+Table 3 (int[], long[], float[], Object[], Custom[]) and the class-count
+scale of Table 1's ``create*`` row (it is the biggest ODG in the paper: many
+allocation sites, most of them summary ``*`` instances)."""
+
+from __future__ import annotations
+
+_SIZES = {"test": (8, 16), "bench": (700, 64), "large": (4000, 128)}
+
+_TEMPLATE = """
+class Item {{
+    int tag;
+    Item(int tag) {{ this.tag = tag; }}
+    int getTag() {{ return tag; }}
+}}
+class SmallA {{ int a; SmallA() {{ a = 1; }} }}
+class SmallB {{ int b; SmallB() {{ b = 2; }} }}
+class SmallC {{ int c; SmallC() {{ c = 3; }} }}
+class SmallD {{ int d; SmallD() {{ d = 4; }} }}
+class CustomPair {{
+    Item left;
+    Item right;
+    CustomPair(Item l, Item r) {{ left = l; right = r; }}
+    int weight() {{ return left.getTag() + right.getTag(); }}
+}}
+
+class CreateBench {{
+    int checksum;
+    CreateBench() {{ checksum = 0; }}
+
+    void createIntArrays(int reps, int len) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            int[] a = new int[len];
+            a[0] = r;
+            checksum = checksum + a[0] + a.length;
+        }}
+    }}
+    void createLongArrays(int reps, int len) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            long[] a = new long[len];
+            a[0] = 1L + r;
+            checksum = checksum + (int) a[0];
+        }}
+    }}
+    void createFloatArrays(int reps, int len) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            float[] a = new float[len];
+            a[0] = 0.5 + r;
+            checksum = checksum + (int) a[0];
+        }}
+    }}
+    void createObjectArrays(int reps, int len) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            Item[] a = new Item[len];
+            a[0] = new Item(r);
+            checksum = checksum + a[0].getTag();
+        }}
+    }}
+    void createCustomObjects(int reps) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            Item l = new Item(r);
+            Item x = new Item(r + 1);
+            CustomPair p = new CustomPair(l, x);
+            checksum = checksum + p.weight();
+        }}
+    }}
+    void createSmall(int reps) {{
+        int r;
+        for (r = 0; r < reps; r++) {{
+            SmallA sa = new SmallA();
+            SmallB sb = new SmallB();
+            SmallC sc = new SmallC();
+            SmallD sd = new SmallD();
+            checksum = checksum + sa.a + sb.b + sc.c + sd.d;
+        }}
+    }}
+    int run(int reps, int len) {{
+        createIntArrays(reps, len);
+        createLongArrays(reps, len);
+        createFloatArrays(reps, len);
+        createObjectArrays(reps, len);
+        createCustomObjects(reps);
+        createSmall(reps);
+        return checksum;
+    }}
+}}
+
+class CreateMain {{
+    static void main(String[] args) {{
+        CreateBench bench = new CreateBench();
+        int sum = bench.run({reps}, {len});
+        Sys.println("create checksum=" + sum);
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    reps, length = _SIZES[size]
+    return _TEMPLATE.format(reps=reps, len=length)

@@ -1,0 +1,81 @@
+"""JGFHeapSortBench — in-place heapsort of a pseudo-random int array."""
+
+from __future__ import annotations
+
+_SIZES = {"test": 200, "bench": 4000, "large": 100000}
+
+_TEMPLATE = """
+class Sorter {{
+    int[] data;
+    Sorter(int n, long seed) {{
+        data = new int[n];
+        Random rng = new Random(seed);
+        int i;
+        for (i = 0; i < n; i++) {{
+            data[i] = rng.nextInt(1000000);
+        }}
+    }}
+    void siftDown(int start, int end) {{
+        int root = start;
+        while (root * 2 + 1 <= end) {{
+            int child = root * 2 + 1;
+            if (child + 1 <= end && data[child] < data[child + 1]) {{
+                child = child + 1;
+            }}
+            if (data[root] < data[child]) {{
+                int tmp = data[root];
+                data[root] = data[child];
+                data[child] = tmp;
+                root = child;
+            }} else {{
+                return;
+            }}
+        }}
+    }}
+    void sort() {{
+        int n = data.length;
+        int start;
+        for (start = n / 2 - 1; start >= 0; start--) {{
+            siftDown(start, n - 1);
+        }}
+        int end;
+        for (end = n - 1; end > 0; end--) {{
+            int tmp = data[end];
+            data[end] = data[0];
+            data[0] = tmp;
+            siftDown(0, end - 1);
+        }}
+    }}
+    boolean isSorted() {{
+        int i;
+        for (i = 1; i < data.length; i++) {{
+            if (data[i - 1] > data[i]) {{ return false; }}
+        }}
+        return true;
+    }}
+    int checksum() {{
+        int check = 0;
+        int i;
+        for (i = 0; i < data.length; i++) {{
+            check = (check * 31 + data[i]) % 1000003;
+        }}
+        return check;
+    }}
+}}
+
+class HeapSortMain {{
+    static void main(String[] args) {{
+        Sorter sorter = new Sorter({n}, 123L);
+        sorter.sort();
+        if (sorter.isSorted()) {{
+            Sys.println("heapsort check=" + sorter.checksum());
+        }} else {{
+            Sys.println("heapsort FAILED");
+        }}
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    return _TEMPLATE.format(n=_SIZES[size])

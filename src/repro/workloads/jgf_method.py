@@ -1,0 +1,68 @@
+"""JGFMethodBench — raw method invocation cost.
+
+Same-instance calls, other-instance calls and static calls in tight loops;
+the distribution-unfriendly workload (every call is a potential message),
+which is why the paper's Figure 11 shows it around break-even."""
+
+from __future__ import annotations
+
+_SIZES = {"test": 300, "bench": 15000, "large": 150000}
+
+_TEMPLATE = """
+class MethodTarget {{
+    int state;
+    MethodTarget() {{ state = 0; }}
+    int sameInstance(int x) {{ return x + 1; }}
+    int withState(int x) {{ state = state + x; return state; }}
+    static int staticMethod(int x) {{ return x + 2; }}
+}}
+
+class MethodBench {{
+    MethodTarget mine;
+    MethodBench() {{ mine = new MethodTarget(); }}
+
+    int callSame(int reps) {{
+        int acc = 0;
+        int i;
+        for (i = 0; i < reps; i++) {{
+            acc = mine.sameInstance(acc) % 100000;
+        }}
+        return acc;
+    }}
+    int callOther(MethodTarget other, int reps) {{
+        int acc = 0;
+        int i;
+        for (i = 0; i < reps; i++) {{
+            acc = other.withState(i) % 100000;
+        }}
+        return acc;
+    }}
+    int callStatic(int reps) {{
+        int acc = 0;
+        int i;
+        for (i = 0; i < reps; i++) {{
+            acc = MethodTarget.staticMethod(acc) % 100000;
+        }}
+        return acc;
+    }}
+    int run(int reps) {{
+        MethodTarget other = new MethodTarget();
+        int a = callSame(reps);
+        int b = callOther(other, reps);
+        int c = callStatic(reps);
+        return a + b + c;
+    }}
+}}
+
+class MethodMain {{
+    static void main(String[] args) {{
+        MethodBench bench = new MethodBench();
+        int result = bench.run({reps});
+        Sys.println("method result=" + result);
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    return _TEMPLATE.format(reps=_SIZES[size])

@@ -1,0 +1,108 @@
+"""JGFMolDynBench — Lennard-Jones molecular dynamics.
+
+The Java Grande MolDyn kernel: N particles, O(N^2) pairwise force
+evaluation, velocity-Verlet-style update, a few timesteps; energies reported
+as the checksum.  Float (binary64) arithmetic throughout."""
+
+from __future__ import annotations
+
+_SIZES = {"test": (16, 2), "bench": (90, 5), "large": (216, 8)}
+
+_TEMPLATE = """
+class ParticleSystem {{
+    float[] x;
+    float[] y;
+    float[] z;
+    float[] vx;
+    float[] vy;
+    float[] vz;
+    float[] fx;
+    float[] fy;
+    float[] fz;
+    int n;
+    float epot;
+    float ekin;
+
+    ParticleSystem(int n, long seed) {{
+        this.n = n;
+        x = new float[n];  y = new float[n];  z = new float[n];
+        vx = new float[n]; vy = new float[n]; vz = new float[n];
+        fx = new float[n]; fy = new float[n]; fz = new float[n];
+        Random rng = new Random(seed);
+        int i;
+        for (i = 0; i < n; i++) {{
+            x[i] = rng.nextFloat() * 10.0;
+            y[i] = rng.nextFloat() * 10.0;
+            z[i] = rng.nextFloat() * 10.0;
+            vx[i] = rng.nextFloat() - 0.5;
+            vy[i] = rng.nextFloat() - 0.5;
+            vz[i] = rng.nextFloat() - 0.5;
+        }}
+    }}
+
+    void computeForces() {{
+        int i;
+        for (i = 0; i < n; i++) {{
+            fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0;
+        }}
+        epot = 0.0;
+        int a;
+        for (a = 0; a < n - 1; a++) {{
+            int b;
+            for (b = a + 1; b < n; b++) {{
+                float dx = x[a] - x[b];
+                float dy = y[a] - y[b];
+                float dz = z[a] - z[b];
+                float r2 = dx * dx + dy * dy + dz * dz + 0.1;
+                float r6 = r2 * r2 * r2;
+                float force = (12.0 / (r6 * r6 * r2)) - (6.0 / (r6 * r2));
+                epot = epot + (1.0 / (r6 * r6)) - (1.0 / r6);
+                fx[a] = fx[a] + dx * force;
+                fy[a] = fy[a] + dy * force;
+                fz[a] = fz[a] + dz * force;
+                fx[b] = fx[b] - dx * force;
+                fy[b] = fy[b] - dy * force;
+                fz[b] = fz[b] - dz * force;
+            }}
+        }}
+    }}
+
+    void advance(float dt) {{
+        ekin = 0.0;
+        int i;
+        for (i = 0; i < n; i++) {{
+            vx[i] = vx[i] + fx[i] * dt;
+            vy[i] = vy[i] + fy[i] * dt;
+            vz[i] = vz[i] + fz[i] * dt;
+            x[i] = x[i] + vx[i] * dt;
+            y[i] = y[i] + vy[i] * dt;
+            z[i] = z[i] + vz[i] * dt;
+            ekin = ekin + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        }}
+    }}
+
+    float step(float dt) {{
+        computeForces();
+        advance(dt);
+        return epot + ekin;
+    }}
+}}
+
+class MolDynMain {{
+    static void main(String[] args) {{
+        ParticleSystem system = new ParticleSystem({n}, 99L);
+        float energy = 0.0;
+        int t;
+        for (t = 0; t < {steps}; t++) {{
+            energy = system.step(0.002);
+        }}
+        int check = (int) (energy * 1000.0);
+        Sys.println("moldyn check=" + check);
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    n, steps = _SIZES[size]
+    return _TEMPLATE.format(n=n, steps=steps)

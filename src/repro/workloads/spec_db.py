@@ -1,0 +1,139 @@
+"""SPEC JVM98 209_db — in-memory address database.
+
+The original reads an address file and executes a script of add / delete /
+find / sort operations over records of string fields.  This version keeps
+the record/Vector/entry-comparison structure with a deterministic synthetic
+operation stream."""
+
+from __future__ import annotations
+
+_SIZES = {"test": (40, 80), "bench": (150, 400), "large": (1000, 4000)}
+
+_TEMPLATE = """
+class DbRecord {{
+    int key;
+    String name;
+    String address;
+    int balance;
+    DbRecord(int key, String name, String address, int balance) {{
+        this.key = key;
+        this.name = name;
+        this.address = address;
+        this.balance = balance;
+    }}
+    int getKey() {{ return key; }}
+    String getName() {{ return name; }}
+    boolean sameName(String other) {{ return name.equals(other); }}
+}}
+
+class Database {{
+    Vector records;
+    int nextKey;
+    Database() {{ records = new Vector(); nextKey = 0; }}
+
+    int add(String name, String address, int balance) {{
+        DbRecord rec = new DbRecord(nextKey, name, address, balance);
+        records.add(rec);
+        nextKey++;
+        return rec.getKey();
+    }}
+    int indexOfKey(int key) {{
+        int i;
+        for (i = 0; i < records.size(); i++) {{
+            DbRecord rec = (DbRecord) records.get(i);
+            if (rec.getKey() == key) {{ return i; }}
+        }}
+        return -1;
+    }}
+    DbRecord findByName(String name) {{
+        int i;
+        for (i = 0; i < records.size(); i++) {{
+            DbRecord rec = (DbRecord) records.get(i);
+            if (rec.sameName(name)) {{ return rec; }}
+        }}
+        return null;
+    }}
+    boolean delete(int key) {{
+        int at = indexOfKey(key);
+        if (at < 0) {{ return false; }}
+        int last = records.size() - 1;
+        records.set(at, records.get(last));
+        records.removeLast();
+        return true;
+    }}
+    void sortByName() {{
+        // insertion sort on names (the original's shell sort is also
+        // comparison-driven; insertion keeps it simple and deterministic)
+        int n = records.size();
+        int i;
+        for (i = 1; i < n; i++) {{
+            DbRecord key = (DbRecord) records.get(i);
+            int j = i - 1;
+            boolean moving = true;
+            while (moving) {{
+                if (j < 0) {{ moving = false; }}
+                else {{
+                    DbRecord probe = (DbRecord) records.get(j);
+                    if (probe.getName().compareTo(key.getName()) > 0) {{
+                        records.set(j + 1, probe);
+                        j--;
+                    }} else {{ moving = false; }}
+                }}
+            }}
+            records.set(j + 1, key);
+        }}
+    }}
+    int size() {{ return records.size(); }}
+    int checksum() {{
+        int check = 0;
+        int i;
+        for (i = 0; i < records.size(); i++) {{
+            DbRecord rec = (DbRecord) records.get(i);
+            check = (check * 31 + rec.getKey() + rec.getName().hashCode()) % 1000003;
+        }}
+        return check;
+    }}
+}}
+
+class OpStream {{
+    Random rng;
+    OpStream(long seed) {{ rng = new Random(seed); }}
+    int nextOp() {{ return rng.nextInt(100); }}
+    String nextName() {{
+        int n = rng.nextInt(64);
+        return "name" + n;
+    }}
+}}
+
+class DbMain {{
+    static void main(String[] args) {{
+        Database db = new Database();
+        OpStream ops = new OpStream(2026L);
+        int i;
+        for (i = 0; i < {initial}; i++) {{
+            db.add(ops.nextName(), "street " + i, i * 10);
+        }}
+        int found = 0;
+        for (i = 0; i < {ops}; i++) {{
+            int op = ops.nextOp();
+            if (op < 35) {{
+                db.add(ops.nextName(), "street x", op);
+            }} else if (op < 60) {{
+                DbRecord rec = db.findByName(ops.nextName());
+                if (rec != null) {{ found++; }}
+            }} else if (op < 80) {{
+                db.delete(op * 3 % db.size());
+            }} else {{
+                db.sortByName();
+            }}
+        }}
+        db.sortByName();
+        Sys.println("db size=" + db.size() + " found=" + found + " check=" + db.checksum());
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    initial, ops = _SIZES[size]
+    return _TEMPLATE.format(initial=initial, ops=ops)

@@ -1,0 +1,187 @@
+"""Class relation graph + object dependence graph tests, checked against the
+paper's §2 worked example."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from helpers import compile_mj_raw
+
+from repro.analysis import (
+    build_crg,
+    build_odg,
+    compute_object_set,
+    rapid_type_analysis,
+)
+
+BANKISH = """
+class Account {
+    int savings;
+    Account(int savings) { this.savings = savings; }
+    int getSavings() { return savings; }
+}
+class Bank {
+    Vector accounts;
+    Bank(int n) {
+        accounts = new Vector();
+        int i = 0;
+        while (i < n) {
+            accounts.add(new Account(i));
+            i++;
+        }
+    }
+    void openAccount(Account a) { accounts.add(a); }
+    Account getCustomer(int i) { return (Account) accounts.get(i); }
+}
+class M {
+    static void main(String[] args) {
+        Bank bank = new Bank(10);
+        Account extra = new Account(99);
+        bank.openAccount(extra);
+        Account got = bank.getCustomer(0);
+        Sys.println(got.getSavings());
+    }
+}
+"""
+
+
+def analysis_of(src=BANKISH):
+    bp, _ = compile_mj_raw(src)
+    cg = rapid_type_analysis(bp)
+    crg = build_crg(cg)
+    objects = compute_object_set(cg)
+    odg = build_odg(cg, crg, objects)
+    return bp, cg, crg, objects, odg
+
+
+def test_crg_has_static_and_dynamic_parts():
+    _, _, crg, _, _ = analysis_of()
+    assert "ST_M" in crg.nodes
+    assert "DT_Bank" in crg.nodes
+    assert "DT_Account" in crg.nodes
+
+
+def test_crg_use_edges():
+    _, _, crg, _, _ = analysis_of()
+    assert crg.has_edge("ST_M", "DT_Bank", "use")
+    assert crg.has_edge("ST_M", "DT_Account", "use")
+    assert crg.has_edge("DT_Bank", "DT_Account", "use")
+
+
+def test_crg_export_edge_from_parameter():
+    # openAccount(Account) exports Account from M to Bank (paper Fig. 3)
+    _, _, crg, _, _ = analysis_of()
+    assert crg.has_edge("ST_M", "DT_Bank", "export", "Account")
+
+
+def test_crg_import_edge_from_return():
+    # getCustomer returning Account imports Account from Bank (paper Fig. 3)
+    _, _, crg, _, _ = analysis_of()
+    assert crg.has_edge("ST_M", "DT_Bank", "import", "Account")
+
+
+def test_builtins_excluded_from_crg():
+    _, _, crg, _, _ = analysis_of()
+    assert not any("Vector" in str(n) for n in crg.nodes)
+    assert not any("Sys" in str(n) for n in crg.nodes)
+
+
+def test_object_set_multiplicities():
+    _, _, _, objects, _ = analysis_of()
+    labels = sorted(o.label for o in objects)
+    # loop-created accounts are summary instances
+    assert "*DT_Account" in labels
+    # main's bank and extra account are single instances
+    assert "1DT_Bank" in labels
+    assert "1DT_Account" in labels
+    # static part of M is a pseudo-object
+    assert "1ST_M" in labels
+    # the Vector created in Bank's ctor is an object too (Fig. 4 shows it)
+    assert any("Vector" in o.label for o in objects)
+
+
+def test_object_in_multi_executed_method_is_summary():
+    src = """
+    class Node { Node() { } }
+    class Factory { Node make() { return new Node(); } }
+    class M {
+        static void main(String[] args) {
+            Factory f = new Factory();
+            int i;
+            for (i = 0; i < 3; i++) { Node n = f.make(); }
+        }
+    }
+    """
+    _, _, _, objects, _ = analysis_of(src)
+    node_objs = [o for o in objects if o.class_name == "Node"]
+    assert node_objs and all(o.summary for o in node_objs)
+
+
+def test_odg_create_edges():
+    _, _, _, objects, odg = analysis_of()
+    creates = {(odg.nodes[e.src], odg.nodes[e.dst]) for e in odg.edges("create")}
+    assert ("1ST_M", "1DT_Bank") in creates
+    assert ("1ST_M", "1DT_Account") in creates
+    assert ("1DT_Bank", "*DT_Account") in creates
+
+
+def test_odg_export_propagates_reference():
+    # M exports 'extra' to Bank via openAccount => Bank references/uses it
+    _, _, _, objects, odg = analysis_of()
+    pairs = {(odg.nodes[e.src], odg.nodes[e.dst]) for e in odg.edges()}
+    assert ("1DT_Bank", "1DT_Account") in pairs
+
+
+def test_odg_use_edges_follow_class_use():
+    _, _, _, _, odg = analysis_of()
+    uses = {(odg.nodes[e.src], odg.nodes[e.dst]) for e in odg.edges("use")}
+    assert ("1DT_Bank", "*DT_Account") in uses
+    assert ("1ST_M", "1DT_Bank") in uses
+
+
+def test_reference_relation_kept_but_redundant():
+    _, _, _, _, odg = analysis_of()
+    # the partition graph ignores 'reference' edges (paper: "we can safely
+    # abandon it")
+    g, order = odg.partition_graph()
+    for e in odg.edges("reference"):
+        pass  # existence is fine
+    kinds_in_partition_graph = {"use", "create"}
+    total = sum(
+        1 for e in odg.edges() if e.kind in kinds_in_partition_graph and e.src != e.dst
+    )
+    assert g.num_edges <= total  # merged directions can only shrink
+
+
+def test_odg_fixpoint_terminates_on_cycles():
+    src = """
+    class A { B partner; void setB(B b) { partner = b; } }
+    class B { A partner; void setA(A a) { partner = a; } }
+    class M {
+        static void main(String[] args) {
+            A a = new A();
+            B b = new B();
+            a.setB(b);
+            b.setA(a);
+        }
+    }
+    """
+    _, _, _, objects, odg = analysis_of(src)
+    pairs = {(odg.nodes[e.src], odg.nodes[e.dst]) for e in odg.edges()}
+    assert ("1DT_A", "1DT_B") in pairs
+    assert ("1DT_B", "1DT_A") in pairs
+
+
+def test_edge_volumes_positive():
+    _, _, crg, _, odg = analysis_of()
+    for e in crg.edges("use"):
+        assert e.volume > 0
+        assert e.count >= 1
+
+
+def test_vcg_export_well_formed():
+    _, _, crg, _, odg = analysis_of()
+    vcg = crg.to_vcg("test")
+    assert vcg.startswith("graph: {") and vcg.endswith("}")
+    assert vcg.count("node:") == crg.num_nodes

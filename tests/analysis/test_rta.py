@@ -1,0 +1,126 @@
+"""Rapid Type Analysis tests."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.analysis import rapid_type_analysis
+from repro.errors import AnalysisError
+
+
+def cg_of(src: str):
+    bp, _ = compile_mj_raw(src)
+    return rapid_type_analysis(bp)
+
+
+def test_main_is_reachable():
+    cg = cg_of("class M { static void main(String[] a) { } }")
+    assert "M.main" in cg.reachable
+
+
+def test_uncalled_method_not_reachable():
+    cg = cg_of("""
+    class A { void used() { } void unused() { } }
+    class M { static void main(String[] a) { new A().used(); } }
+    """)
+    assert "A.used" in cg.reachable
+    assert "A.unused" not in cg.reachable
+
+
+def test_instantiated_types_tracked():
+    cg = cg_of("""
+    class A { }
+    class B { }
+    class M { static void main(String[] a) { A x = new A(); } }
+    """)
+    assert "A" in cg.instantiated
+    assert "B" not in cg.instantiated
+
+
+def test_virtual_call_resolved_only_against_instantiated_types():
+    cg = cg_of("""
+    class Base { void f() { } }
+    class Sub1 extends Base { void f() { } }
+    class Sub2 extends Base { void f() { } }
+    class M {
+        static void main(String[] a) {
+            Base b = new Sub1();
+            b.f();
+        }
+    }
+    """)
+    callees = cg.callees("M.main")
+    assert "Sub1.f" in callees
+    assert "Sub2.f" not in callees  # never instantiated
+    assert "Base.f" not in callees
+
+
+def test_inherited_method_resolves_to_declaring_class():
+    cg = cg_of("""
+    class Base { void f() { } }
+    class Sub extends Base { }
+    class M { static void main(String[] a) { new Sub().f(); } }
+    """)
+    assert "Base.f" in cg.callees("M.main")
+
+
+def test_transitive_reachability():
+    cg = cg_of("""
+    class A { void f(B b) { b.g(); } }
+    class B { void g() { h(); } void h() { } }
+    class M { static void main(String[] a) { new A().f(new B()); } }
+    """)
+    for q in ("A.f", "B.g", "B.h"):
+        assert q in cg.reachable
+
+
+def test_recursion_handled():
+    cg = cg_of("""
+    class M {
+        static int f(int n) { if (n == 0) { return 0; } return f(n - 1); }
+        static void main(String[] a) { f(3); }
+    }
+    """)
+    assert ("M.f", 3) in cg.edges["M.f"] or any(
+        callee == "M.f" for callee, _ in cg.edges["M.f"]
+    )
+
+
+def test_clinit_always_reachable():
+    cg = cg_of("""
+    class Config { static int x = 5; }
+    class M { static void main(String[] a) { } }
+    """)
+    assert "Config.<clinit>" in cg.reachable
+
+
+def test_ctor_reachable_through_new():
+    cg = cg_of("""
+    class A { A() { helper(); } void helper() { } }
+    class M { static void main(String[] a) { new A(); } }
+    """)
+    assert "A.<init>" in cg.reachable
+    assert "A.helper" in cg.reachable
+
+
+def test_call_sites_of():
+    cg = cg_of("""
+    class A { void f() { } }
+    class M { static void main(String[] a) { A x = new A(); x.f(); x.f(); } }
+    """)
+    sites = cg.call_sites_of("A.f")
+    assert len(sites) == 2
+    assert all(caller == "M.main" for caller, _ in sites)
+
+
+def test_entry_required():
+    bp, _ = compile_mj_raw("class A { void f() { } }")
+    with pytest.raises(AnalysisError):
+        rapid_type_analysis(bp)
+    cg = rapid_type_analysis(bp, entry="A.f")
+    assert "A.f" in cg.reachable

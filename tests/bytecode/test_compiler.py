@@ -1,0 +1,164 @@
+"""Bytecode compiler structural tests: the emitted instruction shapes the
+rest of the infrastructure pattern-matches on."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.bytecode import opcodes as op
+from repro.errors import CompileError
+
+
+def method_ops(src: str, cls: str, name: str):
+    bp, _ = compile_mj_raw(src)
+    return [ins.op for ins in bp.classes[cls].methods[name].flat()]
+
+
+def test_new_compiles_to_new_dup_invokespecial():
+    ops = method_ops(
+        """
+        class A { A(int x) { } }
+        class M { static void main(String[] a) { A o = new A(1); } }
+        """,
+        "M", "main",
+    )
+    i = ops.index(op.NEW)
+    assert ops[i + 1] == op.DUP
+    assert op.INVOKESPECIAL in ops[i + 2 :]
+
+
+def test_string_concat_lowers_to_str_concat():
+    bp, _ = compile_mj_raw(
+        'class M { static void main(String[] a) { Sys.println("x" + 1); } }'
+    )
+    instrs = list(bp.classes["M"].methods["main"].flat())
+    calls = [(i.a, i.b) for i in instrs if i.op == op.INVOKESTATIC]
+    assert ("Str", "concat") in calls
+    assert ("Sys", "println") in calls
+
+
+def test_instance_field_init_runs_in_ctor():
+    bp, _ = compile_mj_raw("class A { int x = 42; }")
+    ctor = bp.classes["A"].methods["<init>"]
+    ops = [i.op for i in ctor.flat()]
+    assert op.PUTFIELD in ops
+    assert ops[-1] == op.RETURN
+
+
+def test_static_init_becomes_clinit():
+    bp, _ = compile_mj_raw("class A { static int x = 42; static int y; }")
+    clinit = bp.classes["A"].methods["<clinit>"]
+    ops = [i.op for i in clinit.flat()]
+    assert ops.count(op.PUTSTATIC) == 1  # only initialized fields
+
+
+def test_no_clinit_without_static_inits():
+    bp, _ = compile_mj_raw("class A { static int x; int y = 1; }")
+    assert "<clinit>" not in bp.classes["A"].methods
+
+
+def test_widening_conversions_inserted():
+    ops = method_ops(
+        "class M { static void main(String[] a) { long l = 1; float f = l; } }",
+        "M", "main",
+    )
+    assert op.I2L in ops
+    assert op.L2F in ops
+
+
+def test_comparison_in_value_position_materializes():
+    ops = method_ops(
+        "class M { static void main(String[] a) { boolean b = 1 < 2; } }",
+        "M", "main",
+    )
+    assert op.IF_ICMP in ops
+    assert ops.count(op.LDC) >= 4  # 1, 2, true, false
+
+
+def test_condition_in_branch_position_does_not_materialize():
+    ops = method_ops(
+        "class M { static void main(String[] a) { if (1 < 2) { Sys.println(1); } } }",
+        "M", "main",
+    )
+    assert ops.count(op.IF_ICMP) == 1
+    assert op.IFFALSE not in ops
+
+
+def test_superclass_with_args_ctor_rejected_for_implicit_chain():
+    with pytest.raises(CompileError, match="zero-arg"):
+        compile_mj_raw(
+            """
+            class Base { Base(int x) { } }
+            class Child extends Base { }
+            """
+        )
+
+
+def test_main_class_detected():
+    bp, _ = compile_mj_raw(
+        "class A { } class M { static void main(String[] a) { } }"
+    )
+    assert bp.main_class == "M"
+
+
+def test_max_locals_accounts_for_params_and_temps():
+    bp, _ = compile_mj_raw(
+        """
+        class A {
+            int f(int a, int b) { int c = a + b; int d = c * 2; return d; }
+        }
+        """
+    )
+    m = bp.classes["A"].methods["f"]
+    assert m.max_locals >= 5  # this, a, b, c, d
+
+
+def test_flat_resolves_labels_to_indices():
+    bp, _ = compile_mj_raw(
+        """
+        class M {
+            static int f(int n) {
+                int s = 0;
+                while (n > 0) { s += n; n--; }
+                return s;
+            }
+        }
+        """
+    )
+    flat = bp.classes["M"].methods["f"].flat()
+    for ins in flat:
+        if ins.op in op.BRANCHES:
+            target = ins.b if ins.op in op.CMP_BRANCHES else ins.a
+            assert isinstance(target, int)
+            assert 0 <= target <= len(flat)
+
+
+def test_program_copy_is_deep():
+    bp, _ = compile_mj_raw("class M { static void main(String[] a) { int x = 1; } }")
+    cp = bp.copy()
+    cp.classes["M"].methods["main"].code.clear()
+    assert len(bp.classes["M"].methods["main"].code) > 0
+
+
+def test_size_bytes_positive_and_additive():
+    bp, _ = compile_mj_raw(
+        "class A { int x; void f() { x = 1; } } class B { }"
+    )
+    assert bp.size_bytes() > 0
+    assert bp.size_bytes() >= bp.classes["A"].size_bytes()
+
+
+def test_pop_inserted_for_discarded_values():
+    ops = method_ops(
+        """
+        class A { int f() { return 1; } }
+        class M { static void main(String[] a) { A o = new A(); o.f(); } }
+        """,
+        "M", "main",
+    )
+    assert op.POP in ops

@@ -1,0 +1,69 @@
+"""Disassembler formatting tests (the Figure 8/9 rendering layer)."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from helpers import compile_mj_raw
+
+from repro.bytecode import disassemble_method, disassemble_program
+
+
+SRC = """
+class Account {
+    int savings;
+    int getSavings() { return savings; }
+}
+class M {
+    static void main(String[] a) {
+        Account acc = new Account();
+        Sys.println(acc.getSavings());
+    }
+}
+"""
+
+
+def test_method_listing_shape():
+    bp, _ = compile_mj_raw(SRC)
+    text = disassemble_method(bp.classes["M"].methods["main"])
+    lines = text.splitlines()
+    assert lines[0].startswith("static void M.main")
+    # javap-ish "index: op" rows
+    assert any(": new Account" in line for line in lines)
+    assert any(": invokespecial Account.<init>:(0)" in line for line in lines)
+    assert any(": invokevirtual Account.getSavings:(0)" in line for line in lines)
+    assert any(": astore" in line for line in lines)
+
+
+def test_ldc_rendering():
+    bp, _ = compile_mj_raw(
+        'class M { static void main(String[] a) { Sys.println("hi"); int x = 7; } }'
+    )
+    text = disassemble_method(bp.classes["M"].methods["main"])
+    assert 'ldc "hi"' in text
+    assert "ldc 7 (int)" in text
+
+
+def test_branch_rendering_uses_indices():
+    bp, _ = compile_mj_raw(
+        "class M { static void main(String[] a) { int i = 0; while (i < 3) { i++; } } }"
+    )
+    text = disassemble_method(bp.classes["M"].methods["main"])
+    assert "goto ->" in text
+    assert "if_icmp" in text
+
+
+def test_program_listing_contains_all_classes():
+    bp, _ = compile_mj_raw(SRC)
+    text = disassemble_program(bp)
+    assert "class Account extends Object {" in text
+    assert "class M extends Object {" in text
+    assert "int savings;" in text
+
+
+def test_getfield_rendering():
+    bp, _ = compile_mj_raw(SRC)
+    text = disassemble_method(bp.classes["Account"].methods["getSavings"])
+    assert "getfield Account.savings" in text
+    assert "ireturn" in text

@@ -1,0 +1,116 @@
+"""Bytecode verifier tests — including the property that compiler output and
+rewriter output always verify."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.model import BMethod
+from repro.bytecode.verifier import VerifyError, verify_method, verify_program
+from repro.distgen import build_plan, rewrite_program
+from repro.lang.symbols import ClassTable
+from repro.lang.types import INT, VOID
+from repro.workloads import WORKLOADS
+
+
+def hand_method(ret=VOID, params=()):
+    return BMethod("T", "m", list(params), ret, True, False)
+
+
+def test_underflow_detected():
+    m = hand_method()
+    m.emit(op.POP)
+    m.emit(op.RETURN)
+    with pytest.raises(VerifyError, match="underflow"):
+        verify_method(m, ClassTable())
+
+
+def test_leftover_stack_at_return_detected():
+    m = hand_method()
+    m.emit(op.LDC, 1, "I")
+    m.emit(op.RETURN)
+    with pytest.raises(VerifyError, match="values left"):
+        verify_method(m, ClassTable())
+
+
+def test_fall_off_end_detected():
+    m = hand_method()
+    m.emit(op.LDC, 1, "I")
+    m.emit(op.POP)
+    with pytest.raises(VerifyError, match="falls off"):
+        verify_method(m, ClassTable())
+
+
+def test_inconsistent_join_depth_detected():
+    from repro.bytecode.model import Label
+
+    m = hand_method()
+    join = Label("J")
+    skip = Label("S")
+    m.emit(op.LDC, 1, "I")
+    m.emit(op.IFTRUE, skip)      # depth 0 after
+    m.emit(op.LDC, 7, "I")       # depth 1 on fallthrough
+    m.place(skip)                 # join: 0 vs 1
+    m.place(join)
+    m.emit(op.RETURN)
+    with pytest.raises(VerifyError, match="inconsistent"):
+        verify_method(m, ClassTable())
+
+
+def test_value_method_with_bare_return_detected():
+    m = hand_method(ret=INT)
+    m.emit(op.RETURN)
+    with pytest.raises(VerifyError, match="bare return"):
+        verify_method(m, ClassTable())
+
+
+def test_void_method_with_value_return_detected():
+    m = hand_method()
+    m.emit(op.LDC, 1, "I")
+    m.emit(op.IRETURN)
+    with pytest.raises(VerifyError, match="value return"):
+        verify_method(m, ClassTable())
+
+
+def test_max_depth_reported():
+    m = hand_method()
+    m.emit(op.LDC, 1, "I")
+    m.emit(op.LDC, 2, "I")
+    m.emit(op.LDC, 3, "I")
+    m.emit(op.IADD)
+    m.emit(op.IADD)
+    m.emit(op.POP)
+    m.emit(op.RETURN)
+    assert verify_method(m, ClassTable()) == 3
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_compiler_output_always_verifies(name):
+    bp, _ = compile_mj_raw(WORKLOADS[name].source("test"))
+    depths = verify_program(bp)
+    assert depths
+    assert all(d >= 0 for d in depths.values())
+
+
+@pytest.mark.parametrize("name", ["bank", "crypt", "db", "create"])
+def test_rewriter_output_always_verifies(name):
+    """The communication rewriter preserves stack discipline."""
+    bp, _ = compile_mj_raw(WORKLOADS[name].source("test"))
+    from repro.distgen.plan import DistributionPlan
+
+    plan = DistributionPlan(
+        nparts=2,
+        granularity="class",
+        class_home={c: 0 for c in bp.classes},
+        dependent_classes=set(bp.classes),
+        main_partition=0,
+    )
+    rewritten, stats = rewrite_program(bp, plan)
+    assert stats.total > 0
+    verify_program(rewritten)

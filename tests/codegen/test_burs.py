@@ -1,0 +1,90 @@
+"""BURS engine tests: DP labeling, chain rules, minimum-cost derivations."""
+
+import pytest
+
+from repro.codegen.burs import BURS, Rule, aux
+from repro.codegen.tree import TreeNode
+from repro.errors import CodegenError
+
+
+def leaf(op, value=None):
+    return TreeNode(op, value=value)
+
+
+def make_engine(record):
+    """A toy ISA with two ways to add: reg+imm (cheap) and reg+reg
+    (requires materializing the immediate first — expensive path)."""
+    rules = [
+        Rule("reg", ("REG",), 0, lambda ctx, n, k: f"r{n.value}"),
+        Rule("imm", ("ICONST",), 0, lambda ctx, n, k: n.value),
+        Rule("reg", "imm", 2,
+             lambda ctx, n, k: (record.append(f"mov t,{k[0]}"), "t")[-1]),
+        Rule("stmt", ("ADD", "reg", "reg", "imm"), 1,
+             lambda ctx, n, k: record.append(f"addi {k[0]},{k[1]},{k[2]}")),
+        Rule("stmt", ("ADD", "reg", "reg", "reg"), 1,
+             lambda ctx, n, k: record.append(f"addr {k[0]},{k[1]},{k[2]}")),
+    ]
+    return BURS(rules)
+
+
+def test_min_cost_derivation_prefers_immediate_form():
+    record = []
+    engine = make_engine(record)
+    tree = TreeNode("ADD", kids=[leaf("REG", 1), leaf("REG", 2), leaf("ICONST", 7)])
+    engine.generate(tree, "stmt", None)
+    assert record == ["addi r1,r2,7"]  # not the mov+addr path
+
+
+def test_chain_rule_used_when_needed():
+    record = []
+    rules = [
+        Rule("reg", ("REG",), 0, lambda ctx, n, k: f"r{n.value}"),
+        Rule("imm", ("ICONST",), 0, lambda ctx, n, k: n.value),
+        Rule("reg", "imm", 2,
+             lambda ctx, n, k: (record.append(f"mov t,{k[0]}"), "t")[-1]),
+        # ONLY a reg,reg form exists: the immediate must be materialized
+        Rule("stmt", ("ADD", "reg", "reg", "reg"), 1,
+             lambda ctx, n, k: record.append(f"addr {k[0]},{k[1]},{k[2]}")),
+    ]
+    engine = BURS(rules)
+    tree = TreeNode("ADD", kids=[leaf("REG", 1), leaf("REG", 2), leaf("ICONST", 7)])
+    engine.generate(tree, "stmt", None)
+    assert record == ["mov t,7", "addr r1,r2,t"]
+
+
+def test_labeling_computes_costs():
+    record = []
+    engine = make_engine(record)
+    tree = TreeNode("ADD", kids=[leaf("REG", 1), leaf("REG", 2), leaf("ICONST", 7)])
+    engine.label(tree)
+    assert tree.state is not None
+    cost, rule = tree.state["stmt"]
+    assert cost == 1  # addi directly
+
+
+def test_no_derivation_raises():
+    record = []
+    engine = make_engine(record)
+    tree = TreeNode("MUL", kids=[leaf("REG", 1), leaf("REG", 2), leaf("REG", 3)])
+    engine.label(tree)
+    with pytest.raises(CodegenError, match="no derivation"):
+        engine.reduce(tree, "stmt", None)
+
+
+def test_aux_leaves_not_matched_but_accessible():
+    record = []
+    rules = [
+        Rule("imm", ("ICONST",), 0, lambda ctx, n, k: n.value),
+        Rule("stmt", ("JUMP",), 1,
+             lambda ctx, n, k: record.append(f"jmp BB{aux(n, 'TARGET')}")),
+    ]
+    engine = BURS(rules)
+    tree = TreeNode("JUMP", kids=[TreeNode("TARGET", value=4)])
+    engine.generate(tree, "stmt", None)
+    assert record == ["jmp BB4"]
+
+
+def test_aux_missing_raises():
+    tree = TreeNode("JUMP", kids=[])
+    with pytest.raises(CodegenError, match="no TARGET"):
+        aux(tree, "TARGET")

@@ -1,0 +1,24 @@
+"""Pytest fixtures; helper functions live in tests/helpers.py."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import pytest
+
+from helpers import compile_mj, compile_mj_raw, run_mj  # noqa: F401
+
+
+@pytest.fixture
+def bank_loaded():
+    from repro.workloads import WORKLOADS
+
+    return compile_mj(WORKLOADS["bank"].source("test"))
+
+
+@pytest.fixture
+def bank_program():
+    from repro.workloads import WORKLOADS
+
+    return compile_mj_raw(WORKLOADS["bank"].source("test"))[0]

@@ -1,0 +1,113 @@
+"""Distribution plan + dependence classification tests."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.analysis import build_crg, rapid_type_analysis
+from repro.distgen import build_plan, build_plans, classify_dependent
+from repro.distgen.classify import classify_dependent_crg
+from repro.errors import AnalysisError
+from repro.workloads import WORKLOADS
+
+
+def bank_bp():
+    return compile_mj_raw(WORKLOADS["bank"].source("test"))[0]
+
+
+def test_plan_covers_all_user_classes():
+    bp = bank_bp()
+    plan = build_plan(bp, 2, force_distribution=True)
+    for cls in bp.classes:
+        assert cls in plan.class_home
+
+
+def test_plan_partitions_in_range():
+    bp = bank_bp()
+    for n in (1, 2, 3):
+        plan = build_plan(bp, n)
+        assert all(0 <= p < n for p in plan.class_home.values())
+        assert 0 <= plan.main_partition < n
+
+
+def test_single_partition_has_no_dependents():
+    plan = build_plan(bank_bp(), 1)
+    assert plan.dependent_classes == set()
+    assert plan.rewritten_classes() == set()
+
+
+def test_pin_main_respected():
+    bp = bank_bp()
+    plan = build_plan(bp, 2, pin_main_to=1, force_distribution=True)
+    assert plan.main_partition == 1
+
+
+def test_object_granularity_has_site_homes():
+    bp = bank_bp()
+    plan = build_plan(bp, 2, granularity="object")
+    assert plan.granularity == "object"
+    assert isinstance(plan.site_home, dict)
+    for (method, idx), home in plan.site_home.items():
+        assert 0 <= home < 2
+        assert "." in method and idx >= 0
+
+
+def test_home_of_site_falls_back_to_class():
+    bp = bank_bp()
+    plan = build_plan(bp, 2, granularity="class", force_distribution=True)
+    home = plan.home_of_site("Bank.initializeAccounts", 99, "Account")
+    assert home == plan.class_home["Account"]
+
+
+def test_unknown_granularity_rejected():
+    with pytest.raises(AnalysisError):
+        build_plan(bank_bp(), 2, granularity="module")
+
+
+def test_offline_plans_for_1_to_n():
+    plans = build_plans(bank_bp(), 3)
+    assert [p.nparts for p in plans] == [1, 2, 3]
+
+
+def test_classification_cross_edges_only():
+    bp = bank_bp()
+    cg = rapid_type_analysis(bp)
+    crg = build_crg(cg)
+    all_same = {node: 0 for node in crg.nodes}
+    assert classify_dependent_crg(crg, all_same) == set()
+    # force Bank's dynamic part to the other side: both endpoints of any
+    # crossing edge become dependent
+    split = dict(all_same)
+    split["DT_Bank"] = 1
+    dependent = classify_dependent_crg(crg, split)
+    assert "Bank" in dependent
+    assert "Account" in dependent or "BankMain" in dependent
+
+
+def test_classify_dispatches_on_graph_type():
+    bp = bank_bp()
+    cg = rapid_type_analysis(bp)
+    crg = build_crg(cg)
+    assert classify_dependent(crg, {n: 0 for n in crg.nodes}) == set()
+
+
+def test_cost_model_colocates_chatty_db():
+    bp, _ = compile_mj_raw(WORKLOADS["db"].source("test"))
+    plan = build_plan(bp, 2, tpwgts=[0.68, 0.32], pin_main_to=1)
+    # db is chatty: the cost model keeps everything with main
+    assert len(set(plan.class_home.values())) == 1
+
+
+def test_cost_model_splits_compute_heavy_crypt():
+    bp, _ = compile_mj_raw(WORKLOADS["crypt"].source("test"))
+    plan = build_plan(bp, 2, tpwgts=[0.68, 0.32], pin_main_to=1)
+    homes = set(plan.class_home.values())
+    assert len(homes) == 2  # kernel offloaded away from main
+    assert plan.class_home["CryptEngine"] != plan.main_partition
+    # the hot engine<->keys pair stays together
+    assert plan.class_home["CryptEngine"] == plan.class_home["KeySchedule"]

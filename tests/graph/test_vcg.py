@@ -1,0 +1,42 @@
+"""VCG export tests."""
+
+from repro.graph.vcg import vcg_digraph, vcg_graph
+from repro.graph.wgraph import WeightedGraph
+
+
+def test_digraph_format():
+    text = vcg_digraph(
+        "t",
+        [("a", "ST_A"), ("b", "DT_B")],
+        [("a", "b", "use"), ("b", "a", "export")],
+    )
+    assert text.startswith("graph: {")
+    assert text.rstrip().endswith("}")
+    assert 'node: { title: "a" label: "ST_A" }' in text
+    assert 'sourcename: "a" targetname: "b"' in text
+    assert 'label: "use" color: blue' in text
+    assert 'label: "export" color: red' in text
+
+
+def test_quotes_escaped():
+    text = vcg_digraph("t", [('x"y', 'la"bel')], [])
+    assert '"x\'y"' in text
+    assert '"la\'bel"' in text
+
+
+def test_weighted_graph_with_partitions():
+    g = WeightedGraph()
+    g.add_node("alpha")
+    g.add_node("beta")
+    g.add_edge(0, 1, 2.5)
+    text = vcg_graph(g, "demo", parts=[0, 1])
+    assert 'label: "alpha [0]"' in text
+    assert 'label: "beta [1]"' in text
+    assert 'label: "2.5"' in text
+
+
+def test_weighted_graph_without_partitions():
+    g = WeightedGraph()
+    g.add_node("alpha")
+    text = vcg_graph(g)
+    assert "[0]" not in text

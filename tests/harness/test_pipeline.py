@@ -1,0 +1,82 @@
+"""Pipeline / harness integration tests (fast versions of the benches)."""
+
+import pytest
+
+from repro.harness.figures import fig3_fig4, fig5, fig6, fig7, fig8_fig9
+from repro.harness.pipeline import Pipeline, compile_workload
+from repro.harness.tables import run_profiled
+from repro.runtime.cluster import paper_testbed
+
+
+def test_compile_workload_caches_nothing_weird():
+    w1 = compile_workload("bank", "test")
+    w2 = compile_workload("bank", "test")
+    assert w1.num_classes == w2.num_classes == 3
+    assert w1.bprogram is not w2.bprogram
+
+
+def test_analysis_timings_populated():
+    pipe = Pipeline("bank", "test")
+    a = pipe.analyze()
+    t = a.timings
+    assert t.construct_crg_ms > 0
+    assert t.construct_odg_ms >= 0
+    assert t.partition_trg_ms >= 0
+    assert t.partition_odg_ms >= 0
+
+
+def test_analysis_cached():
+    pipe = Pipeline("bank", "test")
+    assert pipe.analyze() is pipe.analyze()
+
+
+def test_speedup_validates_output_equality():
+    pipe = Pipeline("method", "test")
+    s = pipe.speedup()
+    assert s["speedup_pct"] > 0
+    assert s["messages"] >= 1
+    assert s["sequential_s"] > 0 and s["distributed_s"] > 0
+
+
+def test_plan_uses_cluster_capacities():
+    pipe = Pipeline("crypt", "test")
+    plan = pipe.plan(2, cluster=paper_testbed())
+    # main pinned to the slow machine (node 1 of the paper testbed)
+    assert plan.main_partition == 1
+
+
+def test_run_distributed_returns_stats():
+    pipe = Pipeline("heapsort", "test")
+    result, plan, stats = pipe.run_distributed(2)
+    assert result.makespan_s > 0
+    assert len(result.node_stats) == 2
+    assert result.stdout
+    assert plan.nparts == 2
+
+
+def test_figures_generate():
+    crg_vcg, odg_vcg = fig3_fig4("test")
+    assert "graph: {" in crg_vcg and "graph: {" in odg_vcg
+    assert "IFCMP_I IConst: 4, IConst: 2, LE, BB4" in fig5()
+    assert "ICONST:4" in fig6()
+    listings = fig7()
+    assert set(listings) == {"x86", "StrongARM"}
+    rewrites = fig8_fig9("test")
+    assert "invokevirtual DependentObject.access" in rewrites["fig8_after"]
+    assert "invokestatic DependentObject.create" in rewrites["fig9_after"]
+
+
+def test_run_profiled_returns_cycles_and_report():
+    cycles, report = run_profiled("bank", "method-frequency", "test")
+    assert cycles > 0
+    assert report.data["counts"]
+
+
+def test_map_partitions_fastest_gets_heaviest():
+    pipe = Pipeline("heapsort", "test")
+    plan = pipe.plan(2, pin_main=False)
+    mapped = pipe.map_partitions(plan, paper_testbed())
+    assert len(mapped.nodes) == 2
+    # the kernel class partition must get the 1.7 GHz machine
+    kernel_part = plan.class_home.get("Sorter", 0)
+    assert mapped.nodes[kernel_part].cpu_hz == 1.7e9

@@ -1,0 +1,47 @@
+"""Shared test helper functions (import via `from helpers import ...`)."""
+
+from __future__ import annotations
+
+from repro.bytecode import compile_program
+from repro.lang import analyze, parse_program
+from repro.vm import load_program, run_main
+from repro.vm.interpreter import Machine, run_sync
+
+
+def compile_mj(source: str):
+    """MJ source -> LoadedProgram."""
+    ast = parse_program(source)
+    table = analyze(ast)
+    return load_program(compile_program(ast, table))
+
+
+def compile_mj_raw(source: str):
+    """MJ source -> (BProgram, ClassTable) without loading."""
+    ast = parse_program(source)
+    table = analyze(ast)
+    return compile_program(ast, table), table
+
+
+def run_mj(source: str):
+    """Compile + run main; returns the finished Machine."""
+    return run_main(compile_mj(source))
+
+
+def stdout_of(source: str):
+    return run_mj(source).stdout
+
+
+def eval_expr(expr: str, decls: str = "", ty: str = "int"):
+    """Evaluate one MJ expression inside a synthesized main; returns the
+    printed value text."""
+    src = f"""
+    class EvalHost {{
+        {decls}
+        static void main(String[] args) {{
+            {ty} result = {expr};
+            Sys.println("" + result);
+        }}
+    }}
+    """
+    out = stdout_of(src)
+    return out[-1]

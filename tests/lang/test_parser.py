@@ -1,0 +1,237 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.types import BOOLEAN, FLOAT, INT, LONG, ArrayType, ClassType, VOID
+
+
+def parse_class(body: str) -> ast.ClassDecl:
+    return parse_program(f"class T {{ {body} }}").classes[0]
+
+
+def parse_method_body(stmts: str):
+    cd = parse_class(f"void m() {{ {stmts} }}")
+    return cd.methods[0].body.stmts
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    stmts = parse_method_body(f"int x = {expr};")
+    return stmts[0].init
+
+
+def test_empty_class():
+    cd = parse_class("")
+    assert cd.name == "T"
+    assert cd.superclass is None
+    assert cd.fields == [] and cd.methods == []
+
+
+def test_extends():
+    prog = parse_program("class A {} class B extends A {}")
+    assert prog.classes[1].superclass == "A"
+
+
+def test_field_declarations():
+    cd = parse_class("int a; static float b; String c = \"x\";")
+    assert [f.name for f in cd.fields] == ["a", "b", "c"]
+    assert cd.fields[0].ty is INT
+    assert cd.fields[1].is_static and cd.fields[1].ty is FLOAT
+    assert isinstance(cd.fields[2].init, ast.StrLit)
+
+
+def test_modifiers_are_accepted_and_ignored():
+    cd = parse_class("public int a; private static final long b;")
+    assert not cd.fields[0].is_static
+    assert cd.fields[1].is_static
+
+
+def test_constructor_recognized_by_name():
+    cd = parse_class("T(int x) { }")
+    ctor = cd.methods[0]
+    assert ctor.is_ctor and ctor.name == "<init>"
+    assert ctor.params[0].ty is INT
+
+
+def test_method_signature():
+    cd = parse_class("static int f(float a, boolean[] b) { return 0; }")
+    m = cd.methods[0]
+    assert m.is_static and m.ret is INT
+    assert m.params[0].ty is FLOAT
+    assert m.params[1].ty == ArrayType(BOOLEAN)
+
+
+def test_array_types_nest():
+    cd = parse_class("int[][] grid;")
+    assert cd.fields[0].ty == ArrayType(ArrayType(INT))
+
+
+def test_vardecl_vs_expression_disambiguation():
+    stmts = parse_method_body("Foo x; foo.bar(); Foo[] ys; foo[1] = 2;")
+    assert isinstance(stmts[0], ast.VarDecl)
+    assert isinstance(stmts[1], ast.ExprStmt)
+    assert isinstance(stmts[2], ast.VarDecl)
+    assert stmts[2].ty == ArrayType(ClassType("Foo"))
+    assert isinstance(stmts[3], ast.ExprStmt)
+    assert isinstance(stmts[3].expr, ast.Assign)
+
+
+def test_if_else_binding():
+    stmts = parse_method_body("if (a) if (b) x = 1; else x = 2;")
+    outer = stmts[0]
+    assert isinstance(outer, ast.If)
+    inner = outer.then
+    assert isinstance(inner, ast.If)
+    assert inner.otherwise is not None  # else binds to the nearest if
+    assert outer.otherwise is None
+
+
+def test_for_loop_parts():
+    stmts = parse_method_body("for (int i = 0; i < 3; i++) { }")
+    loop = stmts[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.cond, ast.Binary)
+    assert isinstance(loop.update, ast.Assign)
+
+
+def test_for_loop_empty_parts():
+    loop = parse_method_body("for (;;) { break; }")[0]
+    assert loop.init is None and loop.cond is None and loop.update is None
+
+
+def test_while_break_continue():
+    stmts = parse_method_body("while (c) { break; continue; }")
+    body = stmts[0].body
+    assert isinstance(body.stmts[0], ast.Break)
+    assert isinstance(body.stmts[1], ast.Continue)
+
+
+def test_precedence_arithmetic():
+    e = parse_expr("1 + 2 * 3")
+    assert e.op == "+" and e.right.op == "*"
+
+
+def test_precedence_shift_vs_additive():
+    e = parse_expr("a << 1 + 2")
+    assert e.op == "<<"
+    assert e.right.op == "+"
+
+
+def test_precedence_bitwise_chain():
+    e = parse_expr("a | b ^ c & d")
+    assert e.op == "|"
+    assert e.right.op == "^"
+    assert e.right.right.op == "&"
+
+
+def test_logical_lower_than_comparison():
+    e = parse_expr("a < b && c > d")
+    assert e.op == "&&"
+    assert e.left.op == "<" and e.right.op == ">"
+
+
+def test_assignment_right_associative():
+    e = parse_expr("a = b = 1")
+    assert isinstance(e, ast.Assign)
+    assert isinstance(e.value, ast.Assign)
+
+
+def test_compound_assignment_desugars():
+    e = parse_expr("a += 2")
+    assert isinstance(e, ast.Assign)
+    assert isinstance(e.value, ast.Binary) and e.value.op == "+"
+
+
+def test_increment_desugars():
+    pre = parse_expr("++a")
+    post = parse_expr("a++")
+    for e in (pre, post):
+        assert isinstance(e, ast.Assign)
+        assert e.value.op == "+"
+
+
+def test_unary_chain():
+    e = parse_expr("--x")  # pre-decrement, not double negation
+    assert isinstance(e, ast.Assign)
+    e2 = parse_expr("-(-x)")
+    assert isinstance(e2, ast.Unary) and isinstance(e2.operand, ast.Unary)
+
+
+def test_cast_vs_parenthesized_expr():
+    cast = parse_expr("(Foo) x")
+    assert isinstance(cast, ast.Cast)
+    # lowercase identifier in parens is grouping, not a cast
+    grouped = parse_expr("(foo) + x")
+    assert isinstance(grouped, ast.Binary)
+
+
+def test_primitive_cast():
+    e = parse_expr("(int) f")
+    assert isinstance(e, ast.Cast) and e.to is INT
+
+
+def test_new_object_and_array():
+    obj = parse_expr("new Foo(1, 2)")
+    assert isinstance(obj, ast.New) and len(obj.args) == 2
+    arr = parse_expr("new int[10]")
+    assert isinstance(arr, ast.NewArray) and arr.elem_ty is INT
+    arr2 = parse_expr("new Foo[n]")
+    assert isinstance(arr2, ast.NewArray)
+    assert arr2.elem_ty == ClassType("Foo")
+
+
+def test_postfix_chains():
+    e = parse_expr("a.b.c(1)[2]")
+    assert isinstance(e, ast.ArrayIndex)
+    assert isinstance(e.target, ast.Call)
+    assert isinstance(e.target.target, ast.FieldAccess)
+
+
+def test_array_length_postfix():
+    e = parse_expr("xs.length")
+    assert isinstance(e, ast.ArrayLength)
+
+
+def test_instanceof():
+    e = parse_expr("x instanceof Foo")
+    assert isinstance(e, ast.InstanceOf)
+
+
+def test_this_and_null_and_booleans():
+    assert isinstance(parse_expr("this"), ast.This)
+    assert isinstance(parse_expr("null"), ast.NullLit)
+    assert parse_expr("true").value is True
+    assert parse_expr("false").value is False
+
+
+def test_unqualified_call():
+    e = parse_expr("helper(1)")
+    assert isinstance(e, ast.Call) and e.target is None
+
+
+def test_error_on_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_program("class A { void m() { int x = 1 } }")
+
+
+def test_error_on_bad_assignment_target():
+    with pytest.raises(ParseError):
+        parse_program("class A { void m() { 1 = 2; } }")
+
+
+def test_error_on_void_field():
+    with pytest.raises(ParseError):
+        parse_program("class A { void x; }")
+
+
+def test_error_on_stray_token():
+    with pytest.raises(ParseError):
+        parse_program("class A { } }")
+
+
+def test_long_literal_expression():
+    e = parse_expr("1L")
+    assert isinstance(e, ast.LongLit)

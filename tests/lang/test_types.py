@@ -1,0 +1,121 @@
+"""Type lattice unit + property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.types import (
+    BOOLEAN,
+    FLOAT,
+    INT,
+    LONG,
+    NULL,
+    OBJECT,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    elem_width,
+    is_assignable,
+    parse_descriptor,
+    promote,
+)
+
+PRIMS = [INT, LONG, FLOAT, BOOLEAN, VOID]
+
+
+def test_class_types_interned():
+    assert ClassType("Foo") is ClassType("Foo")
+    assert ClassType("Foo") is not ClassType("Bar")
+
+
+def test_array_types_interned():
+    assert ArrayType(INT) is ArrayType(INT)
+    assert ArrayType(ArrayType(INT)) is ArrayType(ArrayType(INT))
+    assert ArrayType(INT) is not ArrayType(LONG)
+
+
+def test_descriptors():
+    assert INT.descriptor() == "I"
+    assert LONG.descriptor() == "J"
+    assert FLOAT.descriptor() == "F"
+    assert BOOLEAN.descriptor() == "Z"
+    assert VOID.descriptor() == "V"
+    assert ClassType("Bank").descriptor() == "LBank;"
+    assert ArrayType(INT).descriptor() == "[I"
+    assert ArrayType(ClassType("A")).descriptor() == "[LA;"
+
+
+@pytest.mark.parametrize("ty", PRIMS + [STRING, OBJECT, ArrayType(INT),
+                                        ArrayType(ArrayType(FLOAT))])
+def test_descriptor_roundtrip(ty):
+    assert parse_descriptor(ty.descriptor()) is ty
+
+
+def test_parse_descriptor_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_descriptor("Q")
+
+
+def test_promote_table():
+    assert promote(INT, INT) is INT
+    assert promote(INT, LONG) is LONG
+    assert promote(LONG, FLOAT) is FLOAT
+    assert promote(FLOAT, INT) is FLOAT
+    assert promote(BOOLEAN, INT) is None
+    assert promote(STRING, INT) is None
+
+
+def test_widening_assignability():
+    assert is_assignable(INT, LONG)
+    assert is_assignable(INT, FLOAT)
+    assert is_assignable(LONG, FLOAT)
+    assert not is_assignable(LONG, INT)
+    assert not is_assignable(FLOAT, LONG)
+
+
+def test_null_assignable_to_references_only():
+    assert is_assignable(NULL, STRING)
+    assert is_assignable(NULL, ArrayType(INT))
+    assert not is_assignable(NULL, INT)
+
+
+def test_object_is_reference_top():
+    assert is_assignable(STRING, OBJECT)
+    assert is_assignable(ArrayType(INT), OBJECT)
+    assert not is_assignable(OBJECT, STRING)
+
+
+def test_subtype_fn_consulted():
+    sub = lambda a, b: (a, b) == ("B", "A")
+    assert is_assignable(ClassType("B"), ClassType("A"), sub)
+    assert not is_assignable(ClassType("A"), ClassType("B"), sub)
+
+
+def test_arrays_invariant():
+    sub = lambda a, b: True
+    assert not is_assignable(ArrayType(ClassType("B")), ArrayType(ClassType("A")), sub)
+    assert is_assignable(ArrayType(INT), ArrayType(INT))
+
+
+def test_elem_width():
+    assert elem_width(INT) == 4
+    assert elem_width(LONG) == 8
+    assert elem_width(FLOAT) == 8
+    assert elem_width(BOOLEAN) == 1
+    assert elem_width(STRING) == 8  # reference slot
+
+
+@given(st.sampled_from([INT, LONG, FLOAT]), st.sampled_from([INT, LONG, FLOAT]))
+def test_promotion_symmetric_and_idempotent(a, b):
+    assert promote(a, b) is promote(b, a)
+    res = promote(a, b)
+    assert promote(res, res) is res
+    assert is_assignable(a, res) and is_assignable(b, res)
+
+
+@given(st.sampled_from([INT, LONG, FLOAT]), st.sampled_from([INT, LONG, FLOAT]),
+       st.sampled_from([INT, LONG, FLOAT]))
+def test_widening_transitive(a, b, c):
+    if is_assignable(a, b) and is_assignable(b, c):
+        assert is_assignable(a, c)

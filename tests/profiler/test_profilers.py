@@ -1,0 +1,182 @@
+"""Profiler tests: metric correctness and overhead accounting."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj
+
+from repro.profiler import (
+    ALL_METRICS,
+    BaselineProfiler,
+    DynamicCallGraphProfiler,
+    HotMethodsProfiler,
+    HotPathsProfiler,
+    MemoryProfiler,
+    MethodDurationProfiler,
+    MethodFrequencyProfiler,
+    attach,
+    detach,
+    make_profiler,
+)
+from repro.vm.interpreter import Machine, run_sync
+
+
+SRC = """
+class Worker {
+    int hot() {
+        int s = 0;
+        for (int i = 0; i < 500; i++) { s += i; }
+        return s;
+    }
+    int cold() { return 1; }
+}
+class M {
+    static void main(String[] args) {
+        Worker w = new Worker();
+        for (int i = 0; i < 10; i++) { w.hot(); }
+        w.cold();
+        int[] big = new int[100];
+        Vector v = new Vector();
+        v.add(1);
+    }
+}
+"""
+
+
+def run_with(profiler):
+    loaded = compile_mj(SRC)
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    attach(machine, profiler)
+    machine.call_bmethod(loaded.main_method(), None, [None])
+    run_sync(machine)
+    return machine, profiler
+
+
+def test_baseline_is_free():
+    base, _ = run_with(BaselineProfiler())
+    off = compile_mj(SRC)
+    machine = Machine(off)
+    machine.statics = off.fresh_statics()
+    machine.call_bmethod(off.main_method(), None, [None])
+    run_sync(machine)
+    assert base.cycles == machine.cycles
+
+
+def test_method_frequency_counts_exact():
+    _, prof = run_with(MethodFrequencyProfiler())
+    assert prof.counts["Worker.hot"] == 10
+    assert prof.counts["Worker.cold"] == 1
+    assert prof.counts["M.main"] == 1
+    assert prof.counts["Worker.<init>"] == 1
+
+
+def test_method_duration_hot_dominates():
+    machine, prof = run_with(MethodDurationProfiler())
+    assert prof.durations["Worker.hot"] > prof.durations["Worker.cold"]
+    assert prof.calls["Worker.hot"] == 10
+    # main's inclusive duration covers nearly the whole run
+    assert prof.durations["M.main"] >= prof.durations["Worker.hot"]
+    assert machine.cycles > 0
+
+
+def test_duration_costs_more_than_frequency():
+    m_dur, _ = run_with(MethodDurationProfiler())
+    m_freq, _ = run_with(MethodFrequencyProfiler())
+    m_base, _ = run_with(BaselineProfiler())
+    assert m_dur.cycles > m_freq.cycles > m_base.cycles
+
+
+def test_hot_methods_sampling_finds_hot():
+    _, prof = run_with(HotMethodsProfiler(quantum=500))
+    assert prof.samples_taken > 5
+    assert prof.counts.get("Worker.hot", 0) >= prof.counts.get("Worker.cold", 0)
+    top = max(prof.counts.items(), key=lambda kv: kv[1])
+    assert top[0] in ("Worker.hot", "M.main")
+
+
+def test_hot_paths_sampling_records_stacks():
+    _, prof = run_with(HotPathsProfiler(quantum=500))
+    assert prof.paths
+    hottest = prof.hottest(1)[0][0]
+    assert hottest[0] == "M.main"
+    # the hot path goes through Worker.hot
+    assert any("Worker.hot" in path for path in prof.paths)
+
+
+def test_dynamic_call_graph_edges():
+    _, prof = run_with(DynamicCallGraphProfiler(quantum=500))
+    assert ("M.main", "Worker.hot") in prof.edges
+    # cold() is too brief to ever be sampled at this quantum -> the dynamic
+    # call graph reflects what actually ran long enough to observe
+    assert prof.nodes.get("M.main", 0) > 0
+
+
+def test_memory_profiler_accounts_allocations():
+    _, prof = run_with(MemoryProfiler())
+    assert prof.count_by_kind.get("Worker") == 1
+    assert prof.count_by_kind.get("I[]") == 1
+    assert prof.bytes_by_kind["I[]"] >= 100 * 4
+    assert prof.count_by_kind.get("Vector") == 1
+    assert prof.total_allocations >= 3
+    assert prof.total_bytes > 0
+
+
+def test_sampling_cheaper_than_instrumentation_on_call_dense_code():
+    """The paper's Table 3 claim holds for call-dense code (instrumentation
+    pays per call, sampling pays per quantum)."""
+    call_dense = """
+    class T { int f(int x) { return x + 1; } }
+    class M {
+        static void main(String[] args) {
+            T t = new T();
+            int acc = 0;
+            for (int i = 0; i < 2000; i++) { acc = t.f(acc); }
+        }
+    }
+    """
+
+    def run(profiler):
+        loaded = compile_mj(call_dense)
+        machine = Machine(loaded)
+        machine.statics = loaded.fresh_statics()
+        attach(machine, profiler)
+        machine.call_bmethod(loaded.main_method(), None, [None])
+        run_sync(machine)
+        return machine
+
+    m_hot = run(HotMethodsProfiler())
+    m_dur = run(MethodDurationProfiler())
+    m_base = run(BaselineProfiler())
+    assert m_hot.cycles < m_dur.cycles
+    assert m_base.cycles < m_hot.cycles
+
+
+def test_detach_restores_machine():
+    loaded = compile_mj(SRC)
+    machine = Machine(loaded)
+    attach(machine, MemoryProfiler())
+    assert machine.heap.alloc_hook is not None
+    detach(machine)
+    assert machine.profiler is None
+    assert machine.heap.alloc_hook is None
+
+
+def test_factory_covers_all_metrics():
+    for metric in ALL_METRICS:
+        prof = make_profiler(metric)
+        assert prof.name == metric or metric == "baseline"
+    with pytest.raises(ValueError):
+        make_profiler("heat-map")
+
+
+def test_reports_format():
+    _, prof = run_with(MethodDurationProfiler())
+    report = prof.report()
+    text = report.format()
+    assert "method-duration" in text
+    assert "Worker.hot" in text

@@ -1,0 +1,141 @@
+"""Quad builder tests: abstract stack interpretation correctness."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from helpers import compile_mj_raw
+
+from repro.quad import build_quads, format_method
+from repro.quad.quads import Const, Reg
+
+
+def quads_of(src: str, cls: str, name: str):
+    bp, table = compile_mj_raw(src)
+    return build_quads(bp.classes[cls].methods[name], table)
+
+
+FIG5 = """
+public class Example {
+    int ex(int b) {
+        b = 4;
+        if (b > 2) { b++; }
+        return b;
+    }
+}
+"""
+
+
+def test_figure5_block_structure():
+    qm = quads_of(FIG5, "Example", "ex")
+    order = [b.bid for b in qm.block_order()]
+    assert order[0] == 0 and order[-1] == 1      # ENTRY first, EXIT last
+    assert 0 in qm.blocks and 1 in qm.blocks
+    entry = qm.blocks[0]
+    assert entry.quads == []
+    assert entry.succs == [2]
+
+
+def test_figure5_listing_exact_lines():
+    text = format_method(quads_of(FIG5, "Example", "ex"))
+    assert "BB0 (ENTRY) (in: <none>, out: BB2)" in text
+    assert "IFCMP_I IConst: 4, IConst: 2, LE, BB4" in text
+    assert "BB1 (EXIT)" in text
+    assert "RETURN_I" in text
+
+
+def test_constant_propagated_through_local():
+    # b = 4; return b + 1  ==>  ADD uses IConst 4 directly
+    qm = quads_of(
+        "class A { int f() { int b = 4; return b + 1; } }", "A", "f"
+    )
+    adds = [q for q in qm.all_quads() if q.op == "ADD"]
+    assert len(adds) == 1
+    assert adds[0].srcs[0] == Const(4, "I")
+
+
+def test_constant_killed_by_reassignment():
+    qm = quads_of(
+        "class A { int f(int p) { int b = 4; b = p; return b + 1; } }", "A", "f"
+    )
+    adds = [q for q in qm.all_quads() if q.op == "ADD"]
+    assert isinstance(adds[0].srcs[0], Reg)
+
+
+def test_loop_has_back_edge():
+    qm = quads_of(
+        "class A { int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; } }",
+        "A", "f",
+    )
+    back = [
+        (b.bid, s) for b in qm.blocks.values() for s in b.succs if s <= b.bid and s >= 2
+    ]
+    assert back, "expected a back edge in the loop CFG"
+
+
+def test_invoke_quads_have_receiver_and_args():
+    qm = quads_of(
+        """
+        class B { int g(int x) { return x; } }
+        class A { int f(B b) { return b.g(7); } }
+        """,
+        "A", "f",
+    )
+    invokes = [q for q in qm.all_quads() if q.op == "INVOKEVIRTUAL"]
+    assert len(invokes) == 1
+    assert invokes[0].extra == ("B", "g")
+    assert len(invokes[0].srcs) == 2  # receiver + one argument
+    assert invokes[0].dst is not None
+
+
+def test_void_invoke_has_no_dst():
+    qm = quads_of(
+        """
+        class B { void g() { } }
+        class A { void f(B b) { b.g(); } }
+        """,
+        "A", "f",
+    )
+    invokes = [q for q in qm.all_quads() if q.op == "INVOKEVIRTUAL"]
+    assert invokes[0].dst is None
+
+
+def test_field_quads():
+    qm = quads_of(
+        "class A { int v; void f() { v = v + 1; } }", "A", "f"
+    )
+    ops = [q.op for q in qm.all_quads()]
+    assert "GETFIELD" in ops and "PUTFIELD" in ops
+
+
+def test_array_quads():
+    qm = quads_of(
+        "class A { int f() { int[] xs = new int[3]; xs[0] = 5; return xs[0] + xs.length; } }",
+        "A", "f",
+    )
+    ops = [q.op for q in qm.all_quads()]
+    assert "NEWARRAY" in ops
+    assert "ASTORE" in ops and "ALOAD" in ops
+    assert "ARRAYLENGTH" in ops
+
+
+def test_every_user_method_of_every_workload_lifts():
+    """Integration: the quad builder handles all bytecode the compiler emits."""
+    from repro.workloads import WORKLOADS
+
+    for name, w in WORKLOADS.items():
+        bp, table = compile_mj_raw(w.source("test"))
+        for bclass in bp.classes.values():
+            for method in bclass.methods.values():
+                qm = build_quads(method, table)
+                assert qm.blocks, (name, method.qualified)
+                text = format_method(qm)
+                assert "BB0 (ENTRY)" in text
+
+
+def test_register_numbering_locals_then_stack():
+    qm = quads_of(FIG5, "Example", "ex")
+    # instance method: this=slot0 -> R1, param b=slot1 -> R2
+    moves = [q for q in qm.all_quads() if q.op == "MOVE"]
+    assert moves[0].dst == Reg(2, "I")

@@ -1,0 +1,75 @@
+"""CFG algorithms: dominators and natural loops."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from helpers import compile_mj_raw
+
+from repro.quad import build_quads
+from repro.quad.cfg import QuadCFG, blocks_in_loops, dominators, loop_depth, natural_loops
+
+
+def cfg_of(src: str, cls: str, name: str):
+    bp, table = compile_mj_raw(src)
+    qm = build_quads(bp.classes[cls].methods[name], table)
+    return qm, QuadCFG(qm)
+
+
+def test_entry_dominates_everything():
+    qm, cfg = cfg_of(
+        "class A { int f(int n) { if (n > 0) { return 1; } return 2; } }",
+        "A", "f",
+    )
+    dom = dominators(cfg)
+    for b in cfg.reachable():
+        assert 0 in dom[b]
+    assert dom[0] == {0}
+
+
+def test_straight_line_has_no_loops():
+    qm, cfg = cfg_of("class A { int f() { return 1 + 2; } }", "A", "f")
+    assert natural_loops(cfg) == []
+    assert blocks_in_loops(qm) == set()
+
+
+def test_while_loop_detected():
+    qm, cfg = cfg_of(
+        "class A { int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; } }",
+        "A", "f",
+    )
+    loops = natural_loops(cfg)
+    assert len(loops) >= 1
+    header, body = loops[0]
+    assert header in body
+    assert len(body) >= 2
+
+
+def test_nested_loops_have_depth_two():
+    qm, _ = cfg_of(
+        """
+        class A {
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) { s++; }
+                }
+                return s;
+            }
+        }
+        """,
+        "A", "f",
+    )
+    depths = loop_depth(qm)
+    assert max(depths.values()) >= 2
+    assert min(depths.values()) == 0
+
+
+def test_reachability_excludes_orphans():
+    qm, cfg = cfg_of(
+        "class A { int f(boolean b) { if (b) { return 1; } else { return 2; } } }",
+        "A", "f",
+    )
+    reach = cfg.reachable()
+    assert 0 in reach and 1 in reach

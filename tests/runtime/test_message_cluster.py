@@ -1,0 +1,62 @@
+"""Message structure + cluster spec tests."""
+
+import pytest
+
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    ethernet_100m,
+    ethernet_1g,
+    homogeneous,
+    paper_testbed,
+    wireless_80211b,
+)
+from repro.runtime.message import HEADER_BYTES, Message, MessageKind
+
+
+def test_message_size_includes_header():
+    msg = Message(MessageKind.NEW, 0, 1, 5, b"abc")
+    assert msg.size == HEADER_BYTES + 3
+    assert Message(MessageKind.SHUTDOWN, 0, 1, 0).size == HEADER_BYTES
+
+
+def test_message_kinds_match_paper():
+    # "We currently identify two types of messages: NEW and DEPENDENCE"
+    assert MessageKind.NEW.value == 1
+    assert MessageKind.DEPENDENCE.value == 2
+    assert {k.name for k in MessageKind} == {"NEW", "DEPENDENCE", "REPLY", "SHUTDOWN"}
+
+
+def test_paper_testbed_matches_section7():
+    spec = paper_testbed()
+    assert spec.size == 2
+    assert spec.nodes[0].cpu_hz == 1.7e9          # service node
+    assert spec.nodes[1].cpu_hz == 800e6          # computation node
+    assert spec.nodes[0].mem_bytes == 512 << 20   # 512 MB
+    assert spec.nodes[1].mem_bytes == 384 << 20   # 384 MB
+    assert spec.link.bandwidth_Bps == 12.5e6      # 100 Mb/s
+
+
+def test_link_presets_ordered_by_quality():
+    assert ethernet_1g().latency_s < ethernet_100m().latency_s
+    assert ethernet_1g().bandwidth_Bps > ethernet_100m().bandwidth_Bps
+    assert wireless_80211b().bandwidth_Bps < ethernet_100m().bandwidth_Bps
+
+
+def test_homogeneous_factory():
+    spec = homogeneous(4, cpu_hz=2e9)
+    assert spec.size == 4
+    assert all(n.cpu_hz == 2e9 for n in spec.nodes)
+    assert len({n.name for n in spec.nodes}) == 4
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(RuntimeServiceError):
+        ClusterSpec(nodes=[])
+
+
+def test_node_spec_battery_defaults_infinite():
+    assert NodeSpec("x", 1e9).battery_j == float("inf")
+    constrained = NodeSpec("pda", 2e8, battery_j=5000.0)
+    assert constrained.battery_j == 5000.0

@@ -1,0 +1,179 @@
+"""Discrete-event cluster tests: clocks, FIFO links, deadlock detection."""
+
+import pytest
+
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import ClusterSpec, LinkSpec, NodeSpec
+from repro.runtime.message import Message, MessageKind
+from repro.runtime.simnet import SimCluster
+
+
+def cluster(n=2, latency=1e-3, bw=1e6, hz=(1e9, 1e9, 1e9)):
+    return SimCluster(
+        ClusterSpec(
+            nodes=[NodeSpec(f"n{i}", hz[i]) for i in range(n)],
+            link=LinkSpec(latency_s=latency, bandwidth_Bps=bw),
+        )
+    )
+
+
+def msg(src, dst, req=1, payload=b""):
+    return Message(MessageKind.DEPENDENCE, src, dst, req, payload)
+
+
+def test_cost_advances_clock_by_cycles_over_hz():
+    c = cluster(n=1)
+
+    def proc():
+        yield ("cost", 2_000_000)
+
+    c.nodes[0].gen = proc()
+    c.run()
+    assert c.nodes[0].clock == pytest.approx(0.002)
+    assert c.nodes[0].busy_s == pytest.approx(0.002)
+
+
+def test_heterogeneous_speeds():
+    c = cluster(n=2, hz=(2e9, 5e8, 0))
+
+    def proc():
+        yield ("cost", 1_000_000)
+
+    c.nodes[0].gen = proc()
+    c.nodes[1].gen = proc()
+    c.run()
+    assert c.nodes[0].clock == pytest.approx(0.0005)
+    assert c.nodes[1].clock == pytest.approx(0.002)
+
+
+def test_message_arrival_includes_latency_and_bandwidth():
+    c = cluster(latency=1e-3, bw=1e6)
+    received = {}
+
+    def sender():
+        yield ("cost", 1000)  # 1 µs
+        c.post(0, 1, msg(0, 1, payload=b"x" * 976))  # 976+24 = 1000 B -> 1 ms
+
+    def receiver():
+        while True:
+            m = c.nodes[1].take_matching(lambda m: True)
+            if m is not None:
+                received["msg"] = m
+                received["at"] = c.nodes[1].clock
+                return
+            yield ("wait",)
+
+    c.nodes[0].gen = sender()
+    c.nodes[1].gen = receiver()
+    c.run()
+    # arrival = 1µs (send) + 1ms latency + 1ms serialization
+    assert received["at"] == pytest.approx(0.002001, rel=1e-6)
+
+
+def test_fifo_per_link():
+    c = cluster()
+    order = []
+
+    def sender():
+        c.post(0, 1, msg(0, 1, req=1, payload=b"a" * 5000))  # big, slow
+        c.post(0, 1, msg(0, 1, req=2))                        # small
+        yield ("cost", 1)
+
+    def receiver():
+        while len(order) < 2:
+            m = c.nodes[1].take_matching(lambda m: True)
+            if m is not None:
+                order.append(m.req_id)
+            else:
+                yield ("wait",)
+
+    c.nodes[0].gen = sender()
+    c.nodes[1].gen = receiver()
+    c.run()
+    assert order == [1, 2]  # FIFO despite the size difference
+
+
+def test_deadlock_detected():
+    c = cluster()
+
+    def waiter(i):
+        while True:
+            yield ("wait",)
+
+    c.nodes[0].gen = waiter(0)
+    c.nodes[1].gen = waiter(1)
+    with pytest.raises(RuntimeServiceError, match="deadlock"):
+        c.run()
+
+
+def test_event_budget_enforced():
+    c = cluster(n=1)
+
+    def spinner():
+        while True:
+            yield ("cost", 1)
+
+    c.nodes[0].gen = spinner()
+    with pytest.raises(RuntimeServiceError, match="event budget"):
+        c.run(max_events=100)
+
+
+def test_unknown_destination_rejected():
+    c = cluster()
+    with pytest.raises(RuntimeServiceError, match="unknown node"):
+        c.post(0, 9, msg(0, 9))
+
+
+def test_take_matching_is_selective():
+    c = cluster()
+    node = c.nodes[1]
+    c.post(0, 1, msg(0, 1, req=1))
+    c.post(0, 1, msg(0, 1, req=2))
+    node.clock = 10.0  # everything has arrived
+    got = node.take_matching(lambda m: m.req_id == 2)
+    assert got.req_id == 2
+    assert len(node.inbox) == 1  # req 1 still queued
+    assert node.take_matching(lambda m: m.req_id == 2) is None
+
+
+def test_take_matching_respects_arrival_time():
+    c = cluster(latency=1.0)
+    node = c.nodes[1]
+    c.post(0, 1, msg(0, 1))
+    assert node.take_matching(lambda m: True) is None  # not arrived yet
+    node.clock = 2.0
+    assert node.take_matching(lambda m: True) is not None
+
+
+def test_stats_counted():
+    c = cluster()
+
+    def sender():
+        c.post(0, 1, msg(0, 1, payload=b"abc"))
+        yield ("cost", 1)
+
+    def receiver():
+        while True:
+            if c.nodes[1].take_matching(lambda m: True):
+                return
+            yield ("wait",)
+
+    c.nodes[0].gen = sender()
+    c.nodes[1].gen = receiver()
+    c.run()
+    assert c.total_messages == 1
+    assert c.total_bytes == 24 + 3
+    assert c.nodes[0].msgs_sent == 1
+    assert c.nodes[1].msgs_received == 1
+
+
+def test_makespan_is_max_clock():
+    c = cluster(n=2, hz=(1e9, 1e8, 0))
+
+    def proc(n):
+        yield ("cost", n)
+
+    c.nodes[0].gen = proc(100)
+    c.nodes[1].gen = proc(100)
+    c.run()
+    assert c.makespan == pytest.approx(c.nodes[1].clock)

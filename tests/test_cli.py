@@ -1,0 +1,45 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    assert main(["run", "bank"]) == 0
+    out = capsys.readouterr().out
+    assert "assets=6597100" in out
+    assert "virtual ms" in out
+
+
+def test_analyze_command(capsys, tmp_path):
+    assert main(["analyze", "bank", "--vcg", str(tmp_path / "vcg")]) == 0
+    out = capsys.readouterr().out
+    assert "CRG:" in out and "ODG:" in out
+    assert (tmp_path / "vcg" / "bank_crg.vcg").exists()
+    assert (tmp_path / "vcg" / "bank_odg.vcg").exists()
+
+
+def test_distribute_command(capsys):
+    assert main(["distribute", "method", "--size", "test"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "messages" in out
+
+
+def test_codegen_command(capsys):
+    assert main(["codegen"]) == 0
+    out = capsys.readouterr().out
+    assert "mov eax, 4" in out
+    assert "mov PC, R14" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nosuch"])
+
+
+def test_parser_lists_all_workloads():
+    parser = build_parser()
+    help_text = parser.format_help()
+    assert "distribute" in help_text and "analyze" in help_text

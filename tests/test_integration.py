@@ -1,0 +1,72 @@
+"""End-to-end integration tests across the whole infrastructure."""
+
+import pytest
+
+from repro import compile_source
+from repro.distgen import build_plan, rewrite_program
+from repro.harness.pipeline import Pipeline
+from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
+from repro.runtime.executor import DistributedExecutor, run_sequential
+from repro.vm import run_main
+from repro.workloads import WORKLOADS
+
+
+def test_compile_source_one_shot():
+    loaded = compile_source(
+        "class M { static void main(String[] a) { Sys.println(6 * 7); } }"
+    )
+    assert run_main(loaded).stdout == ["42"]
+
+
+@pytest.mark.parametrize("name", ["crypt", "moldyn", "compress"])
+def test_full_pipeline_distributed_correctness(name):
+    """source -> analysis -> plan -> rewrite -> 2-node execution == seq."""
+    pipe = Pipeline(name, "test")
+    s = pipe.speedup()  # raises if outputs diverge
+    assert s["distributed_s"] > 0
+
+
+def test_all_workloads_survive_forced_object_granularity():
+    for name in ("bank", "method", "search"):
+        pipe = Pipeline(name, "test")
+        seq = pipe.run_sequential()
+        result, plan, _ = pipe.run_distributed(2, granularity="object")
+        assert result.stdout[-1] == seq.stdout[-1], name
+
+
+def test_four_node_homogeneous_cluster():
+    pipe = Pipeline("create", "test")
+    cluster = ClusterSpec(
+        nodes=[NodeSpec(f"n{i}", 1e9) for i in range(4)], link=ethernet_100m()
+    )
+    seq = pipe.run_sequential(cluster.nodes[0])
+    result, plan, _ = pipe.run_distributed(4, cluster)
+    assert result.stdout[-1] == seq.stdout[-1]
+    assert plan.nparts == 4
+
+
+def test_rewrite_then_run_locally_is_identity():
+    """A fully rewritten program still runs on a single machine thanks to
+    the local dispatcher — offline plans are runnable anywhere."""
+    from repro.vm import load_program
+
+    bp, = [compile_source(WORKLOADS["bank"].source("test")).bprogram]
+    plan = build_plan(bp, 2, force_distribution=True)
+    rewritten, _ = rewrite_program(bp, plan)
+    out = run_main(load_program(rewritten)).stdout
+    base = run_main(load_program(bp)).stdout
+    assert out == base
+
+
+def test_makespan_never_less_than_busy_time():
+    pipe = Pipeline("heapsort", "test")
+    result, _, _ = pipe.run_distributed(2)
+    for ns in result.node_stats:
+        assert result.makespan_s >= ns.busy_s - 1e-12
+
+
+def test_message_accounting_consistent():
+    pipe = Pipeline("method", "test")
+    result, _, _ = pipe.run_distributed(2)
+    assert result.total_messages == sum(n.messages_sent for n in result.node_stats)
+    assert result.total_bytes == sum(n.bytes_sent for n in result.node_stats)

@@ -1,0 +1,116 @@
+"""Integer semantics (wrap-around, division, shifts) — unit + property tests
+against Java's defined behavior."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.values import (
+    DependentRef,
+    Ref,
+    default_value,
+    i32,
+    i64,
+    idiv,
+    irem,
+    iushr,
+    type_char_of,
+)
+
+i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+i64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def test_i32_wraps():
+    assert i32(2**31) == -(2**31)
+    assert i32(2**31 - 1) == 2**31 - 1
+    assert i32(-(2**31) - 1) == 2**31 - 1
+    assert i32(2**32) == 0
+    assert i32(0x7FFFFFFF + 1) == -0x80000000
+
+
+def test_i64_wraps():
+    assert i64(2**63) == -(2**63)
+    assert i64(2**63 - 1) == 2**63 - 1
+    assert i64(2**64 + 5) == 5
+
+
+def test_java_division_truncates_toward_zero():
+    assert idiv(7, 2) == 3
+    assert idiv(-7, 2) == -3        # Python's // gives -4
+    assert idiv(7, -2) == -3
+    assert idiv(-7, -2) == 3
+
+
+def test_java_remainder_sign_of_dividend():
+    assert irem(7, 2) == 1
+    assert irem(-7, 2) == -1        # Python's % gives 1
+    assert irem(7, -2) == 1
+    assert irem(-7, -2) == -1
+
+
+def test_unsigned_shift():
+    assert iushr(-1, 28) == 15
+    assert iushr(-1, 0) == -1
+    assert iushr(16, 2) == 4
+    assert iushr(-1, 60, bits=64) == 15
+
+
+def test_shift_amount_masked():
+    assert iushr(8, 33) == 4        # 33 & 31 == 1
+    assert iushr(8, 65, bits=64) == 4
+
+
+@given(i32s, i32s)
+def test_div_rem_identity(a, b):
+    if b != 0:
+        assert idiv(a, b) * b + irem(a, b) == a
+
+
+@given(i32s)
+def test_i32_idempotent(v):
+    assert i32(i32(v)) == i32(v)
+    assert -(2**31) <= i32(v) <= 2**31 - 1
+
+
+@given(st.integers())
+def test_i32_congruent_mod_2_32(v):
+    assert (i32(v) - v) % (2**32) == 0
+
+
+@given(st.integers())
+def test_i64_congruent_mod_2_64(v):
+    assert (i64(v) - v) % (2**64) == 0
+
+
+@given(i32s, st.integers(min_value=0, max_value=31))
+def test_iushr_nonnegative_matches_shift(a, n):
+    if a >= 0:
+        assert iushr(a, n) == a >> n
+
+
+def test_refs_compare_by_identity_fields():
+    assert Ref(3) == Ref(3)
+    assert Ref(3) != Ref(4)
+    assert hash(Ref(3)) == hash(Ref(3))
+    assert DependentRef(1, 5, "A") == DependentRef(1, 5, "B")  # class not id
+    assert DependentRef(1, 5, "A") != DependentRef(2, 5, "A")
+    assert Ref(5) != DependentRef(0, 5, "A")
+
+
+def test_default_values():
+    assert default_value("I") == 0
+    assert default_value("J") == 0
+    assert default_value("F") == 0.0
+    assert isinstance(default_value("F"), float)
+    assert default_value("A") is None
+
+
+def test_type_char_of():
+    assert type_char_of(None) == "N"
+    assert type_char_of(5) == "I"
+    assert type_char_of(2**40) == "J"
+    assert type_char_of(1.5) == "F"
+    assert type_char_of("s") == "S"
+    assert type_char_of(Ref(1)) == "R"
+    assert type_char_of(DependentRef(0, 1, "A")) == "D"
+    assert type_char_of([1, 2]) == "L"
