@@ -3,18 +3,50 @@
 Every bench writes its table/figure artifact under ``benchmarks/out/`` so
 the reproduced numbers survive the run; the pytest-benchmark timing table
 covers the wall-clock side.
+
+All benches route through one session-scoped stage cache (the
+process-default :class:`repro.harness.cache.StageCache`), so a workload is
+compiled and analyzed once per session instead of once per bench, and every
+bench starts from deterministically seeded RNGs.
 """
 
 from __future__ import annotations
 
 import pathlib
+import random
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
+import numpy as np
 import pytest
 
 from bench_utils import OUT_DIR
+
+from repro.harness.cache import StageCache, default_cache
+
+#: one seed for every bench — makes any stochastic helper (synthetic graph
+#: generators, sampling profilers) reproducible run to run
+BENCH_SEED = 0x1995
+
+
+@pytest.fixture(autouse=True)
+def seed_rngs():
+    """Deterministically seed the global RNGs before every bench."""
+    random.seed(BENCH_SEED)
+    np.random.seed(BENCH_SEED)
+    yield
+
+
+@pytest.fixture(scope="session")
+def stage_cache() -> StageCache:
+    """The cache every bench's pipelines share (the process default, so
+    benches that construct ``Pipeline`` directly hit it too).  The session
+    teardown prints the hit/miss summary under ``-s``."""
+    cache = default_cache()
+    yield cache
+    print()
+    print(cache.summary())
 
 
 @pytest.fixture(scope="session")

@@ -24,9 +24,9 @@ GAINERS = ("crypt", "heapsort", "moldyn", "compress")
 COMPARABLE = ("create", "db")
 
 
-def test_figure11(benchmark, out_dir):
+def test_figure11(benchmark, out_dir, stage_cache):
     rows, text = benchmark.pedantic(
-        lambda: figure11("bench"), rounds=1, iterations=1
+        lambda: figure11("bench", cache=stage_cache), rounds=1, iterations=1
     )
     write_artifact(out_dir, "figure11.txt", text)
 

@@ -15,9 +15,9 @@ from repro.harness.tables import table1
 from repro.workloads import TABLE1_ORDER
 
 
-def test_table1(benchmark, out_dir):
+def test_table1(benchmark, out_dir, stage_cache):
     rows, text = benchmark.pedantic(
-        lambda: table1("test"), rounds=1, iterations=1
+        lambda: table1("test", cache=stage_cache), rounds=1, iterations=1
     )
     write_artifact(out_dir, "table1.txt", text)
 

@@ -15,8 +15,10 @@ from repro.harness.pipeline import Pipeline
 from repro.harness.tables import table2
 
 
-def test_table2(benchmark, out_dir):
-    rows, text = benchmark.pedantic(lambda: table2("test"), rounds=1, iterations=1)
+def test_table2(benchmark, out_dir, stage_cache):
+    rows, text = benchmark.pedantic(
+        lambda: table2("test", cache=stage_cache), rounds=1, iterations=1
+    )
     write_artifact(out_dir, "table2.txt", text)
 
     total_crg = sum(r["construct_crg_ms"] for r in rows)

@@ -18,8 +18,10 @@ from bench_utils import write_artifact
 from repro.harness.tables import table3
 
 
-def test_table3(benchmark, out_dir):
-    rows, text = benchmark.pedantic(lambda: table3("test"), rounds=1, iterations=1)
+def test_table3(benchmark, out_dir, stage_cache):
+    rows, text = benchmark.pedantic(
+        lambda: table3("test", cache=stage_cache), rounds=1, iterations=1
+    )
     write_artifact(out_dir, "table3.txt", text)
 
     totals = {m: sum(r[m] for r in rows) for m in rows[0] if m != "benchmark"}

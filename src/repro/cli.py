@@ -7,6 +7,9 @@ Commands mirror the infrastructure's phases:
 * ``distribute <workload>`` — plan, rewrite and execute on the paper's
   2-node testbed (``--nodes N`` for more), printing the Figure 11 numbers
 * ``tables``                — regenerate Tables 1/2/3 and Figure 11 to stdout
+* ``sweep``                 — batch-run a (workload × partitioner × cluster
+  × network) grid through the stage-cached pipeline, optionally across a
+  process pool (``--workers N``), printing one result table + cache stats
 * ``codegen``               — the Figure 5/6/7 tour
 """
 
@@ -96,6 +99,34 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.harness.sweep import SweepRunner, sweep_grid
+
+    try:
+        configs = sweep_grid(
+            workloads=args.workloads.split(",") if args.workloads else None,
+            methods=tuple(args.methods.split(",")),
+            cluster_sizes=tuple(int(n) for n in args.nodes.split(",")),
+            networks=tuple(args.networks.split(",")),
+            size=args.size,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = SweepRunner(configs, workers=args.workers).run()
+    text = result.table()
+    print(text)
+    print()
+    print(result.summary())
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"table written to {out}")
+    return 0
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.harness.figures import fig5, fig6, fig7
 
@@ -140,6 +171,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate Tables 1-3 + Figure 11")
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser(
+        "sweep", help="batch-run a config grid through the cached pipeline"
+    )
+    p.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: the Table 1 set)",
+    )
+    p.add_argument(
+        "--methods", default="multilevel",
+        help="comma-separated partitioners (multilevel,kl,spectral,roundrobin)",
+    )
+    p.add_argument(
+        "--nodes", default="2",
+        help="comma-separated cluster sizes, e.g. 2,3,4",
+    )
+    p.add_argument(
+        "--networks", default="ethernet_100m",
+        help="comma-separated network presets "
+        "(ethernet_100m,ethernet_1g,wireless_80211b)",
+    )
+    p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width; <=1 runs serially in-process",
+    )
+    p.add_argument("--out", help="also write the result table to this file")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("codegen", help="Figure 5/6/7 tour")
     p.set_defaults(fn=_cmd_codegen)

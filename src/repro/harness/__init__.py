@@ -1,6 +1,29 @@
 """Experiment harness: the end-to-end pipeline plus per-table/figure
-reproduction code (see DESIGN.md §4 for the experiment index)."""
+reproduction code (see DESIGN.md §4 for the experiment index), the
+content-addressed stage cache, and the batch sweep orchestrator."""
 
+from repro.harness.cache import StageCache, default_cache, reset_default_cache
 from repro.harness.pipeline import CompiledWorkload, Pipeline, compile_workload
+from repro.harness.sweep import (
+    SweepConfig,
+    SweepRecord,
+    SweepResult,
+    SweepRunner,
+    run_config,
+    sweep_grid,
+)
 
-__all__ = ["Pipeline", "CompiledWorkload", "compile_workload"]
+__all__ = [
+    "Pipeline",
+    "CompiledWorkload",
+    "compile_workload",
+    "StageCache",
+    "default_cache",
+    "reset_default_cache",
+    "SweepConfig",
+    "SweepRecord",
+    "SweepResult",
+    "SweepRunner",
+    "run_config",
+    "sweep_grid",
+]

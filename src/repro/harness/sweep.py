@@ -1,0 +1,315 @@
+"""Batch sweep orchestration: grids of pipeline configurations.
+
+The paper's evaluation is a family of tables that all re-run the same
+front-end (compile → RTA → CRG/ODG) while varying only downstream knobs —
+partitioner, node count, network, granularity.  ``SweepRunner`` makes that
+cheap: each configuration routes through the content-addressed
+:class:`~repro.harness.cache.StageCache`, so within a sweep every workload
+compiles once, is analyzed once per (nparts, method), and — because the
+cluster runtime is a deterministic discrete-event simulation — even
+executions are memoized across repeated runs.
+
+Fan-out: ``SweepRunner(configs, workers=N)`` spreads configurations over a
+``concurrent.futures`` process pool; each worker process holds its own
+cache shard, warmed by its first configuration.  ``workers<=1`` runs
+serially in-process against one shared cache (what tests use for
+determinism and for measuring cache effectiveness).
+
+The result table contains only *virtual* quantities (simulated times,
+message counts, edgecuts), so a fully cached sweep is byte-identical to an
+uncached one — the regression test relies on this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.harness.cache import StageCache, default_cache
+from repro.harness.pipeline import Pipeline
+from repro.runtime.cluster import (
+    ClusterSpec,
+    ethernet_100m,
+    ethernet_1g,
+    homogeneous,
+    paper_testbed,
+    wireless_80211b,
+)
+from repro.runtime.executor import NodeStats, aggregate_node_stats
+from repro.workloads import TABLE1_ORDER, WORKLOADS
+
+#: network presets a sweep can select by name
+NETWORKS = {
+    "ethernet_100m": ethernet_100m,
+    "ethernet_1g": ethernet_1g,
+    "wireless_80211b": wireless_80211b,
+}
+
+class SweepError(ReproError):
+    """Bad sweep configuration."""
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One point of the sweep grid.  Frozen + primitive fields only: the
+    config is both the process-pool task payload and (together with the
+    workload source hash) the execution-stage cache key."""
+
+    workload: str
+    size: str = "test"
+    method: str = "multilevel"
+    nparts: int = 2
+    network: str = "ethernet_100m"
+    granularity: str = "class"
+
+    def __post_init__(self) -> None:
+        from repro.partition.api import METHODS
+
+        if self.workload not in WORKLOADS:
+            raise SweepError(f"unknown workload {self.workload!r}")
+        if self.method not in METHODS:
+            raise SweepError(
+                f"unknown method {self.method!r}; pick one of {METHODS}"
+            )
+        if self.network not in NETWORKS:
+            raise SweepError(
+                f"unknown network {self.network!r}; pick one of {sorted(NETWORKS)}"
+            )
+        if self.nparts < 1:
+            raise SweepError(f"nparts must be >= 1, got {self.nparts}")
+
+    def key(self) -> dict:
+        return asdict(self)
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.method}/k{self.nparts}/{self.network}"
+
+
+def build_cluster(cfg: SweepConfig) -> ClusterSpec:
+    """The cluster a configuration runs on: the paper's heterogeneous
+    two-node testbed for ``nparts == 2``, a homogeneous cluster otherwise,
+    with the link swapped for the configured network preset."""
+    link = NETWORKS[cfg.network]()
+    if cfg.nparts == 2:
+        base = paper_testbed()
+        return ClusterSpec(nodes=list(base.nodes), link=link)
+    return homogeneous(max(cfg.nparts, 1), link=link)
+
+
+def _cluster_signature(cluster: ClusterSpec) -> dict:
+    return {
+        "nodes": [
+            (n.cpu_hz, n.mem_bytes, n.battery_j) for n in cluster.nodes
+        ],
+        "link": (cluster.link.latency_s, cluster.link.bandwidth_Bps),
+    }
+
+
+def sweep_grid(
+    workloads: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = ("multilevel",),
+    cluster_sizes: Sequence[int] = (2,),
+    networks: Sequence[str] = ("ethernet_100m",),
+    size: str = "test",
+    granularity: str = "class",
+) -> List[SweepConfig]:
+    """The full cross product (workload × method × nparts × network)."""
+    names = list(workloads) if workloads is not None else list(TABLE1_ORDER)
+    return [
+        SweepConfig(
+            workload=name, size=size, method=method, nparts=nparts,
+            network=network, granularity=granularity,
+        )
+        for name in names
+        for method in methods
+        for nparts in cluster_sizes
+        for network in networks
+    ]
+
+
+@dataclass
+class SweepRecord:
+    """Result of one configuration: virtual measurements + cache telemetry."""
+
+    config: SweepConfig
+    sequential_s: float
+    distributed_s: float
+    speedup_pct: float
+    messages: int
+    bytes: int
+    edgecut: float
+    rewrites: int
+    node_stats: List[NodeStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def aggregate(self) -> Dict[str, float]:
+        return aggregate_node_stats(self.node_stats)
+
+
+def run_config(cfg: SweepConfig, cache: Optional[StageCache] = None) -> SweepRecord:
+    """One grid point end to end, every stage through ``cache``."""
+    cache = cache if cache is not None else default_cache()
+    hits0, misses0 = cache.counts()
+    t0 = time.perf_counter()
+
+    pipe = Pipeline(cfg.workload, cfg.size, cache=cache)
+    cluster = build_cluster(cfg)
+    baseline = min(cluster.nodes, key=lambda n: n.cpu_hz)
+    seq = pipe.run_sequential(baseline)
+
+    def execute() -> dict:
+        dist, plan, stats = pipe.run_distributed(
+            cfg.nparts, cluster, granularity=cfg.granularity, method=cfg.method
+        )
+        if dist.stdout and seq.stdout and dist.stdout[-1] != seq.stdout[-1]:
+            raise SweepError(
+                f"{cfg.label()}: distributed output diverged: "
+                f"{seq.stdout[-1]!r} vs {dist.stdout[-1]!r}"
+            )
+        return {
+            "makespan_s": dist.makespan_s,
+            "messages": dist.total_messages,
+            "bytes": dist.total_bytes,
+            "edgecut": plan.edgecut,
+            "rewrites": stats.total,
+            "node_stats": dist.node_stats,
+        }
+
+    payload = cache.get_or_build(
+        "execute",
+        {
+            "source_fp": pipe.work.source_fp,
+            "config": cfg.key(),
+            "cluster": _cluster_signature(cluster),
+        },
+        execute,
+    )
+
+    hits1, misses1 = cache.counts()
+    return SweepRecord(
+        config=cfg,
+        sequential_s=seq.exec_time_s,
+        distributed_s=payload["makespan_s"],
+        speedup_pct=100.0 * seq.exec_time_s / payload["makespan_s"],
+        messages=payload["messages"],
+        bytes=payload["bytes"],
+        edgecut=payload["edgecut"],
+        rewrites=payload["rewrites"],
+        node_stats=payload["node_stats"],
+        cache_hits=hits1 - hits0,
+        cache_misses=misses1 - misses0,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def _run_config_in_worker(cfg: SweepConfig) -> SweepRecord:
+    """Process-pool entry point: each worker uses its own default cache,
+    warm across the configs the pool hands it."""
+    return run_config(cfg, default_cache())
+
+
+@dataclass
+class SweepResult:
+    records: List[SweepRecord]
+    elapsed_s: float
+    workers: int
+
+    # -------------------------------------------------------------- telemetry
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.records)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.records)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        calls = self.cache_hits + self.cache_misses
+        return self.cache_hits / calls if calls else 0.0
+
+    # -------------------------------------------------------------- rendering
+    def table(self) -> str:
+        """Deterministic result table: virtual quantities only, so cached
+        and uncached runs of the same grid render byte-identically."""
+        from repro.harness.tables import _fmt_table
+
+        rows = []
+        for r in self.records:
+            agg = r.aggregate
+            rows.append(
+                [
+                    r.config.workload,
+                    r.config.method,
+                    r.config.nparts,
+                    r.config.network,
+                    f"{r.sequential_s * 1e3:.3f}",
+                    f"{r.distributed_s * 1e3:.3f}",
+                    f"{r.speedup_pct:.1f}",
+                    r.messages,
+                    r.bytes,
+                    f"{r.edgecut:.0f}",
+                    r.rewrites,
+                    f"{100.0 * agg['busy_frac']:.1f}",
+                ]
+            )
+        return _fmt_table(
+            [
+                "workload", "method", "k", "network", "seq ms", "dist ms",
+                "speedup %", "msgs", "bytes", "edgecut", "rewrites", "busy %",
+            ],
+            rows,
+        )
+
+    def summary(self) -> str:
+        calls = self.cache_hits + self.cache_misses
+        return (
+            f"{len(self.records)} configs in {self.elapsed_s:.2f} s wall-clock "
+            f"({self.workers or 1} worker(s)); stage cache: "
+            f"{self.cache_hits}/{calls} hits "
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)"
+        )
+
+
+class SweepRunner:
+    """Fan a grid of :class:`SweepConfig` across a process pool (or run
+    serially for ``workers <= 1``) and aggregate the records in grid order."""
+
+    def __init__(
+        self,
+        configs: Iterable[SweepConfig],
+        workers: int = 0,
+        cache: Optional[StageCache] = None,
+    ) -> None:
+        self.configs = list(configs)
+        if not self.configs:
+            raise SweepError("empty sweep grid")
+        if workers > 1 and cache is not None:
+            # pool workers are separate processes: a caller-supplied cache
+            # can neither be consulted nor warmed there, so silently
+            # accepting it would drop the caching the caller asked for
+            raise SweepError(
+                "an explicit cache only works with workers <= 1 (pool "
+                "workers each use their own process-default cache)"
+            )
+        self.workers = workers
+        self.cache = cache
+
+    def run(self) -> SweepResult:
+        t0 = time.perf_counter()
+        if self.workers > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                records = list(pool.map(_run_config_in_worker, self.configs))
+        else:
+            records = [run_config(cfg, self.cache) for cfg in self.configs]
+        return SweepResult(
+            records=records,
+            elapsed_s=time.perf_counter() - t0,
+            workers=self.workers,
+        )

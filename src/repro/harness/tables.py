@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.cache import StageCache
 from repro.harness.pipeline import Pipeline, compile_workload
 from repro.profiler import ALL_METRICS, attach, make_profiler
 from repro.runtime.cluster import paper_testbed
@@ -33,11 +34,15 @@ def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
 # ---------------------------------------------------------------------------
 # Table 1: benchmark sizes and CRG/ODG graph sizes + edgecuts
 # ---------------------------------------------------------------------------
-def table1(size: str = "test", names: Optional[Sequence[str]] = None) -> Tuple[List[dict], str]:
+def table1(
+    size: str = "test",
+    names: Optional[Sequence[str]] = None,
+    cache: Optional[StageCache] = None,
+) -> Tuple[List[dict], str]:
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size)
+        pipe = Pipeline(name, size, cache=cache)
         a = pipe.analyze(nparts=2)
         rows.append(
             {
@@ -67,11 +72,15 @@ def table1(size: str = "test", names: Optional[Sequence[str]] = None) -> Tuple[L
 # ---------------------------------------------------------------------------
 # Table 2: pipeline stage timings (ms)
 # ---------------------------------------------------------------------------
-def table2(size: str = "test", names: Optional[Sequence[str]] = None) -> Tuple[List[dict], str]:
+def table2(
+    size: str = "test",
+    names: Optional[Sequence[str]] = None,
+    cache: Optional[StageCache] = None,
+) -> Tuple[List[dict], str]:
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size)
+        pipe = Pipeline(name, size, cache=cache)
         a = pipe.analyze(nparts=2)
         plan = pipe.plan(2, cluster=paper_testbed())
         _, stats, rewrite_ms = pipe.rewrite(plan)
@@ -106,9 +115,14 @@ def table2(size: str = "test", names: Optional[Sequence[str]] = None) -> Tuple[L
 TABLE3_BENCHMARKS = ("create", "method", "crypt", "heapsort", "moldyn", "search")
 
 
-def run_profiled(name: str, metric: str, size: str = "test") -> Tuple[int, object]:
+def run_profiled(
+    name: str,
+    metric: str,
+    size: str = "test",
+    cache: Optional[StageCache] = None,
+) -> Tuple[int, object]:
     """(virtual cycles, report) for one workload under one profiler."""
-    work = compile_workload(name, size)
+    work = compile_workload(name, size, cache=cache)
     machine = Machine(work.loaded)
     machine.statics = work.loaded.fresh_statics()
     profiler = make_profiler(metric)
@@ -119,7 +133,9 @@ def run_profiled(name: str, metric: str, size: str = "test") -> Tuple[int, objec
 
 
 def table3(
-    size: str = "test", names: Optional[Sequence[str]] = None
+    size: str = "test",
+    names: Optional[Sequence[str]] = None,
+    cache: Optional[StageCache] = None,
 ) -> Tuple[List[dict], str]:
     names = list(names or TABLE3_BENCHMARKS)
     metrics = list(ALL_METRICS)
@@ -128,7 +144,7 @@ def table3(
     for name in names:
         row: dict = {"benchmark": name}
         for metric in metrics:
-            cycles, _ = run_profiled(name, metric, size)
+            cycles, _ = run_profiled(name, metric, size, cache=cache)
             # report virtual seconds on the paper's 1.67 GHz Athlon
             row[metric] = cycles / 1.67e9
             totals[metric] += row[metric]
@@ -157,12 +173,14 @@ def table3(
 # Figure 11: centralized vs distributed speedup
 # ---------------------------------------------------------------------------
 def figure11(
-    size: str = "bench", names: Optional[Sequence[str]] = None
+    size: str = "bench",
+    names: Optional[Sequence[str]] = None,
+    cache: Optional[StageCache] = None,
 ) -> Tuple[List[dict], str]:
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size)
+        pipe = Pipeline(name, size, cache=cache)
         s = pipe.speedup()
         rows.append(
             {

@@ -33,6 +33,27 @@ from repro.partition.spectral import spectral_bisect
 METHODS = ("multilevel", "kl", "spectral", "roundrobin", "random")
 
 
+def part_config_key(
+    nparts: int,
+    method: str = "multilevel",
+    ubfactor: float = 1.10,
+    seed: int = 17,
+    tpwgts: Optional[Sequence[float]] = None,
+) -> dict:
+    """Canonical, JSON-stable encoding of a ``part_graph`` configuration.
+
+    This is the downstream half of the harness stage-cache keys: two calls
+    with equal keys (over the same graph) return equal partitions, and any
+    field change must produce a different key."""
+    return {
+        "nparts": int(nparts),
+        "method": str(method),
+        "ubfactor": float(ubfactor),
+        "seed": int(seed),
+        "tpwgts": [float(t) for t in tpwgts] if tpwgts is not None else None,
+    }
+
+
 @dataclass
 class PartitionResult:
     """Outcome of one partitioning call."""
@@ -51,6 +72,32 @@ class PartitionResult:
         for node, p in enumerate(self.parts):
             out[p].append(node)
         return out
+
+    def validate(self, graph: WeightedGraph) -> None:
+        """Recompute the quality metrics from ``graph`` and raise
+        :class:`PartitionError` if the stored ones disagree or any vertex
+        lacks a valid assignment — the differential check the property
+        suite runs against every partitioner."""
+        if len(self.parts) != graph.num_nodes:
+            raise PartitionError(
+                f"parts vector has {len(self.parts)} entries for "
+                f"{graph.num_nodes} vertices"
+            )
+        for node, p in enumerate(self.parts):
+            if not 0 <= p < self.nparts:
+                raise PartitionError(f"vertex {node} assigned to part {p}")
+        cut = edgecut(graph, self.parts)
+        if abs(cut - self.edgecut) > 1e-6 * max(1.0, abs(cut)):
+            raise PartitionError(
+                f"stored edgecut {self.edgecut} != recomputed {cut}"
+            )
+        if graph.num_nodes:
+            imb = imbalance(graph, self.parts, self.nparts)
+            stored = np.asarray(self.imbalance, dtype=float)
+            if stored.shape != imb.shape or not np.allclose(stored, imb):
+                raise PartitionError(
+                    f"stored imbalance {self.imbalance} != recomputed {list(imb)}"
+                )
 
 
 def _kway_from_bisector(graph: WeightedGraph, nparts: int, bisector) -> List[int]:

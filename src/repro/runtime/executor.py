@@ -40,6 +40,24 @@ class NodeStats:
     stdout: List[str] = field(default_factory=list)
 
 
+def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
+    """Cluster-wide rollup of per-node counters — what the sweep table
+    reports per configuration: totals plus the busy fraction of the
+    makespan (a utilization measure across heterogeneous nodes)."""
+    clock = max((s.clock_s for s in stats), default=0.0)
+    busy = sum(s.busy_s for s in stats)
+    return {
+        "nodes": float(len(stats)),
+        "busy_s": busy,
+        "busy_frac": busy / (clock * len(stats)) if clock and stats else 0.0,
+        "messages_sent": float(sum(s.messages_sent for s in stats)),
+        "bytes_sent": float(sum(s.bytes_sent for s in stats)),
+        "requests_served": float(sum(s.requests_served for s in stats)),
+        "heap_objects": float(sum(s.heap_objects for s in stats)),
+        "heap_bytes": float(sum(s.heap_bytes for s in stats)),
+    }
+
+
 @dataclass
 class DistributedResult:
     """Everything the Figure 11 harness needs."""
@@ -54,6 +72,9 @@ class DistributedResult:
     @property
     def exec_time_s(self) -> float:
         return self.makespan_s
+
+    def aggregate(self) -> Dict[str, float]:
+        return aggregate_node_stats(self.node_stats)
 
 
 @dataclass

@@ -1,0 +1,63 @@
+"""Differential test harness: sequential vs distributed execution.
+
+For every workload in ``repro.workloads`` and every plan produced by the
+``kl``, ``multilevel`` and ``roundrobin`` partitioners, the distributed
+execution must compute exactly what the centralized baseline computes:
+
+* the same final result value,
+* the same final output line (printed by ``main`` on its home node),
+* the same multiset of stdout lines (distribution may interleave the
+  per-node output streams, but every line is printed exactly once),
+* the same total number of user heap objects (proxies for remote objects
+  are VM-internal and never inflate the user object count).
+
+All pipelines share the process-default stage cache, so the grid compiles
+and analyzes each workload once.
+"""
+
+import pytest
+
+from repro.harness.pipeline import Pipeline
+from repro.workloads import WORKLOADS
+
+PLAN_METHODS = ("kl", "multilevel", "roundrobin")
+
+
+@pytest.mark.parametrize("method", PLAN_METHODS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_distributed_matches_sequential(workload, method):
+    pipe = Pipeline(workload, "test")
+    seq = pipe.run_sequential()
+    dist, plan, _ = pipe.run_distributed(2, method=method)
+
+    assert plan.method == method
+    assert plan.nparts == 2
+    assert dist.result == seq.result
+    assert seq.stdout, f"{workload}: sequential run produced no output"
+    assert dist.stdout[-1] == seq.stdout[-1], (
+        f"{workload}/{method}: final line diverged"
+    )
+    assert sorted(dist.stdout) == sorted(seq.stdout), (
+        f"{workload}/{method}: stdout multiset diverged"
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_heap_population_matches_sequential(workload):
+    """Every ``new`` the sequential run executes happens exactly once
+    somewhere in the cluster too: the distributed heaps together hold at
+    least the sequential census (proxies may add, never subtract)."""
+    from repro.vm.heap import Heap
+    from repro.vm.interpreter import Machine, run_sync
+
+    pipe = Pipeline(workload, "test")
+    machine = Machine(pipe.work.loaded, heap=Heap())
+    machine.statics = pipe.work.loaded.fresh_statics()
+    machine.call_bmethod(pipe.work.loaded.main_method(), None, [None])
+    run_sync(machine)
+
+    dist, _, _ = pipe.run_distributed(2, method="multilevel")
+    dist_objects = sum(ns.heap_objects for ns in dist.node_stats)
+    assert dist_objects >= machine.heap.allocated_objects, (
+        f"{workload}: distributed heaps lost objects"
+    )

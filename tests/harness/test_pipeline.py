@@ -2,17 +2,23 @@
 
 import pytest
 
+from repro.harness.cache import StageCache
 from repro.harness.figures import fig3_fig4, fig5, fig6, fig7, fig8_fig9
 from repro.harness.pipeline import Pipeline, compile_workload
 from repro.harness.tables import run_profiled
 from repro.runtime.cluster import paper_testbed
 
 
-def test_compile_workload_caches_nothing_weird():
+def test_compile_workload_content_addressed():
+    # same source through the same cache -> the identical compiled object;
+    # a different cache recompiles from scratch
     w1 = compile_workload("bank", "test")
     w2 = compile_workload("bank", "test")
     assert w1.num_classes == w2.num_classes == 3
-    assert w1.bprogram is not w2.bprogram
+    assert w1 is w2
+    w3 = compile_workload("bank", "test", cache=StageCache())
+    assert w3.bprogram is not w1.bprogram
+    assert w3.source_fp == w1.source_fp
 
 
 def test_analysis_timings_populated():

@@ -27,6 +27,26 @@ def test_distribute_command(capsys):
     assert "messages" in out
 
 
+def test_sweep_command(capsys, tmp_path):
+    out_file = tmp_path / "sweep.txt"
+    assert main([
+        "sweep", "--workloads", "bank,method", "--methods", "multilevel,kl",
+        "--out", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "workload" in out and "speedup %" in out
+    assert "hit rate" in out  # stage-cache telemetry reported
+    assert "4 configs" in out
+    assert out_file.read_text().count("\n") >= 6  # header + rule + 4 rows
+
+
+def test_sweep_rejects_bad_grid_cleanly(capsys):
+    assert main(["sweep", "--workloads", "bank", "--methods", "annealing"]) == 2
+    assert "unknown method" in capsys.readouterr().err
+    assert main(["sweep", "--workloads", "bank", "--nodes", "two"]) == 2
+    assert "two" in capsys.readouterr().err
+
+
 def test_codegen_command(capsys):
     assert main(["codegen"]) == 0
     out = capsys.readouterr().out
