@@ -2,14 +2,19 @@
 
 Commands mirror the infrastructure's phases:
 
-* ``run <workload>``        — centralized execution (prints output + virtual time)
+* ``run <workload>``        — execute a workload; ``--backend seq`` (default)
+  is the centralized baseline, ``--backend {sim,thread,process}`` runs the
+  distributed plan on that runtime backend (program output on stdout,
+  byte-identical across backends; diagnostics on stderr)
 * ``analyze <workload>``    — CRG/ODG summary (+ ``--vcg DIR`` to dump Figure 3/4 files)
 * ``distribute <workload>`` — plan, rewrite and execute on the paper's
-  2-node testbed (``--nodes N`` for more), printing the Figure 11 numbers
+  2-node testbed (``--nodes N`` for more, ``--backend`` to pick the
+  runtime), printing the Figure 11 numbers
 * ``tables``                — regenerate Tables 1/2/3 and Figure 11 to stdout
 * ``sweep``                 — batch-run a (workload × partitioner × cluster
-  × network) grid through the stage-cached pipeline, optionally across a
-  process pool (``--workers N``), printing one result table + cache stats
+  × network × backend) grid through the stage-cached pipeline, optionally
+  across a process pool (``--workers N``), printing one result table +
+  cache stats
 * ``codegen``               — the Figure 5/6/7 tour
 """
 
@@ -27,11 +32,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.pipeline import Pipeline
 
     pipe = Pipeline(args.workload, args.size)
-    seq = pipe.run_sequential()
-    for line in seq.stdout:
+    if args.backend == "seq":
+        seq = pipe.run_sequential()
+        for line in seq.stdout:
+            print(line)
+        print(f"[{args.workload}] {seq.cycles} cycles, "
+              f"{seq.exec_time_s * 1e3:.3f} virtual ms on the 800 MHz baseline",
+              file=sys.stderr)
+        return 0
+    # distributed run on a real backend; program output goes to stdout so it
+    # is byte-comparable across backends, diagnostics go to stderr
+    dist, plan, _ = pipe.run_distributed(args.nodes, backend=args.backend)
+    for line in dist.stdout:
         print(line)
-    print(f"[{args.workload}] {seq.cycles} cycles, "
-          f"{seq.exec_time_s * 1e3:.3f} virtual ms on the 800 MHz baseline")
+    unit = "virtual ms" if args.backend == "sim" else "wall ms"
+    print(f"[{args.workload}] backend={args.backend} k={plan.nparts} "
+          f"{dist.makespan_s * 1e3:.3f} {unit}, "
+          f"{dist.total_messages} messages ({dist.total_bytes} bytes)",
+          file=sys.stderr)
     return 0
 
 
@@ -74,10 +92,12 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
 
     pipe = Pipeline(args.workload, args.size)
     cluster = paper_testbed() if args.nodes == 2 else homogeneous(args.nodes)
-    s = pipe.speedup(nparts=args.nodes, cluster=cluster)
-    print(f"sequential : {s['sequential_s'] * 1e3:10.3f} virtual ms")
-    print(f"distributed: {s['distributed_s'] * 1e3:10.3f} virtual ms "
-          f"on {args.nodes} nodes")
+    s = pipe.speedup(nparts=args.nodes, cluster=cluster, backend=args.backend)
+    # non-sim backends compare wall against wall (commensurable units)
+    unit = "virtual ms" if args.backend == "sim" else "wall ms"
+    print(f"sequential : {s['sequential_s'] * 1e3:10.3f} {unit}")
+    print(f"distributed: {s['distributed_s'] * 1e3:10.3f} {unit} "
+          f"on {args.nodes} nodes ({args.backend} backend)")
     print(f"messages   : {s['messages']}  ({s['bytes']} bytes)")
     print(f"rewrites   : {s['rewrites']}  (plan edgecut {s['edgecut']:.0f})")
     print(f"speedup    : {s['speedup_pct']:.1f}%  (paper range: 79.2%..175.2%)")
@@ -110,6 +130,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cluster_sizes=tuple(int(n) for n in args.nodes.split(",")),
             networks=tuple(args.networks.split(",")),
             size=args.size,
+            backends=tuple(args.backends.split(",")),
         )
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -151,9 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     workloads = sorted(WORKLOADS)
 
-    p = sub.add_parser("run", help="centralized execution")
+    p = sub.add_parser("run", help="execute a workload (centralized or on a backend)")
     p.add_argument("workload", choices=workloads)
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.add_argument(
+        "--backend", default="seq", choices=("seq", "sim", "thread", "process"),
+        help="seq = centralized baseline; sim/thread/process = distributed "
+        "execution on that runtime backend",
+    )
+    p.add_argument("--nodes", type=int, default=2,
+                   help="partitions for non-seq backends")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("analyze", help="dependence analysis summary")
@@ -166,6 +194,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=workloads)
     p.add_argument("--size", default="bench", choices=("test", "bench", "large"))
     p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--backend", default="sim",
+                   choices=("sim", "thread", "process"))
     p.set_defaults(fn=_cmd_distribute)
 
     p = sub.add_parser("tables", help="regenerate Tables 1-3 + Figure 11")
@@ -191,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--networks", default="ethernet_100m",
         help="comma-separated network presets "
         "(ethernet_100m,ethernet_1g,wireless_80211b)",
+    )
+    p.add_argument(
+        "--backends", default="sim",
+        help="comma-separated runtime backends (sim,thread,process)",
     )
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.add_argument(

@@ -2,7 +2,7 @@
 
 The paper's evaluation is a family of tables that all re-run the same
 front-end (compile → RTA → CRG/ODG) while varying only downstream knobs —
-partitioner, node count, network, granularity.  ``SweepRunner`` makes that
+partitioner, node count, network, granularity, runtime backend.  ``SweepRunner`` makes that
 cheap: each configuration routes through the content-addressed
 :class:`~repro.harness.cache.StageCache`, so within a sweep every workload
 compiles once, is analyzed once per (nparts, method), and — because the
@@ -64,9 +64,11 @@ class SweepConfig:
     nparts: int = 2
     network: str = "ethernet_100m"
     granularity: str = "class"
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         from repro.partition.api import METHODS
+        from repro.runtime.backend import backend_names
 
         if self.workload not in WORKLOADS:
             raise SweepError(f"unknown workload {self.workload!r}")
@@ -80,12 +82,19 @@ class SweepConfig:
             )
         if self.nparts < 1:
             raise SweepError(f"nparts must be >= 1, got {self.nparts}")
+        if self.backend not in backend_names():
+            raise SweepError(
+                f"unknown backend {self.backend!r}; pick one of {backend_names()}"
+            )
 
     def key(self) -> dict:
         return asdict(self)
 
     def label(self) -> str:
-        return f"{self.workload}/{self.method}/k{self.nparts}/{self.network}"
+        return (
+            f"{self.workload}/{self.method}/k{self.nparts}/{self.network}"
+            f"/{self.backend}"
+        )
 
 
 def build_cluster(cfg: SweepConfig) -> ClusterSpec:
@@ -115,18 +124,21 @@ def sweep_grid(
     networks: Sequence[str] = ("ethernet_100m",),
     size: str = "test",
     granularity: str = "class",
+    backends: Sequence[str] = ("sim",),
 ) -> List[SweepConfig]:
-    """The full cross product (workload × method × nparts × network)."""
+    """The full cross product (workload × method × nparts × network ×
+    backend)."""
     names = list(workloads) if workloads is not None else list(TABLE1_ORDER)
     return [
         SweepConfig(
             workload=name, size=size, method=method, nparts=nparts,
-            network=network, granularity=granularity,
+            network=network, granularity=granularity, backend=backend,
         )
         for name in names
         for method in methods
         for nparts in cluster_sizes
         for network in networks
+        for backend in backends
     ]
 
 
@@ -165,7 +177,8 @@ def run_config(cfg: SweepConfig, cache: Optional[StageCache] = None) -> SweepRec
 
     def execute() -> dict:
         dist, plan, stats = pipe.run_distributed(
-            cfg.nparts, cluster, granularity=cfg.granularity, method=cfg.method
+            cfg.nparts, cluster, granularity=cfg.granularity, method=cfg.method,
+            backend=cfg.backend,
         )
         if dist.stdout and seq.stdout and dist.stdout[-1] != seq.stdout[-1]:
             raise SweepError(
@@ -181,22 +194,31 @@ def run_config(cfg: SweepConfig, cache: Optional[StageCache] = None) -> SweepRec
             "node_stats": dist.node_stats,
         }
 
-    payload = cache.get_or_build(
-        "execute",
-        {
-            "source_fp": pipe.work.source_fp,
-            "config": cfg.key(),
-            "cluster": _cluster_signature(cluster),
-        },
-        execute,
-    )
+    if cfg.backend == "sim":
+        # only the simulator is deterministic; wall-clock backends must
+        # really execute every time
+        payload = cache.get_or_build(
+            "execute",
+            {
+                "source_fp": pipe.work.source_fp,
+                "config": cfg.key(),
+                "cluster": _cluster_signature(cluster),
+            },
+            execute,
+        )
+    else:
+        payload = execute()
 
     hits1, misses1 = cache.counts()
+    # virtual/virtual on the simulator, measured wall/wall on real backends
+    seq_s = (
+        seq.exec_time_s if cfg.backend == "sim" else max(seq.wall_time_s, 1e-9)
+    )
     return SweepRecord(
         config=cfg,
-        sequential_s=seq.exec_time_s,
+        sequential_s=seq_s,
         distributed_s=payload["makespan_s"],
-        speedup_pct=100.0 * seq.exec_time_s / payload["makespan_s"],
+        speedup_pct=100.0 * seq_s / payload["makespan_s"],
         messages=payload["messages"],
         bytes=payload["bytes"],
         edgecut=payload["edgecut"],
@@ -236,8 +258,9 @@ class SweepResult:
 
     # -------------------------------------------------------------- rendering
     def table(self) -> str:
-        """Deterministic result table: virtual quantities only, so cached
-        and uncached runs of the same grid render byte-identically."""
+        """Result table.  For ``sim``-backend grids it contains virtual
+        quantities only, so cached and uncached runs render byte-identically;
+        wall-clock backends report measured times that naturally vary."""
         from repro.harness.tables import _fmt_table
 
         rows = []
@@ -249,6 +272,7 @@ class SweepResult:
                     r.config.method,
                     r.config.nparts,
                     r.config.network,
+                    r.config.backend,
                     f"{r.sequential_s * 1e3:.3f}",
                     f"{r.distributed_s * 1e3:.3f}",
                     f"{r.speedup_pct:.1f}",
@@ -261,8 +285,9 @@ class SweepResult:
             )
         return _fmt_table(
             [
-                "workload", "method", "k", "network", "seq ms", "dist ms",
-                "speedup %", "msgs", "bytes", "edgecut", "rewrites", "busy %",
+                "workload", "method", "k", "network", "backend", "seq ms",
+                "dist ms", "speedup %", "msgs", "bytes", "edgecut",
+                "rewrites", "busy %",
             ],
             rows,
         )

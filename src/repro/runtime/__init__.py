@@ -1,8 +1,11 @@
-"""Distributed runtime: simulated cluster, MPI service, message exchange.
+"""Distributed runtime: pluggable backends, MPI service, message exchange.
 
-Mirrors Section 5 of the paper.  Each simulated node runs three services —
+Mirrors Section 5 of the paper.  Each node runs three services —
 ``MPIService``, ``ExecutionStarter`` and ``MessageExchange`` — on top of a
-discrete-event network (:mod:`repro.runtime.simnet`).  Messages use the
+pluggable transport/backend layer (:mod:`repro.runtime.backend`): the
+discrete-event simulator (:mod:`repro.runtime.simnet`), one thread per node
+(:mod:`repro.runtime.threads`), or one OS process per node over
+multiprocessing pipes (:mod:`repro.runtime.proc`).  Messages use the
 streamed format of :mod:`repro.runtime.serial` and the ``NEW`` /
 ``DEPENDENCE`` kinds of :mod:`repro.runtime.message`.
 
@@ -10,6 +13,10 @@ Submodules are imported lazily to keep ``repro.vm`` usable standalone.
 """
 
 _EXPORTS = {
+    "RuntimeBackend": "repro.runtime.backend",
+    "Transport": "repro.runtime.backend",
+    "backend_names": "repro.runtime.backend",
+    "create_backend": "repro.runtime.backend",
     "ClusterSpec": "repro.runtime.cluster",
     "NodeSpec": "repro.runtime.cluster",
     "ethernet_100m": "repro.runtime.cluster",

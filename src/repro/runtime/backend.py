@@ -1,0 +1,302 @@
+"""Pluggable runtime backends: the transport/lifecycle contract the
+distributed executor needs, independent of *how* nodes actually run.
+
+The paper's runtime targets real machines; our first reproduction hard-wired
+everything to the discrete-event simulator.  This module is the seam that
+makes the runtime layered:
+
+* :class:`Transport` — message routing: ``post(src, dst, msg)`` with
+  per-(src, dst) FIFO ordering, plus the cluster size.  The MPI service and
+  MessageExchange talk to nodes and a transport only — never to a concrete
+  cluster class.
+* :class:`BackendNode` — one node's runtime identity: VM machine, services,
+  clock (virtual or wall), message intake and per-node statistics.  All
+  stats leave a node through :meth:`BackendNode.snapshot_stats`, the one
+  code path shared by every backend (and by the sequential baseline via
+  :func:`snapshot_machine`).
+* :class:`RuntimeBackend` — node lifecycle + execution: takes a rewritten
+  program, provisions one VM per node, drives every node's generator to
+  completion and returns a :class:`BackendRun`.
+
+Implementations register themselves under a name (``sim``, ``thread``,
+``process``) via :func:`register_backend`; the executor, harness, sweep and
+CLI select one through :func:`create_backend` — the only sanctioned route to
+a concrete backend class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, List, Optional, Type
+
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.message import Message
+
+
+# ---------------------------------------------------------------------- stats
+@dataclass
+class NodeStats:
+    """Per-node counters every backend reports through the same schema."""
+
+    name: str
+    clock_s: float
+    busy_s: float
+    messages_sent: int
+    bytes_sent: int
+    requests_served: int
+    heap_objects: int
+    heap_bytes: int
+    stdout: List[str] = field(default_factory=list)
+
+
+def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
+    """Cluster-wide rollup of per-node counters — what the sweep table
+    reports per configuration: totals plus the busy fraction of the
+    makespan (a utilization measure across heterogeneous nodes)."""
+    clock = max((s.clock_s for s in stats), default=0.0)
+    busy = sum(s.busy_s for s in stats)
+    return {
+        "nodes": float(len(stats)),
+        "busy_s": busy,
+        "busy_frac": busy / (clock * len(stats)) if clock and stats else 0.0,
+        "messages_sent": float(sum(s.messages_sent for s in stats)),
+        "bytes_sent": float(sum(s.bytes_sent for s in stats)),
+        "requests_served": float(sum(s.requests_served for s in stats)),
+        "heap_objects": float(sum(s.heap_objects for s in stats)),
+        "heap_bytes": float(sum(s.heap_bytes for s in stats)),
+    }
+
+
+def snapshot_machine(
+    name: str,
+    machine,
+    *,
+    clock_s: float = 0.0,
+    busy_s: float = 0.0,
+    messages_sent: int = 0,
+    bytes_sent: int = 0,
+    requests_served: int = 0,
+) -> NodeStats:
+    """The single stats code path: turn a finished VM machine (plus the
+    caller's transport counters) into a :class:`NodeStats` record.  Both
+    the sequential baseline and every backend node report through here, so
+    nothing else reaches into VM internals for heap sizes or stdout."""
+    heap = machine.heap
+    return NodeStats(
+        name=name,
+        clock_s=clock_s,
+        busy_s=busy_s,
+        messages_sent=messages_sent,
+        bytes_sent=bytes_sent,
+        requests_served=requests_served,
+        heap_objects=heap.allocated_objects,
+        heap_bytes=heap.allocated_bytes,
+        stdout=list(machine.stdout),
+    )
+
+
+# ------------------------------------------------------------------ transport
+class Transport(ABC):
+    """Message routing between nodes.  Implementations must preserve FIFO
+    ordering per (src, dst) pair — the message-exchange protocol's
+    async-write-then-sync-read consistency depends on it."""
+
+    @property
+    @abstractmethod
+    def nnodes(self) -> int:
+        """Number of addressable nodes (MPI COMM_WORLD size)."""
+
+    @abstractmethod
+    def post(self, src: int, dst: int, msg: Message) -> None:
+        """Hand one message to the transport for delivery to ``dst``."""
+
+
+# ----------------------------------------------------------------------- node
+class BackendNode:
+    """One node's runtime state, common to all backends.
+
+    Concrete backends supply the message intake (``take_matching`` /
+    ``iprobe``): the simulator gates on virtual arrival times, wall-clock
+    backends on what has physically arrived.
+    """
+
+    def __init__(self, node_id: int, spec: NodeSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.clock = 0.0                     # seconds, virtual or wall
+        self.gen = None                      # the node's process generator
+        self.done = False
+        self.machine = None                  # repro.vm.interpreter.Machine
+        self.exchange = None                 # services.MessageExchange
+        self.mpi = None                      # mpi.MPIService
+        # statistics
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.msgs_received = 0
+        self.busy_s = 0.0                    # CPU time actually charged
+
+    def take_matching(
+        self, match: Callable[[Message], bool]
+    ) -> Optional[Message]:
+        """Pop the earliest delivered message satisfying ``match`` (others
+        stay queued); ``None`` when nothing eligible has arrived."""
+        raise NotImplementedError
+
+    def iprobe(self, match: Callable[[Message], bool]) -> bool:
+        """Non-blocking arrival check."""
+        raise NotImplementedError
+
+    def snapshot_stats(self) -> NodeStats:
+        return snapshot_machine(
+            self.spec.name,
+            self.machine,
+            clock_s=self.clock,
+            busy_s=self.busy_s,
+            messages_sent=self.msgs_sent,
+            bytes_sent=self.bytes_sent,
+            requests_served=(
+                self.exchange.requests_served if self.exchange is not None else 0
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.node_id} {self.spec.name} "
+            f"t={self.clock:.6f}>"
+        )
+
+
+# ------------------------------------------------------------------- backend
+@dataclass
+class BackendRun:
+    """What one distributed execution produced, backend-agnostic."""
+
+    result: object
+    makespan_s: float
+    total_messages: int
+    total_bytes: int
+    node_stats: List[NodeStats]
+    stdout: List[str] = field(default_factory=list)
+
+
+class RuntimeBackend(ABC):
+    """Node lifecycle + execution driver for one cluster specification."""
+
+    #: registry key; subclasses set it and decorate with register_backend
+    name: ClassVar[str] = "?"
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+
+    @property
+    def nnodes(self) -> int:
+        return self.spec.size
+
+    @abstractmethod
+    def execute(
+        self,
+        program,
+        loaded,
+        main_partition: int,
+        async_writes: bool,
+        max_events: int,
+    ) -> BackendRun:
+        """Run ``program`` (already communication-rewritten) with ``main``
+        started on ``main_partition`` and service loops everywhere else;
+        drive all nodes to completion and report the run.  ``loaded`` is the
+        in-process loaded image (out-of-process backends reload from
+        ``program`` instead).  ``max_events`` bounds scheduler/driver events
+        (globally for the simulator, per node for wall-clock backends)."""
+
+
+# --------------------------------------------------------------- provisioning
+def provision_node(node: BackendNode, transport: Transport, loaded,
+                   is_main: bool, async_writes: bool):
+    """Wire one node: fresh VM machine (own heap, own statics — per-JVM
+    semantics), MPI service, MessageExchange and the DependentObject
+    syscall; install the node's process generator.  Returns the
+    :class:`~repro.runtime.services.ExecutionStarter` for the main node,
+    ``None`` otherwise."""
+    from repro.runtime.mpi import MPIService
+    from repro.runtime.services import (
+        ExecutionStarter,
+        MessageExchange,
+        make_node_syscall,
+    )
+    from repro.vm.heap import Heap
+    from repro.vm.interpreter import Machine
+
+    machine = Machine(loaded, heap=Heap(), node_id=node.node_id)
+    machine.statics = loaded.fresh_statics()
+    node.machine = machine
+    node.mpi = MPIService(node, transport)
+    node.exchange = MessageExchange(node)
+    machine.syscall = make_node_syscall(node, async_writes=async_writes)
+    if is_main:
+        starter = ExecutionStarter(node, loaded.main_method())
+        node.gen = starter.run()
+        return starter
+    node.gen = node.exchange.serve_forever()
+    return None
+
+
+def provision(backend, loaded, main_partition: int, async_writes: bool):
+    """Provision every node of an in-process backend (one that is also its
+    own :class:`Transport`); returns the main node's starter."""
+    starter = None
+    for node in backend.nodes:
+        s = provision_node(
+            node, backend, loaded, node.node_id == main_partition, async_writes
+        )
+        if s is not None:
+            starter = s
+    if starter is None:
+        raise RuntimeServiceError(
+            f"main partition {main_partition} has no node"
+        )
+    return starter
+
+
+# ------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Type[RuntimeBackend]] = {}
+_BUILTINS_LOADED = False
+
+
+def register_backend(cls: Type[RuntimeBackend]) -> Type[RuntimeBackend]:
+    """Class decorator: make ``cls`` selectable by its ``name``."""
+    if cls.name == "?":
+        raise RuntimeServiceError(f"{cls.__name__} has no backend name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # the implementations self-register on import
+    import repro.runtime.proc  # noqa: F401
+    import repro.runtime.simnet  # noqa: F401
+    import repro.runtime.threads  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def backend_names() -> List[str]:
+    _load_builtins()
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, spec: ClusterSpec) -> RuntimeBackend:
+    """Instantiate a registered backend for ``spec`` — the one sanctioned
+    route from a backend name to a concrete cluster implementation."""
+    _load_builtins()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RuntimeServiceError(
+            f"unknown runtime backend {name!r}; available: {backend_names()}"
+        ) from None
+    return cls(spec)

@@ -1,10 +1,13 @@
 """Distributed execution driver (paper §5 + §7.2).
 
 ``DistributedExecutor`` wires a rewritten program and a distribution plan
-onto a simulated cluster: one VM machine per node (own heap, own statics —
-per-JVM semantics), the three services per node, ``main`` started on the
-plan's main partition, service loops elsewhere; then runs the discrete-event
-scheduler to completion.
+onto a runtime backend selected by name from the backend registry
+(:mod:`repro.runtime.backend`): the deterministic discrete-event simulator
+(``sim``, the default), one thread per node (``thread``), or one OS process
+per node over multiprocessing pipes (``process``).  Every backend provisions
+one VM machine per node (own heap, own statics — per-JVM semantics), the
+three services per node, starts ``main`` on the plan's main partition and
+service loops elsewhere, then drives all node generators to completion.
 
 ``run_sequential`` executes the *original* program on one node spec — the
 centralized baseline of Figure 11.
@@ -18,44 +21,16 @@ from typing import Dict, List, Optional
 from repro.bytecode.model import BProgram
 from repro.distgen.plan import DistributionPlan
 from repro.errors import RuntimeServiceError
+from repro.runtime.backend import (  # noqa: F401  (re-exported for consumers)
+    NodeStats,
+    aggregate_node_stats,
+    backend_names,
+    create_backend,
+    snapshot_machine,
+)
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.services import ExecutionStarter, MessageExchange, make_node_syscall
-from repro.runtime.simnet import SimCluster
-from repro.runtime.mpi import MPIService
-from repro.vm.heap import Heap
 from repro.vm.interpreter import Machine, run_sync
 from repro.vm.loader import LoadedProgram, load_program
-
-
-@dataclass
-class NodeStats:
-    name: str
-    clock_s: float
-    busy_s: float
-    messages_sent: int
-    bytes_sent: int
-    requests_served: int
-    heap_objects: int
-    heap_bytes: int
-    stdout: List[str] = field(default_factory=list)
-
-
-def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
-    """Cluster-wide rollup of per-node counters — what the sweep table
-    reports per configuration: totals plus the busy fraction of the
-    makespan (a utilization measure across heterogeneous nodes)."""
-    clock = max((s.clock_s for s in stats), default=0.0)
-    busy = sum(s.busy_s for s in stats)
-    return {
-        "nodes": float(len(stats)),
-        "busy_s": busy,
-        "busy_frac": busy / (clock * len(stats)) if clock and stats else 0.0,
-        "messages_sent": float(sum(s.messages_sent for s in stats)),
-        "bytes_sent": float(sum(s.bytes_sent for s in stats)),
-        "requests_served": float(sum(s.requests_served for s in stats)),
-        "heap_objects": float(sum(s.heap_objects for s in stats)),
-        "heap_bytes": float(sum(s.heap_bytes for s in stats)),
-    }
 
 
 @dataclass
@@ -83,6 +58,10 @@ class SequentialResult:
     exec_time_s: float
     cycles: int
     stdout: List[str] = field(default_factory=list)
+    node_stats: List[NodeStats] = field(default_factory=list)
+    #: measured wall time of the interpreter run — the commensurable
+    #: baseline for wall-clock backends (exec_time_s is *virtual*)
+    wall_time_s: float = 0.0
 
 
 class DistributedExecutor:
@@ -93,6 +72,7 @@ class DistributedExecutor:
         cluster_spec: ClusterSpec,
         loaded: Optional[LoadedProgram] = None,
         async_writes: bool = False,
+        backend: str = "sim",
     ) -> None:
         if plan.nparts > cluster_spec.size:
             raise RuntimeServiceError(
@@ -105,59 +85,29 @@ class DistributedExecutor:
         #: paper §4.2 communication optimization: fire-and-forget remote
         #: writes (FIFO links keep read-after-write consistent)
         self.async_writes = async_writes
+        #: registry name of the runtime backend to execute on
+        self.backend = backend
 
     def run(self, max_events: int = 200_000_000) -> DistributedResult:
-        cluster = SimCluster(self.cluster_spec)
+        backend = create_backend(self.backend, self.cluster_spec)
         main_partition = self.plan.main_partition
-        if not 0 <= main_partition < cluster_spec_size(self.cluster_spec):
+        if not 0 <= main_partition < self.cluster_spec.size:
             main_partition = 0
-
-        starter: Optional[ExecutionStarter] = None
-        for node in cluster.nodes:
-            machine = Machine(self.loaded, heap=Heap(), node_id=node.node_id)
-            machine.statics = self.loaded.fresh_statics()
-            node.machine = machine
-            node.mpi = MPIService(node, cluster)
-            node.exchange = MessageExchange(node)
-            machine.syscall = make_node_syscall(node, async_writes=self.async_writes)
-            if node.node_id == main_partition:
-                starter = ExecutionStarter(node, self.loaded.main_method())
-                node.gen = starter.run()
-            else:
-                node.gen = node.exchange.serve_forever()
-
-        assert starter is not None
-        cluster.run(max_events=max_events)
-
-        stats = [
-            NodeStats(
-                name=n.spec.name,
-                clock_s=n.clock,
-                busy_s=n.busy_s,
-                messages_sent=n.msgs_sent,
-                bytes_sent=n.bytes_sent,
-                requests_served=n.exchange.requests_served,
-                heap_objects=n.machine.heap.allocated_objects,
-                heap_bytes=n.machine.heap.allocated_bytes,
-                stdout=list(n.machine.stdout),
-            )
-            for n in cluster.nodes
-        ]
-        stdout: List[str] = []
-        for n in cluster.nodes:
-            stdout.extend(n.machine.stdout)
-        return DistributedResult(
-            result=starter.result,
-            makespan_s=cluster.makespan,
-            total_messages=cluster.total_messages,
-            total_bytes=cluster.total_bytes,
-            node_stats=stats,
-            stdout=stdout,
+        run = backend.execute(
+            self.program,
+            self.loaded,
+            main_partition,
+            self.async_writes,
+            max_events,
         )
-
-
-def cluster_spec_size(spec: ClusterSpec) -> int:
-    return spec.size
+        return DistributedResult(
+            result=run.result,
+            makespan_s=run.makespan_s,
+            total_messages=run.total_messages,
+            total_bytes=run.total_bytes,
+            node_stats=run.node_stats,
+            stdout=run.stdout,
+        )
 
 
 def run_sequential(
@@ -165,17 +115,28 @@ def run_sequential(
     node: NodeSpec,
     loaded: Optional[LoadedProgram] = None,
 ) -> SequentialResult:
-    """Centralized baseline: the original program on one machine."""
+    """Centralized baseline: the original program on one machine.  Stats
+    flow through the same :func:`snapshot_machine` path the backends use."""
+    import time
+
     loaded = loaded if loaded is not None else load_program(program)
     machine = Machine(loaded)
     machine.statics = loaded.fresh_statics()
     machine.call_bmethod(loaded.main_method(), None, [None])
+    t0 = time.perf_counter()
     run_sync(machine)
+    wall_time_s = time.perf_counter() - t0
+    exec_time_s = machine.cycles / node.cpu_hz
+    stats = snapshot_machine(
+        node.name, machine, clock_s=exec_time_s, busy_s=exec_time_s
+    )
     return SequentialResult(
         result=machine.result,
-        exec_time_s=machine.cycles / node.cpu_hz,
+        exec_time_s=stats.clock_s,
         cycles=machine.cycles,
-        stdout=list(machine.stdout),
+        stdout=stats.stdout,
+        node_stats=[stats],
+        wall_time_s=wall_time_s,
     )
 
 
@@ -183,9 +144,12 @@ def run_distributed(
     program: BProgram,
     plan: DistributionPlan,
     cluster_spec: ClusterSpec,
+    backend: str = "sim",
 ) -> DistributedResult:
     """Convenience wrapper: rewrite for ``plan``, then execute."""
     from repro.distgen.rewriter import rewrite_program
 
     rewritten, _stats = rewrite_program(program, plan)
-    return DistributedExecutor(rewritten, plan, cluster_spec).run()
+    return DistributedExecutor(
+        rewritten, plan, cluster_spec, backend=backend
+    ).run()

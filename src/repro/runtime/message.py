@@ -8,12 +8,23 @@ per-node service loops after ``main`` returns.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.errors import RuntimeServiceError
+
 #: fixed per-message header bytes charged to the network (kind, src, dst,
-#: req id, length)
+#: req id, length) — exactly the size of the wire header below, so simnet
+#: byte accounting and real transports agree
 HEADER_BYTES = 24
+
+#: wire header: magic, version, kind, src, dst, req_id, payload len, crc32
+WIRE_MAGIC = b"RW"
+WIRE_VERSION = 1
+_WIRE = struct.Struct("<2sBBhhqII")
+assert _WIRE.size == HEADER_BYTES
 
 
 class MessageKind(Enum):
@@ -37,6 +48,44 @@ class Message:
     @property
     def size(self) -> int:
         return HEADER_BYTES + len(self.payload)
+
+    # ------------------------------------------------------------------ wire
+    def serialize(self) -> bytes:
+        """Stable wire format: a 24-byte header (magic, version, kind,
+        endpoints, request id, payload length, payload crc32) followed by
+        the payload.  ``len(serialize()) == size``, so the byte volume a
+        real transport moves equals what the simulated network charges."""
+        return _WIRE.pack(
+            WIRE_MAGIC,
+            WIRE_VERSION,
+            self.kind.value,
+            self.src,
+            self.dst,
+            self.req_id,
+            len(self.payload),
+            zlib.crc32(self.payload),
+        ) + self.payload
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Message":
+        """Inverse of :meth:`serialize`; validates framing and checksum."""
+        if len(data) < HEADER_BYTES:
+            raise RuntimeServiceError(
+                f"truncated message frame ({len(data)} bytes)"
+            )
+        magic, version, kind, src, dst, req_id, plen, crc = _WIRE.unpack_from(data)
+        if magic != WIRE_MAGIC:
+            raise RuntimeServiceError(f"bad message magic {magic!r}")
+        if version != WIRE_VERSION:
+            raise RuntimeServiceError(f"unsupported wire version {version}")
+        payload = bytes(data[HEADER_BYTES:])
+        if len(payload) != plen:
+            raise RuntimeServiceError(
+                f"message length mismatch (header {plen}, got {len(payload)})"
+            )
+        if zlib.crc32(payload) != crc:
+            raise RuntimeServiceError("message payload checksum mismatch")
+        return cls(MessageKind(kind), src, dst, req_id, payload)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -4,8 +4,9 @@
 groups, communicators, and the communication context."  The API follows
 mpi4py's lowercase, pickle-style object methods (``send``/``recv``/
 ``isend``/``iprobe``) but all methods that can block are generators driven
-by the discrete-event scheduler, and serialization uses the streamed format
-of :mod:`repro.runtime.serial`.
+by the runtime backend's node driver (the discrete-event scheduler, a
+worker thread, or a worker process), and serialization uses the streamed
+format of :mod:`repro.runtime.serial`.
 
 Send/receive CPU costs model marshalling: a fixed per-call overhead plus a
 per-byte copy cost, charged to the calling node's clock.
@@ -16,8 +17,8 @@ from __future__ import annotations
 from itertools import count
 from typing import Callable, Iterator, Optional
 
+from repro.runtime.backend import BackendNode, Transport
 from repro.runtime.message import Message, MessageKind
-from repro.runtime.simnet import SimCluster, SimNode
 
 #: marshalling cost model (abstract cycles)
 SEND_BASE_CYCLES = 400
@@ -28,9 +29,9 @@ CYCLES_PER_BYTE = 2
 class Communicator:
     """A communication context over a subset of ranks (COMM_WORLD default)."""
 
-    def __init__(self, cluster: SimCluster, ranks: Optional[list] = None) -> None:
-        self.cluster = cluster
-        self.ranks = ranks if ranks is not None else list(range(len(cluster.nodes)))
+    def __init__(self, transport: Transport, ranks: Optional[list] = None) -> None:
+        self.transport = transport
+        self.ranks = ranks if ranks is not None else list(range(transport.nnodes))
 
     @property
     def size(self) -> int:
@@ -40,10 +41,10 @@ class Communicator:
 class MPIService:
     """Per-node endpoint: rank, communicator, typed send/recv."""
 
-    def __init__(self, node: SimNode, cluster: SimCluster) -> None:
+    def __init__(self, node: BackendNode, transport: Transport) -> None:
         self.node = node
-        self.cluster = cluster
-        self.comm_world = Communicator(cluster)
+        self.transport = transport
+        self.comm_world = Communicator(transport)
         self._req_ids = count(node.node_id * 1_000_000 + 1)
 
     @property
@@ -61,7 +62,7 @@ class MPIService:
     def send(self, msg: Message) -> Iterator:
         """Generator: charge marshalling cost, then post to the network."""
         yield ("cost", SEND_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload))
-        self.cluster.post(self.node.node_id, msg.dst, msg)
+        self.transport.post(self.node.node_id, msg.dst, msg)
         return None
 
     def isend(self, msg: Message) -> Iterator:
@@ -87,10 +88,7 @@ class MPIService:
 
     def iprobe(self, match: Callable[[Message], bool]) -> bool:
         """Non-blocking arrival check."""
-        return any(
-            arrival <= self.node.clock + 1e-15 and match(m)
-            for arrival, _, m in self.node.inbox
-        )
+        return self.node.iprobe(match)
 
     # ------------------------------------------------------------------ helpers
     def reply_to(self, request: Message, payload: bytes) -> Message:

@@ -1,0 +1,353 @@
+"""Multiprocessing backend: one OS process per plan node.
+
+The first wall-clock (non-simulated) distributed execution path: the parent
+builds a full mesh of one-way :func:`multiprocessing.Pipe` links (one per
+ordered (src, dst) pair, so per-pair FIFO is the kernel's pipe ordering),
+forks one worker per cluster node, and collects a final report per node
+over a result queue.  Each worker reloads the rewritten program into its
+own interpreter (a real separate heap — per-JVM semantics by construction),
+wires the standard services, and drives its node generator exactly like the
+other backends: ``cost`` events charge accounting, ``wait`` events block in
+:func:`multiprocessing.connection.wait` until a peer's frame arrives.
+
+Messages travel as :meth:`~repro.runtime.message.Message.serialize` frames,
+so the bytes a pipe moves equal the bytes the simulated network charges for
+the same message.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+import time
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RuntimeServiceError, VMError
+from repro.runtime.backend import (
+    BackendNode,
+    BackendRun,
+    NodeStats,
+    RuntimeBackend,
+    Transport,
+    provision_node,
+    register_backend,
+)
+from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.message import Message, MessageKind
+
+#: safety net for protocol bugs; real waits return on frame arrival
+WAIT_TIMEOUT_S = 60.0
+
+
+def _mp_context():
+    """Fork keeps worker start cheap and avoids pickling the program; fall
+    back to spawn where fork does not exist."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ProcNode(BackendNode):
+    """Worker-side node: drains pipe frames into a FIFO inbox."""
+
+    def __init__(self, node_id: int, spec: NodeSpec, recv_conns: Dict[int, object]) -> None:
+        super().__init__(node_id, spec)
+        self._conns = dict(recv_conns)       # src -> read Connection
+        self._queue: List[Message] = []
+
+    def _drain(self, conns) -> None:
+        for conn in conns:
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    frame = conn.recv_bytes()
+                except (EOFError, OSError):
+                    # peer exited; anything it sent was drained before EOF
+                    self._conns = {
+                        s: c for s, c in self._conns.items() if c is not conn
+                    }
+                    break
+                self._queue.append(Message.deserialize(frame))
+
+    def take_matching(
+        self, match: Callable[[Message], bool]
+    ) -> Optional[Message]:
+        self._drain(list(self._conns.values()))
+        for i, m in enumerate(self._queue):
+            if match(m):
+                self.msgs_received += 1
+                return self._queue.pop(i)
+        return None
+
+    def iprobe(self, match: Callable[[Message], bool]) -> bool:
+        self._drain(list(self._conns.values()))
+        return any(match(m) for m in self._queue)
+
+    def wait_for_message(self, timeout_s: float) -> None:
+        if not self._conns:
+            raise RuntimeServiceError(
+                f"process backend: node {self.node_id} blocked with every "
+                "peer disconnected"
+            )
+        ready = mp_connection.wait(list(self._conns.values()), timeout_s)
+        if not ready:
+            raise RuntimeServiceError(
+                f"process backend: node {self.node_id} blocked "
+                f"{timeout_s:.0f}s with no incoming messages "
+                "(distributed deadlock?)"
+            )
+        self._drain(ready)
+
+
+class _WorkerTransport(Transport):
+    """Worker-side message routing: serialize and push down the pipe."""
+
+    def __init__(self, nnodes: int, node: ProcNode, send_conns: Dict[int, object]) -> None:
+        self._nnodes = nnodes
+        self._node = node
+        self._send = send_conns              # dst -> write Connection
+
+    @property
+    def nnodes(self) -> int:
+        return self._nnodes
+
+    def post(self, src: int, dst: int, msg: Message) -> None:
+        conn = self._send.get(dst)
+        if conn is None:
+            raise RuntimeServiceError(f"message to unknown node {dst}")
+        conn.send_bytes(msg.serialize())
+        self._node.msgs_sent += 1
+        self._node.bytes_sent += msg.size
+
+
+def _worker_main(
+    node_id: int,
+    node_spec: NodeSpec,
+    nnodes: int,
+    program,
+    main_partition: int,
+    async_writes: bool,
+    max_events: int,
+    recv_conns: Dict[int, object],
+    send_conns: Dict[int, object],
+    all_conns,
+    results,
+) -> None:
+    """One cluster node, start to finish, inside its own process."""
+    from repro.runtime.serial import encode_value
+    from repro.vm.loader import load_program
+
+    # fork hands every worker the whole pipe mesh; close the ends that
+    # belong to other nodes, otherwise a dead peer's pipe never reaches EOF
+    # (an open write end somewhere keeps it alive)
+    owned = set(map(id, recv_conns.values())) | set(map(id, send_conns.values()))
+    for conn in all_conns:
+        if id(conn) not in owned:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    report = {"node_id": node_id, "name": node_spec.name, "error": None}
+    node = ProcNode(node_id, node_spec, recv_conns)
+    try:
+        transport = _WorkerTransport(nnodes, node, send_conns)
+        loaded = load_program(program)
+        starter = provision_node(
+            node, transport, loaded, node_id == main_partition, async_writes
+        )
+        t0 = time.perf_counter()
+        events = 0
+        try:
+            for event in node.gen:
+                events += 1
+                if events > max_events:
+                    raise RuntimeServiceError("execution exceeded event budget")
+                kind = event[0]
+                if kind == "cost":
+                    cycles = event[1]
+                    node.busy_s += cycles / node.spec.cpu_hz
+                    node.machine.cycles += cycles
+                elif kind == "wait":
+                    node.wait_for_message(WAIT_TIMEOUT_S)
+                else:  # pragma: no cover
+                    raise RuntimeServiceError(f"unknown event {event!r}")
+        except BaseException as exc:
+            report["error"] = {"type": type(exc).__name__, "message": str(exc)}
+            for dst, conn in send_conns.items():
+                try:
+                    conn.send_bytes(
+                        Message(MessageKind.SHUTDOWN, node_id, dst, 0).serialize()
+                    )
+                except (OSError, ValueError):
+                    pass
+        node.clock = time.perf_counter() - t0
+        stats = node.snapshot_stats()
+        result_payload = None
+        if starter is not None and report["error"] is None:
+            try:
+                result_payload = encode_value(
+                    starter.result, node_id, node.machine.heap
+                )
+            except RuntimeServiceError:
+                result_payload = None
+        report.update(
+            clock_s=stats.clock_s,
+            busy_s=stats.busy_s,
+            messages_sent=stats.messages_sent,
+            bytes_sent=stats.bytes_sent,
+            requests_served=stats.requests_served,
+            heap_objects=stats.heap_objects,
+            heap_bytes=stats.heap_bytes,
+            stdout=stats.stdout,
+            result=result_payload,
+        )
+    except BaseException as exc:  # provisioning/load failure
+        report["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        for dst, conn in send_conns.items():
+            try:
+                conn.send_bytes(
+                    Message(MessageKind.SHUTDOWN, node_id, dst, 0).serialize()
+                )
+            except (OSError, ValueError):
+                pass
+    results.put(report)
+
+
+@register_backend
+class ProcessBackend(RuntimeBackend):
+    """One worker process per node over multiprocessing pipes."""
+
+    name = "process"
+
+    def post(self, src: int, dst: int, msg: Message) -> None:
+        raise RuntimeServiceError(
+            "process backend routes messages inside its workers"
+        )
+
+    def execute(
+        self,
+        program,
+        loaded,
+        main_partition: int,
+        async_writes: bool,
+        max_events: int,
+    ) -> BackendRun:
+        from repro.runtime.serial import decode_value
+
+        ctx = _mp_context()
+        n = self.nnodes
+        recv_conns: Dict[int, Dict[int, object]] = {i: {} for i in range(n)}
+        send_conns: Dict[int, Dict[int, object]] = {i: {} for i in range(n)}
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                r, w = ctx.Pipe(duplex=False)
+                recv_conns[dst][src] = r
+                send_conns[src][dst] = w
+
+        all_conns = [
+            conn
+            for i in range(n)
+            for conn in (*recv_conns[i].values(), *send_conns[i].values())
+        ]
+        results = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    i, self.spec.nodes[i], n, program, main_partition,
+                    async_writes, max_events, recv_conns[i], send_conns[i],
+                    all_conns, results,
+                ),
+                name=f"repro-node-{i}",
+                daemon=True,
+            )
+            for i in range(n)
+        ]
+        reports: Dict[int, dict] = {}
+        try:
+            for p in procs:
+                p.start()
+            # the workers own the pipe ends now
+            for conn in all_conns:
+                conn.close()
+            # progress-aware collection: wait as long as workers are alive
+            # (blocking points inside them time out on their own); only a
+            # worker that vanished without reporting is fatal
+            pending = set(range(n))
+            while pending:
+                try:
+                    rep = results.get(timeout=1.0)
+                except _queue.Empty:
+                    dead = [
+                        i for i in pending if procs[i].exitcode is not None
+                    ]
+                    if not dead:
+                        continue
+                    # grace period: the report may still be in the queue
+                    try:
+                        rep = results.get(timeout=2.0)
+                    except _queue.Empty:
+                        raise RuntimeServiceError(
+                            f"process backend: worker(s) {dead} exited "
+                            "without reporting (killed or crashed)"
+                        ) from None
+                reports[rep["node_id"]] = rep
+                pending.discard(rep["node_id"])
+        finally:
+            deadline = time.monotonic() + 10.0
+            for p in procs:
+                p.join(max(0.0, deadline - time.monotonic()))
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(5.0)
+
+        failed = {i: rep["error"] for i, rep in reports.items() if rep["error"]}
+        if failed:
+            # a VMError is the application-level root cause (remote errors
+            # propagate as ERR replies); teardown noise on other nodes —
+            # SHUTDOWN-while-awaiting-reply, disconnects — is secondary
+            for node_id, err in sorted(failed.items()):
+                if err["type"] == "VMError":
+                    raise VMError(err["message"])
+            detail = "; ".join(
+                f"node {i}: {err['type']}: {err['message']}"
+                for i, err in sorted(failed.items())
+            )
+            raise RuntimeServiceError(f"process backend failed: {detail}")
+
+        ordered = [reports[i] for i in sorted(reports)]
+        stats = [
+            NodeStats(
+                name=rep["name"],
+                clock_s=rep["clock_s"],
+                busy_s=rep["busy_s"],
+                messages_sent=rep["messages_sent"],
+                bytes_sent=rep["bytes_sent"],
+                requests_served=rep["requests_served"],
+                heap_objects=rep["heap_objects"],
+                heap_bytes=rep["heap_bytes"],
+                stdout=list(rep["stdout"]),
+            )
+            for rep in ordered
+        ]
+        main_rep = reports[main_partition]
+        result = (
+            decode_value(main_rep["result"], main_partition)
+            if main_rep["result"] is not None
+            else None
+        )
+        return BackendRun(
+            result=result,
+            makespan_s=max((s.clock_s for s in stats), default=0.0),
+            total_messages=sum(s.messages_sent for s in stats),
+            total_bytes=sum(s.bytes_sent for s in stats),
+            node_stats=stats,
+            stdout=[line for s in stats for line in s.stdout],
+        )

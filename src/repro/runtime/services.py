@@ -23,8 +23,8 @@ from repro.errors import RuntimeServiceError, VMError
 from repro.runtime.invoke import call_and_run
 from repro.runtime.local import access_local, create_local
 from repro.runtime.message import Message, MessageKind
+from repro.runtime.backend import BackendNode
 from repro.runtime.serial import decode_value, encode_value
-from repro.runtime.simnet import SimNode
 from repro.vm.values import DependentRef, Ref
 
 OK = 0
@@ -40,7 +40,7 @@ NO_REPLY = 0
 class MessageExchange:
     """Per-node request/reply engine over the MPI service."""
 
-    def __init__(self, node: SimNode) -> None:
+    def __init__(self, node: BackendNode) -> None:
         self.node = node
         self.requests_served = 0
         self.requests_sent = 0
@@ -79,7 +79,12 @@ class MessageExchange:
         def match(m: Message) -> bool:
             if m.kind is MessageKind.REPLY:
                 return m.req_id == req_id
-            return m.kind in (MessageKind.NEW, MessageKind.DEPENDENCE)
+            # SHUTDOWN while a reply is pending can only be a peer's
+            # emergency teardown — accept it so the requester fails fast
+            # instead of stalling out its wait timeout
+            return m.kind in (
+                MessageKind.NEW, MessageKind.DEPENDENCE, MessageKind.SHUTDOWN
+            )
 
         while True:
             msg = yield from node.mpi.recv(match)
@@ -88,6 +93,11 @@ class MessageExchange:
                 if status == ERR:
                     raise VMError(f"remote error from node {msg.src}: {value}")
                 return value
+            if msg.kind is MessageKind.SHUTDOWN:
+                raise RuntimeServiceError(
+                    f"node {msg.src} shut down while node {node.node_id} "
+                    f"awaited a reply (peer failure)"
+                )
             yield from self.handle_request(msg)
 
     # ------------------------------------------------------------------ server
@@ -129,7 +139,7 @@ class MessageExchange:
             yield from self.handle_request(msg)
 
 
-def make_node_syscall(node: SimNode, async_writes: bool = False):
+def make_node_syscall(node: BackendNode, async_writes: bool = False):
     """The DependentObject dispatcher for a cluster node: resolves create/
     access locally when possible, otherwise exchanges NEW / DEPENDENCE
     messages with the object's home node.
@@ -186,7 +196,7 @@ class ExecutionStarter:
     be active on the processor node where the user initiates the
     application.")."""
 
-    def __init__(self, node: SimNode, main_method) -> None:
+    def __init__(self, node: BackendNode, main_method) -> None:
         self.node = node
         self.main_method = main_method
         self.result = None
@@ -197,7 +207,7 @@ class ExecutionStarter:
             node.machine, self.main_method, None, [None]
         )
         # application finished: stop every other node's service loop
-        for other in range(len(node.mpi.cluster.nodes)):
+        for other in range(node.mpi.size):
             if other == node.node_id:
                 continue
             yield from node.mpi.send(

@@ -26,29 +26,25 @@ from itertools import count
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RuntimeServiceError
+from repro.runtime.backend import (
+    BackendNode,
+    BackendRun,
+    RuntimeBackend,
+    Transport,
+    provision,
+    register_backend,
+)
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.message import Message
 
 
-class SimNode:
-    """One simulated machine: VM + clock + inbox."""
+class SimNode(BackendNode):
+    """One simulated machine: VM + virtual clock + arrival-ordered inbox."""
 
     def __init__(self, node_id: int, spec: NodeSpec) -> None:
-        self.node_id = node_id
-        self.spec = spec
-        self.clock = 0.0                     # seconds of virtual time
+        super().__init__(node_id, spec)
         self.inbox: List[Tuple[float, int, Message]] = []  # heap by arrival
-        self.gen = None                      # the node's process generator
-        self.done = False
         self.parked = False                  # blocked with empty inbox
-        self.machine = None                  # repro.vm.interpreter.Machine
-        self.exchange = None                 # services.MessageExchange
-        self.mpi = None                      # mpi.MPIService
-        # statistics
-        self.msgs_sent = 0
-        self.bytes_sent = 0
-        self.msgs_received = 0
-        self.busy_s = 0.0                    # CPU time actually charged
 
     def earliest_arrival(self) -> Optional[float]:
         return self.inbox[0][0] if self.inbox else None
@@ -78,11 +74,14 @@ class SimNode:
                 return m
         raise RuntimeServiceError("inbox invariant violated")  # pragma: no cover
 
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"<SimNode {self.node_id} {self.spec.name} t={self.clock:.6f}>"
+    def iprobe(self, match: Callable[[Message], bool]) -> bool:
+        return any(
+            arrival <= self.clock + 1e-15 and match(m)
+            for arrival, _, m in self.inbox
+        )
 
 
-class SimCluster:
+class SimCluster(Transport):
     """The networked system: nodes + link + the event scheduler."""
 
     def __init__(self, spec: ClusterSpec) -> None:
@@ -92,6 +91,10 @@ class SimCluster:
         self._link_busy: Dict[Tuple[int, int], float] = {}
         self.total_messages = 0
         self.total_bytes = 0
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
 
     # ------------------------------------------------------------------ network
     def post(self, src: int, dst: int, msg: Message) -> None:
@@ -172,3 +175,32 @@ class SimCluster:
     @property
     def makespan(self) -> float:
         return max(n.clock for n in self.nodes)
+
+
+@register_backend
+class SimBackend(SimCluster, RuntimeBackend):
+    """The discrete-event simulator as a pluggable runtime backend: virtual
+    clocks, deterministic scheduling, modeled network timing."""
+
+    name = "sim"
+
+    def execute(
+        self,
+        program,
+        loaded,
+        main_partition: int,
+        async_writes: bool,
+        max_events: int,
+    ) -> BackendRun:
+        starter = provision(self, loaded, main_partition, async_writes)
+        self.run(max_events=max_events)
+        stats = [n.snapshot_stats() for n in self.nodes]
+        stdout = [line for s in stats for line in s.stdout]
+        return BackendRun(
+            result=starter.result,
+            makespan_s=self.makespan,
+            total_messages=self.total_messages,
+            total_bytes=self.total_bytes,
+            node_stats=stats,
+            stdout=stdout,
+        )

@@ -1,0 +1,185 @@
+"""In-process thread backend: real concurrency, shared interpreter.
+
+One OS thread per plan node drives that node's process generator.  ``cost``
+events only charge accounting (wall time is what it is); ``wait`` events
+block on a condition variable until a new message is delivered.  Delivery
+appends to a locked per-node FIFO queue, so per-(src, dst) ordering is the
+sender's program order — the same guarantee the simulated network provides.
+
+Clocks are wall clocks: a node's ``clock_s`` is the wall time from backend
+start to its thread finishing, the makespan is the wall time until the last
+thread finishes, and ``busy_s`` converts charged cycles at the node's
+nominal speed (so utilization stays comparable across backends).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.errors import RuntimeServiceError, VMError
+from repro.runtime.backend import (
+    BackendNode,
+    BackendRun,
+    RuntimeBackend,
+    Transport,
+    provision,
+    register_backend,
+)
+from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.message import Message, MessageKind
+
+
+class ThreadNode(BackendNode):
+    """One node run by a dedicated thread: locked FIFO inbox + wakeup."""
+
+    def __init__(self, node_id: int, spec: NodeSpec) -> None:
+        super().__init__(node_id, spec)
+        self._cond = threading.Condition()
+        self._queue: List[Message] = []
+        # delivery counter vs what the node has examined: a failed
+        # take_matching records the version it saw, so a wait only blocks
+        # while nothing new has been delivered since that scan
+        self._version = 0
+        self._seen = 0
+
+    def deliver(self, msg: Message) -> None:
+        with self._cond:
+            self._queue.append(msg)
+            self._version += 1
+            self._cond.notify_all()
+
+    def take_matching(
+        self, match: Callable[[Message], bool]
+    ) -> Optional[Message]:
+        with self._cond:
+            for i, m in enumerate(self._queue):
+                if match(m):
+                    self.msgs_received += 1
+                    return self._queue.pop(i)
+            self._seen = self._version
+            return None
+
+    def iprobe(self, match: Callable[[Message], bool]) -> bool:
+        with self._cond:
+            return any(match(m) for m in self._queue)
+
+    def wait_for_message(self, timeout_s: float) -> None:
+        with self._cond:
+            deadline = time.monotonic() + timeout_s
+            while self._version == self._seen:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeServiceError(
+                        f"thread backend: node {self.node_id} blocked "
+                        f"{timeout_s:.0f}s with no incoming messages "
+                        "(distributed deadlock?)"
+                    )
+                self._cond.wait(remaining)
+
+
+@register_backend
+class ThreadBackend(RuntimeBackend, Transport):
+    """One thread per node over a shared interpreter."""
+
+    name = "thread"
+    #: safety net for protocol bugs; real waits are notified immediately
+    WAIT_TIMEOUT_S = 60.0
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        super().__init__(spec)
+        self.nodes = [ThreadNode(i, ns) for i, ns in enumerate(spec.nodes)]
+        self._totals_lock = threading.Lock()
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # ---------------------------------------------------------------- transport
+    def post(self, src: int, dst: int, msg: Message) -> None:
+        if not 0 <= dst < len(self.nodes):
+            raise RuntimeServiceError(f"message to unknown node {dst}")
+        sender = self.nodes[src]
+        sender.msgs_sent += 1           # sender's own thread is the caller
+        sender.bytes_sent += msg.size
+        with self._totals_lock:
+            self.total_messages += 1
+            self.total_bytes += msg.size
+        self.nodes[dst].deliver(msg)
+
+    # ---------------------------------------------------------------- execution
+    def execute(
+        self,
+        program,
+        loaded,
+        main_partition: int,
+        async_writes: bool,
+        max_events: int,
+    ) -> BackendRun:
+        starter = provision(self, loaded, main_partition, async_writes)
+        errors: List[BaseException] = []
+        t0 = time.perf_counter()
+
+        def drive(node: ThreadNode) -> None:
+            events = 0
+            try:
+                for event in node.gen:
+                    events += 1
+                    if events > max_events:
+                        raise RuntimeServiceError(
+                            "execution exceeded event budget"
+                        )
+                    kind = event[0]
+                    if kind == "cost":
+                        cycles = event[1]
+                        node.busy_s += cycles / node.spec.cpu_hz
+                        node.machine.cycles += cycles
+                    elif kind == "wait":
+                        node.wait_for_message(self.WAIT_TIMEOUT_S)
+                    else:  # pragma: no cover
+                        raise RuntimeServiceError(f"unknown event {event!r}")
+            except BaseException as exc:
+                errors.append(exc)
+                self._emergency_shutdown(node.node_id)
+            finally:
+                node.done = True
+                node.clock = time.perf_counter() - t0
+
+        threads = [
+            threading.Thread(
+                target=drive, args=(node,), name=f"repro-node-{node.node_id}",
+                daemon=True,
+            )
+            for node in self.nodes
+        ]
+        for t in threads:
+            t.start()
+        # every blocking point has its own safety net (wait_for_message
+        # times out, cost events are budgeted), so a plain join cannot hang
+        # — and long computations get as much wall time as they need
+        for t in threads:
+            t.join()
+        if errors:
+            # a VMError is the application-level root cause; teardown
+            # errors on other nodes are secondary
+            raise next(
+                (e for e in errors if isinstance(e, VMError)), errors[0]
+            )
+
+        makespan = time.perf_counter() - t0
+        stats = [n.snapshot_stats() for n in self.nodes]
+        stdout = [line for s in stats for line in s.stdout]
+        return BackendRun(
+            result=starter.result,
+            makespan_s=makespan,
+            total_messages=self.total_messages,
+            total_bytes=self.total_bytes,
+            node_stats=stats,
+            stdout=stdout,
+        )
+
+    def _emergency_shutdown(self, src: int) -> None:
+        """A node died with an exception: release every peer's service loop
+        so the join cannot hang (bypasses transport counters on purpose)."""
+        for node in self.nodes:
+            if node.node_id != src and not node.done:
+                node.deliver(Message(MessageKind.SHUTDOWN, src, node.node_id, 0))

@@ -1,8 +1,9 @@
 """Differential test harness: sequential vs distributed execution.
 
 For every workload in ``repro.workloads`` and every plan produced by the
-``kl``, ``multilevel`` and ``roundrobin`` partitioners, the distributed
-execution must compute exactly what the centralized baseline computes:
+``kl``, ``multilevel``, ``spectral`` and ``roundrobin`` partitioners, the
+distributed execution must compute exactly what the centralized baseline
+computes:
 
 * the same final result value,
 * the same final output line (printed by ``main`` on its home node),
@@ -11,16 +12,30 @@ execution must compute exactly what the centralized baseline computes:
 * the same total number of user heap objects (proxies for remote objects
   are VM-internal and never inflate the user object count).
 
+The same equivalence holds across runtime *backends*: the simulator, the
+thread backend and the multiprocessing backend must produce byte-identical
+program output to sequential execution for every workload (the acceptance
+criterion for the pluggable transport layer).  ``REPRO_DIFF_BACKENDS``
+narrows the backend set — CI uses it to fan the suite over a matrix.
+
 All pipelines share the process-default stage cache, so the grid compiles
 and analyzes each workload once.
 """
+
+import os
 
 import pytest
 
 from repro.harness.pipeline import Pipeline
 from repro.workloads import WORKLOADS
 
-PLAN_METHODS = ("kl", "multilevel", "roundrobin")
+PLAN_METHODS = ("kl", "multilevel", "spectral", "roundrobin")
+
+BACKENDS = tuple(
+    b.strip()
+    for b in os.environ.get("REPRO_DIFF_BACKENDS", "sim,thread,process").split(",")
+    if b.strip()
+)
 
 
 @pytest.mark.parametrize("method", PLAN_METHODS)
@@ -40,6 +55,27 @@ def test_distributed_matches_sequential(workload, method):
     assert sorted(dist.stdout) == sorted(seq.stdout), (
         f"{workload}/{method}: stdout multiset diverged"
     )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_backend_output_byte_identical(workload, backend):
+    """sequential == sim == thread == process, byte for byte: every backend
+    runs the same plan and must print exactly the sequential output and
+    compute the same result."""
+    pipe = Pipeline(workload, "test")
+    seq = pipe.run_sequential()
+    dist, plan, _ = pipe.run_distributed(2, method="multilevel", backend=backend)
+
+    assert plan.nparts == 2
+    assert dist.result == seq.result
+    assert dist.stdout == seq.stdout, (
+        f"{workload}/{backend}: program output diverged"
+    )
+    if backend != "sim":
+        # wall-clock backends must report real measurements
+        assert dist.makespan_s > 0.0
+    assert len(dist.node_stats) == 2
 
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))

@@ -42,7 +42,34 @@ def test_config_validation():
         SweepConfig(workload="bank", network="carrier-pigeon")
     with pytest.raises(SweepError):
         SweepConfig(workload="bank", nparts=0)
+    with pytest.raises(SweepError):
+        SweepConfig(workload="bank", backend="carrier-pigeon")
     assert issubclass(SweepError, ReproError)
+
+
+def test_backend_is_a_sweep_axis():
+    grid = sweep_grid(
+        workloads=["bank"], methods=("multilevel",), backends=("sim", "thread")
+    )
+    assert [c.backend for c in grid] == ["sim", "thread"]
+    assert all(c.label().endswith(c.backend) for c in grid)
+
+
+def test_run_config_on_thread_backend_reports_wall_time():
+    rec = run_config(
+        SweepConfig(workload="bank", backend="thread"), cache=StageCache()
+    )
+    assert rec.distributed_s > 0
+    assert rec.messages >= 1
+    # wall-clock executions never come from the execute cache: a repeat run
+    # really executes (hits only on the pure upstream stages)
+    cache = StageCache()
+    run_config(SweepConfig(workload="bank", backend="thread"), cache=cache)
+    h0, m0 = cache.counts()
+    run_config(SweepConfig(workload="bank", backend="thread"), cache=cache)
+    h1, m1 = cache.counts()
+    assert m1 == m0  # no new misses: upstream all cached
+    assert h1 > h0
 
 
 def test_empty_grid_rejected():

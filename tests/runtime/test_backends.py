@@ -1,0 +1,245 @@
+"""Runtime backend tests: registry, and behavioral parity of the thread and
+process backends with the simulator (lifecycle, remote objects, nested
+calls, statics, error propagation)."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.distgen import rewrite_program
+from repro.distgen.plan import DistributionPlan
+from repro.errors import RuntimeServiceError, VMError
+from repro.runtime.backend import backend_names, create_backend
+from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
+from repro.runtime.executor import DistributedExecutor
+
+BACKENDS = ("sim", "thread", "process")
+
+
+def run_split(src, homes, backend, main_partition=0, nparts=2,
+              async_writes=False):
+    bp, _ = compile_mj_raw(src)
+    plan = DistributionPlan(
+        nparts=nparts,
+        granularity="class",
+        class_home=homes,
+        dependent_classes=set(bp.classes),
+        main_partition=main_partition,
+    )
+    rewritten, _ = rewrite_program(bp, plan)
+    cluster = ClusterSpec(
+        nodes=[NodeSpec(f"n{i}", 1e9) for i in range(nparts)],
+        link=ethernet_100m(),
+    )
+    return DistributedExecutor(
+        rewritten, plan, cluster, async_writes=async_writes, backend=backend
+    ).run()
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_lists_all_builtin_backends():
+    assert backend_names() == ["process", "sim", "thread"]
+
+
+def test_unknown_backend_rejected():
+    spec = ClusterSpec(nodes=[NodeSpec("n0", 1e9)], link=ethernet_100m())
+    with pytest.raises(RuntimeServiceError, match="unknown runtime backend"):
+        create_backend("carrier-pigeon", spec)
+
+
+def test_executor_rejects_unknown_backend_at_run():
+    src = "class M { static void main(String[] args) { Sys.println(1); } }"
+    bp, _ = compile_mj_raw(src)
+    plan = DistributionPlan(
+        nparts=1, granularity="class", class_home={"M": 0},
+        dependent_classes=set(), main_partition=0,
+    )
+    cluster = ClusterSpec(nodes=[NodeSpec("n0", 1e9)], link=ethernet_100m())
+    ex = DistributedExecutor(bp, plan, cluster, backend="nosuch")
+    with pytest.raises(RuntimeServiceError, match="unknown runtime backend"):
+        ex.run()
+
+
+# ------------------------------------------------------------------- parity
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_remote_object_lifecycle(backend):
+    src = """
+    class Cell {
+        int v;
+        Cell(int v) { this.v = v; }
+        int get() { return v; }
+        void set(int x) { v = x; }
+    }
+    class M {
+        static void main(String[] args) {
+            Cell c = new Cell(5);
+            c.set(c.get() * 2);
+            Sys.println(c.get() + "," + c.v);
+        }
+    }
+    """
+    result = run_split(src, {"Cell": 1, "M": 0}, backend)
+    assert result.stdout == ["10,10"]
+    assert result.total_messages >= 6  # NEW + accesses + replies
+    assert result.total_bytes > 0
+    assert len(result.node_stats) == 2
+    assert result.makespan_s > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nested_remote_callback(backend):
+    """A remote method calling back into the caller's node — the re-entrant
+    pump case — must work under every driver (scheduler, threads, pipes)."""
+    src = """
+    class Alpha {
+        Beta peer;
+        int base;
+        Alpha(int base) { this.base = base; }
+        void setPeer(Beta b) { peer = b; }
+        int compute(int x) { return base + peer.scale(x); }
+        int raw() { return base; }
+    }
+    class Beta {
+        Alpha friend;
+        void setFriend(Alpha a) { friend = a; }
+        int scale(int x) { return x * friend.raw(); }
+    }
+    class M {
+        static void main(String[] args) {
+            Alpha a = new Alpha(3);
+            Beta b = new Beta();
+            a.setPeer(b);
+            b.setFriend(a);
+            Sys.println(a.compute(4));
+        }
+    }
+    """
+    assert run_split(src, {"Alpha": 0, "Beta": 1, "M": 0}, backend).stdout == ["15"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_three_node_distribution(backend):
+    src = """
+    class A { int f() { return 1; } }
+    class B { int g() { return 2; } }
+    class M {
+        static void main(String[] args) {
+            A a = new A();
+            B b = new B();
+            Sys.println(a.f() + b.g());
+        }
+    }
+    """
+    result = run_split(src, {"A": 1, "B": 2, "M": 0}, backend, nparts=3)
+    assert result.stdout == ["3"]
+    assert len(result.node_stats) == 3
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_statics_are_per_node(backend):
+    """Per-JVM statics: trivially true for the process backend (real
+    separate heaps) and must stay true in shared-interpreter backends."""
+    src = """
+    class G { static int counter; }
+    class Worker {
+        int bump() { G.counter++; return G.counter; }
+    }
+    class M {
+        static void main(String[] args) {
+            Worker w = new Worker();
+            w.bump(); w.bump();
+            G.counter = 100;
+            Sys.println(w.bump() + "," + G.counter);
+        }
+    }
+    """
+    assert run_split(src, {"Worker": 1, "M": 0, "G": 0}, backend).stdout == ["3,100"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_remote_error_propagates(backend):
+    src = """
+    class Risky {
+        int divide(int a, int b) { return a / b; }
+    }
+    class M {
+        static void main(String[] args) {
+            Risky r = new Risky();
+            Sys.println(r.divide(1, 0));
+        }
+    }
+    """
+    with pytest.raises(VMError, match="remote error"):
+        run_split(src, {"Risky": 1, "M": 0}, backend)
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_peer_failure_fails_fast(backend):
+    """A node dying outside the reply protocol (here: event-budget blowout)
+    broadcasts SHUTDOWN; a peer stuck awaiting a reply must fail promptly
+    instead of sitting out its full wait timeout."""
+    import time
+
+    src = """
+    class Cell {
+        int v;
+        int get() { return v; }
+        void set(int x) { v = x; }
+    }
+    class M {
+        static void main(String[] args) {
+            Cell c = new Cell();
+            int i;
+            for (i = 0; i < 50; i++) { c.set(c.get() + i); }
+            Sys.println(c.get());
+        }
+    }
+    """
+    bp, _ = compile_mj_raw(src)
+    plan = DistributionPlan(
+        nparts=2, granularity="class", class_home={"Cell": 1, "M": 0},
+        dependent_classes={"Cell", "M"}, main_partition=0,
+    )
+    from repro.distgen import rewrite_program as _rw
+
+    rewritten, _ = _rw(bp, plan)
+    cluster = ClusterSpec(
+        nodes=[NodeSpec("n0", 1e9), NodeSpec("n1", 1e9)], link=ethernet_100m()
+    )
+    ex = DistributedExecutor(rewritten, plan, cluster, backend=backend)
+    t0 = time.monotonic()
+    with pytest.raises(RuntimeServiceError):
+        ex.run(max_events=40)
+    assert time.monotonic() - t0 < 30.0, "peer failure took the slow path"
+
+
+# -------------------------------------------------------------------- stats
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_node_stats_flow_through_shared_snapshot(backend):
+    """Stats come off every backend through the same snapshot path: heap
+    census, stdout capture and message counters are populated."""
+    src = """
+    class Item { int v; Item(int v) { this.v = v; } int get() { return v; } }
+    class M {
+        static void main(String[] args) {
+            Item a = new Item(1);
+            Item b = new Item(2);
+            Sys.println(a.get() + b.get());
+        }
+    }
+    """
+    result = run_split(src, {"Item": 1, "M": 0}, backend)
+    assert result.stdout == ["3"]
+    total_heap = sum(s.heap_objects for s in result.node_stats)
+    assert total_heap >= 2
+    assert sum(s.messages_sent for s in result.node_stats) == result.total_messages
+    assert sum(s.bytes_sent for s in result.node_stats) == result.total_bytes
+    assert [line for s in result.node_stats for line in s.stdout] == result.stdout
+    agg = result.aggregate()
+    assert agg["nodes"] == 2.0
+    assert agg["requests_served"] >= 1.0

@@ -1,0 +1,66 @@
+"""Message wire-format tests: serialize/deserialize round trip, size
+accounting (frame length == the byte volume the simulated network charges),
+and framing validation."""
+
+import pytest
+
+from repro.errors import RuntimeServiceError
+from repro.runtime.message import (
+    HEADER_BYTES,
+    Message,
+    MessageKind,
+    WIRE_MAGIC,
+)
+
+
+@pytest.mark.parametrize("kind", list(MessageKind))
+@pytest.mark.parametrize(
+    "payload", [b"", b"x", b"payload-bytes", bytes(range(256)) * 17]
+)
+def test_round_trip(kind, payload):
+    msg = Message(kind, src=3, dst=7, req_id=3_000_042, payload=payload)
+    back = Message.deserialize(msg.serialize())
+    assert back == msg
+    assert back.kind is kind
+
+
+def test_frame_length_equals_accounted_size():
+    """The simnet charges ``msg.size`` bytes per message; a real transport
+    moves ``len(serialize())`` bytes.  They must agree exactly."""
+    for payload in (b"", b"abc", b"z" * 10_000):
+        msg = Message(MessageKind.DEPENDENCE, 0, 1, 9, payload)
+        frame = msg.serialize()
+        assert len(frame) == msg.size == HEADER_BYTES + len(payload)
+
+
+def test_header_is_24_bytes():
+    assert len(Message(MessageKind.SHUTDOWN, 0, 1, 0).serialize()) == HEADER_BYTES
+
+
+def test_req_id_range_survives():
+    # req ids are node_id * 1_000_000 + k; make sure 64-bit values survive
+    msg = Message(MessageKind.REPLY, 100, 200, 2**40 + 17, b"ok")
+    assert Message.deserialize(msg.serialize()).req_id == 2**40 + 17
+
+
+def test_truncated_frame_rejected():
+    frame = Message(MessageKind.NEW, 0, 1, 1, b"hello").serialize()
+    with pytest.raises(RuntimeServiceError, match="truncated"):
+        Message.deserialize(frame[:10])
+    with pytest.raises(RuntimeServiceError, match="length mismatch"):
+        Message.deserialize(frame[:-2])
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(Message(MessageKind.NEW, 0, 1, 1).serialize())
+    frame[0:2] = b"??"
+    with pytest.raises(RuntimeServiceError, match="magic"):
+        Message.deserialize(bytes(frame))
+    assert frame[2:4] != WIRE_MAGIC  # sanity: we really flipped the magic
+
+
+def test_corrupted_payload_rejected():
+    frame = bytearray(Message(MessageKind.NEW, 0, 1, 1, b"hello").serialize())
+    frame[-1] ^= 0xFF
+    with pytest.raises(RuntimeServiceError, match="checksum"):
+        Message.deserialize(bytes(frame))

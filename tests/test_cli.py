@@ -7,9 +7,20 @@ from repro.cli import build_parser, main
 
 def test_run_command(capsys):
     assert main(["run", "bank"]) == 0
-    out = capsys.readouterr().out
-    assert "assets=6597100" in out
-    assert "virtual ms" in out
+    captured = capsys.readouterr()
+    assert "assets=6597100" in captured.out
+    assert "virtual ms" in captured.err  # diagnostics stay off stdout
+
+
+def test_run_backend_stdout_matches_sequential(capsys):
+    """The documented contract: program output on stdout is byte-identical
+    whether the workload runs sequentially or on a runtime backend."""
+    assert main(["run", "bank"]) == 0
+    seq = capsys.readouterr().out
+    assert main(["run", "bank", "--backend", "sim"]) == 0
+    sim = capsys.readouterr()
+    assert sim.out == seq
+    assert "backend=sim" in sim.err
 
 
 def test_analyze_command(capsys, tmp_path):
