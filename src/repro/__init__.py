@@ -1,9 +1,12 @@
 """repro — a reproduction of *A Compiler and Runtime Infrastructure for
 Automatic Program Distribution* (Diaconescu, Wang, Mouri & Chu, IPPS 2005).
 
-The top-level package re-exports the high-level pipeline API; see
-:mod:`repro.harness.pipeline` for the end-to-end driver and README.md for a
-tour.
+:mod:`repro.api` is the public programmatic entry point — typed configs,
+the composable :class:`~repro.api.experiment.Experiment` façade, unified
+plugin registries, stage events and structured reports; see README.md
+("Public API") and ``examples/api_quickstart.py``.  The legacy
+:mod:`repro.harness.pipeline` driver remains as a deprecation shim over
+the same engine.
 
 Layers (bottom-up):
 

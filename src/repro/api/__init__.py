@@ -1,0 +1,120 @@
+"""``repro.api`` — the typed, composable public entry point.
+
+Everything a programmatic consumer needs, in one namespace:
+
+* **Configs** — :class:`WorkloadSpec`, :class:`PartitionConfig`,
+  :class:`ClusterConfig`, :class:`BackendConfig`, :class:`ExperimentConfig`:
+  frozen dataclasses with validation and dict/JSON round-tripping.
+* **Experiment** — composable stage methods ``compile() → analyze() →
+  partition() → plan() → run()``, each returning a typed artifact and each
+  memoized through the content-addressed stage cache.
+* **Registry** — the one plugin-lookup abstraction behind partitioners,
+  runtime backends, workloads and network presets, with a uniform
+  :class:`~repro.errors.UnknownPluginError` (did-you-mean included).
+* **Events** — ``on_stage_start`` / ``on_stage_end`` observer hooks with
+  per-stage timings and cache-hit flags.
+* **Report** — a structured, JSON-serializable record of one experiment:
+  stage timings, partition quality, per-node statistics, speedup.
+
+Quickstart::
+
+    from repro.api import Experiment
+
+    exp = Experiment.from_options("crypt", backend="thread")
+    result = exp.run()
+    print(result.speedup_pct, result.report.to_json())
+
+Submodules import lazily (PEP 562) so ``import repro.api`` stays cheap and
+the plugin registries can live next to their plugins without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+#: attribute name -> defining submodule, resolved lazily on first access
+_EXPORTS = {
+    # registry
+    "Registry": "repro.api.registry",
+    # errors (re-exported for one-stop imports)
+    "UnknownPluginError": "repro.errors",
+    "ConfigError": "repro.errors",
+    "ExperimentError": "repro.errors",
+    # configs
+    "WorkloadSpec": "repro.api.config",
+    "PartitionConfig": "repro.api.config",
+    "ClusterConfig": "repro.api.config",
+    "BackendConfig": "repro.api.config",
+    "ExperimentConfig": "repro.api.config",
+    # events
+    "StageEvent": "repro.api.events",
+    "EventBus": "repro.api.events",
+    "ExperimentObserver": "repro.api.events",
+    "StageRecorder": "repro.api.events",
+    # report
+    "StageTiming": "repro.api.report",
+    "Report": "repro.api.report",
+    # experiment + artifacts
+    "Experiment": "repro.api.experiment",
+    "ExperimentResult": "repro.api.experiment",
+    "RewriteArtifact": "repro.api.experiment",
+    "CompiledWorkload": "repro.api.experiment",
+    "AnalysisResult": "repro.api.experiment",
+    "AnalysisTimings": "repro.api.experiment",
+    "compile_workload": "repro.api.experiment",
+    # plugin registries
+    "PARTITIONERS": "repro.partition.api",
+    "BACKENDS": "repro.runtime.backend",
+    "WORKLOADS": "repro.workloads",
+    "NETWORKS": "repro.runtime.cluster",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return __all__
+
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.api.config import (  # noqa: F401
+        BackendConfig,
+        ClusterConfig,
+        ExperimentConfig,
+        PartitionConfig,
+        WorkloadSpec,
+    )
+    from repro.api.events import (  # noqa: F401
+        EventBus,
+        ExperimentObserver,
+        StageEvent,
+        StageRecorder,
+    )
+    from repro.api.experiment import (  # noqa: F401
+        AnalysisResult,
+        AnalysisTimings,
+        CompiledWorkload,
+        Experiment,
+        ExperimentResult,
+        RewriteArtifact,
+        compile_workload,
+    )
+    from repro.api.registry import Registry  # noqa: F401
+    from repro.api.report import Report, StageTiming  # noqa: F401
+    from repro.errors import (  # noqa: F401
+        ConfigError,
+        ExperimentError,
+        UnknownPluginError,
+    )

@@ -1,0 +1,278 @@
+"""Typed experiment configuration: frozen dataclasses with validation and
+dict/JSON round-tripping.
+
+Every knob the pipeline, sweep and CLI used to pass as ad-hoc kwargs lives
+in exactly one place here:
+
+* :class:`WorkloadSpec`     — which program, at which input size;
+* :class:`PartitionConfig`  — partitioner, k, granularity, main pinning;
+* :class:`ClusterConfig`    — node count and network preset;
+* :class:`BackendConfig`    — runtime backend and execution limits;
+* :class:`ExperimentConfig` — the composition of all four.
+
+Validation happens eagerly in ``__post_init__``: unknown plugin names
+(workload, partitioner, backend, network) raise
+:class:`~repro.errors.UnknownPluginError` with a did-you-mean suggestion,
+bad field values raise :class:`~repro.errors.ConfigError`.  Round-tripping
+is lossless: ``Cfg.from_dict(cfg.to_dict()) == cfg`` and likewise via JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, ClassVar, Dict, Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "WorkloadSpec",
+    "PartitionConfig",
+    "ClusterConfig",
+    "BackendConfig",
+    "ExperimentConfig",
+]
+
+#: workload input sizes the generators understand
+SIZES = ("test", "bench", "large")
+
+#: distribution granularities the planner understands
+GRANULARITIES = ("class", "object")
+
+
+@dataclass(frozen=True)
+class _Config:
+    """Shared dict/JSON round-trip machinery for the flat config types."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "_Config":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{cls.__name__}.from_dict needs a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "_Config":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "_Config":
+        """A modified copy (configs are frozen)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(_Config):
+    """Which benchmark program to run, at which input size."""
+
+    name: str
+    size: str = "test"
+
+    def __post_init__(self) -> None:
+        from repro.workloads import WORKLOADS
+
+        WORKLOADS.get(self.name)  # UnknownPluginError on bad names
+        if self.size not in SIZES:
+            raise ConfigError(
+                f"unknown workload size {self.size!r}; pick one of {SIZES}"
+            )
+
+    def source(self) -> str:
+        """The MJ source text this spec denotes."""
+        from repro.workloads import WORKLOADS
+
+        return WORKLOADS.get(self.name).source(self.size)
+
+
+@dataclass(frozen=True)
+class PartitionConfig(_Config):
+    """How the dependence graphs are split into placement partitions."""
+
+    method: str = "multilevel"
+    nparts: int = 2
+    granularity: str = "class"
+    #: pin ``main`` to the slowest machine (the paper's "computation node")
+    pin_main: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.partition.api import PARTITIONERS
+
+        PARTITIONERS.get(self.method)
+        if self.nparts < 1:
+            raise ConfigError(f"nparts must be >= 1, got {self.nparts}")
+        if self.granularity not in GRANULARITIES:
+            raise ConfigError(
+                f"unknown granularity {self.granularity!r}; "
+                f"pick one of {GRANULARITIES}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_Config):
+    """The machines and the link between them.
+
+    ``nodes is None`` means "as many nodes as the partition config needs":
+    the paper's heterogeneous two-node testbed for k == 2, a homogeneous
+    cluster otherwise — exactly the sweep's historical behavior.
+    """
+
+    nodes: Optional[int] = None
+    network: str = "ethernet_100m"
+
+    def __post_init__(self) -> None:
+        from repro.runtime.cluster import NETWORKS
+
+        NETWORKS.get(self.network)
+        if self.nodes is not None and self.nodes < 1:
+            raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
+
+    def build(self, nparts: int = 2):
+        """Materialize the :class:`~repro.runtime.cluster.ClusterSpec`."""
+        from repro.runtime.cluster import (
+            ClusterSpec,
+            NETWORKS,
+            homogeneous,
+            paper_testbed,
+        )
+
+        size = self.nodes if self.nodes is not None else nparts
+        link = NETWORKS.get(self.network)()
+        if size == 2:
+            base = paper_testbed()
+            return ClusterSpec(nodes=list(base.nodes), link=link)
+        return homogeneous(max(size, 1), link=link)
+
+
+@dataclass(frozen=True)
+class BackendConfig(_Config):
+    """Which runtime executes the distributed plan, and its limits."""
+
+    name: str = "sim"
+    #: paper §4.2: fire-and-forget remote writes (FIFO links keep
+    #: read-after-write consistent)
+    async_writes: bool = False
+    #: scheduler/driver event bound (global for the simulator, per node for
+    #: wall-clock backends)
+    max_events: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        from repro.runtime.backend import BACKENDS
+
+        BACKENDS.get(self.name)
+        if self.max_events < 1:
+            raise ConfigError(f"max_events must be >= 1, got {self.max_events}")
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for the deterministic discrete-event simulator — virtual
+        times, memoizable executions."""
+        return self.name == "sim"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig(_Config):
+    """One fully specified experiment: workload × partition × cluster ×
+    backend."""
+
+    workload: WorkloadSpec
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    backend: BackendConfig = field(default_factory=BackendConfig)
+
+    #: nested field name -> config class, used by the round-trip machinery
+    _NESTED: ClassVar[Dict[str, type]] = {
+        "workload": WorkloadSpec,
+        "partition": PartitionConfig,
+        "cluster": ClusterConfig,
+        "backend": BackendConfig,
+    }
+
+    def __post_init__(self) -> None:
+        for name, cls in self._NESTED.items():
+            value = getattr(self, name)
+            if not isinstance(value, cls):
+                raise ConfigError(
+                    f"ExperimentConfig.{name} must be a {cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+        if (
+            self.cluster.nodes is not None
+            and self.cluster.nodes < self.partition.nparts
+        ):
+            raise ConfigError(
+                f"plan needs {self.partition.nparts} nodes, cluster config "
+                f"has {self.cluster.nodes}"
+            )
+
+    @classmethod
+    def from_options(
+        cls,
+        workload: str,
+        size: str = "test",
+        method: str = "multilevel",
+        nparts: int = 2,
+        granularity: str = "class",
+        network: str = "ethernet_100m",
+        backend: str = "sim",
+        nodes: Optional[int] = None,
+        pin_main: bool = True,
+        async_writes: bool = False,
+    ) -> "ExperimentConfig":
+        """Flat-kwargs convenience constructor — the shape the CLI and the
+        sweep grid speak."""
+        return cls(
+            workload=WorkloadSpec(name=workload, size=size),
+            partition=PartitionConfig(
+                method=method, nparts=nparts, granularity=granularity,
+                pin_main=pin_main,
+            ),
+            cluster=ClusterConfig(nodes=nodes, network=network),
+            backend=BackendConfig(name=backend, async_writes=async_writes),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name).to_dict() for name in self._NESTED}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"ExperimentConfig.from_dict needs a dict, "
+                f"got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(cls._NESTED))
+        if unknown:
+            raise ConfigError(
+                f"unknown ExperimentConfig field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(cls._NESTED))})"
+            )
+        if "workload" not in data:
+            raise ConfigError("ExperimentConfig needs a 'workload' section")
+        kwargs = {
+            name: nested_cls.from_dict(data[name])
+            for name, nested_cls in cls._NESTED.items()
+            if name in data
+        }
+        return cls(**kwargs)
+
+    def label(self) -> str:
+        """Compact human identifier (sweep tables, event streams)."""
+        return (
+            f"{self.workload.name}/{self.partition.method}"
+            f"/k{self.partition.nparts}/{self.cluster.network}"
+            f"/{self.backend.name}"
+        )

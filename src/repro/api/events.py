@@ -1,0 +1,115 @@
+"""Stage lifecycle events: the observer hook replacing scattered
+``time.time()`` bookkeeping.
+
+An :class:`Experiment <repro.api.experiment.Experiment>` emits one
+``on_stage_start`` / ``on_stage_end`` pair around every stage it executes
+(compile, analyze, partition, plan, sequential, rewrite, execute).  End
+events carry the measured wall-clock duration and whether the artifact came
+out of the stage cache.  Observers subscribe through :class:`EventBus`;
+:class:`StageRecorder` is the built-in observer that accumulates the
+per-stage timings a :class:`~repro.api.report.Report` serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+__all__ = ["StageEvent", "ExperimentObserver", "EventBus", "StageRecorder"]
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One edge of a stage's lifecycle."""
+
+    stage: str              #: "compile", "analyze", "partition", ...
+    phase: str              #: "start" | "end"
+    experiment: str         #: the owning experiment's label
+    seq: int                #: 0-based emission index within the experiment
+    elapsed_s: Optional[float] = None   #: end events: wall-clock duration
+    cache_hit: Optional[bool] = None    #: end events: served from StageCache?
+
+
+class ExperimentObserver:
+    """Subclass-and-override observer interface.  Both hooks default to
+    no-ops so observers implement only what they need."""
+
+    def on_stage_start(self, event: StageEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_stage_end(self, event: StageEvent) -> None:  # pragma: no cover
+        pass
+
+
+#: observers may also be plain callables taking one StageEvent
+Observer = Union[ExperimentObserver, Callable[[StageEvent], None]]
+
+
+class EventBus:
+    """Ordered fan-out of stage events to subscribed observers.
+
+    Observers are notified synchronously, in subscription order; an
+    observer added mid-run sees only subsequent events.
+    """
+
+    def __init__(self, experiment: str = "") -> None:
+        self.experiment = experiment
+        self._observers: List[Observer] = []
+        self._seq = 0
+
+    def subscribe(self, observer: Observer) -> Observer:
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------- emission
+    def _emit(self, event: StageEvent) -> None:
+        for observer in list(self._observers):
+            if isinstance(observer, ExperimentObserver):
+                hook = (
+                    observer.on_stage_start
+                    if event.phase == "start"
+                    else observer.on_stage_end
+                )
+                hook(event)
+            else:
+                observer(event)
+
+    def stage_start(self, stage: str) -> StageEvent:
+        event = StageEvent(
+            stage=stage, phase="start", experiment=self.experiment,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._emit(event)
+        return event
+
+    def stage_end(self, stage: str, elapsed_s: float, cache_hit: bool) -> StageEvent:
+        event = StageEvent(
+            stage=stage, phase="end", experiment=self.experiment,
+            seq=self._seq, elapsed_s=elapsed_s, cache_hit=cache_hit,
+        )
+        self._seq += 1
+        self._emit(event)
+        return event
+
+
+class StageRecorder(ExperimentObserver):
+    """Built-in observer: keeps every event in order and exposes the
+    end-event view the report serializes."""
+
+    def __init__(self) -> None:
+        self.events: List[StageEvent] = []
+
+    def on_stage_start(self, event: StageEvent) -> None:
+        self.events.append(event)
+
+    def on_stage_end(self, event: StageEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def stages(self) -> List[StageEvent]:
+        """End events only, in completion order."""
+        return [e for e in self.events if e.phase == "end"]

@@ -1,0 +1,137 @@
+"""One registry abstraction for every pluggable axis of the infrastructure.
+
+Before this module existed the repo grew three divergent lookup mechanisms:
+partition methods were an ``if/elif`` chain behind a ``METHODS`` tuple
+(:mod:`repro.partition.api`), runtime backends a module-private dict with
+bespoke ``register_backend``/``create_backend`` helpers
+(:mod:`repro.runtime.backend`), and workloads a plain dict with its own
+``get`` (:mod:`repro.workloads`) — each with a different unknown-name error.
+
+:class:`Registry` consolidates them: uniform ``register`` / ``names`` /
+``get``, a shared :class:`~repro.errors.UnknownPluginError` with a
+did-you-mean suggestion on lookup failure, and the full ``Mapping``
+protocol so existing dict-style consumers (``WORKLOADS[name]``,
+``sorted(WORKLOADS)``, ``name in WORKLOADS``) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, TypeVar
+
+from repro.errors import ReproError, UnknownPluginError
+
+T = TypeVar("T")
+
+__all__ = ["Registry", "UnknownPluginError"]
+
+
+class Registry(Mapping[str, T]):
+    """A named map of plugins with uniform registration and error paths.
+
+    ``kind`` is the human noun used in error messages ("workload",
+    "runtime backend", "partition method", ...).  Lookups of unknown names
+    raise :class:`UnknownPluginError` carrying the sorted list of available
+    names plus a closest-match suggestion.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._items: Dict[str, T] = {}
+        self._lock = threading.RLock()
+        #: optional hook letting the owner lazily populate the registry
+        #: (the backend registry imports its builtin modules on first use)
+        self._loader: Optional[Callable[[], None]] = None
+
+    # -------------------------------------------------------------- loading
+    def set_loader(self, loader: Callable[[], None]) -> None:
+        """Install a one-shot populate hook run before the first lookup."""
+        self._loader = loader
+
+    def _ensure_loaded(self) -> None:
+        loader, self._loader = self._loader, None
+        if loader is not None:
+            loader()
+
+    # ---------------------------------------------------------- registration
+    def register(
+        self, name: str, obj: Optional[T] = None, *, override: bool = False
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator when
+        ``obj`` is omitted.  Re-registering an existing name requires
+        ``override=True`` — silent replacement hides plugin collisions."""
+        if obj is None:
+            def decorator(value: T) -> T:
+                self.register(name, value, override=override)
+                return value
+            return decorator
+        with self._lock:
+            if name in self._items and not override:
+                raise ReproError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"override=True to replace it"
+                )
+            self._items[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the plugin registered under ``name``."""
+        self._ensure_loaded()
+        with self._lock:
+            if name not in self._items:
+                raise self._unknown(name)
+            return self._items.pop(name)
+
+    # --------------------------------------------------------------- lookup
+    _MISSING = object()
+
+    def get(self, name: str, default: Any = _MISSING) -> T:
+        """The one sanctioned lookup: returns the plugin for ``name``.
+
+        With no ``default``, an unknown name raises
+        :class:`UnknownPluginError` with a did-you-mean suggestion — a
+        deliberate deviation from ``Mapping.get`` (plugin lookups should
+        fail loudly).  Pass ``default`` explicitly for the dict-style
+        ``get(name, None)`` idiom."""
+        self._ensure_loaded()
+        with self._lock:
+            try:
+                return self._items[name]
+            except KeyError:
+                if default is not self._MISSING:
+                    return default
+                raise self._unknown(name) from None
+
+    def names(self) -> List[str]:
+        """Sorted registered names."""
+        self._ensure_loaded()
+        with self._lock:
+            return sorted(self._items)
+
+    def _unknown(self, name: str) -> UnknownPluginError:
+        available = sorted(self._items)
+        matches = difflib.get_close_matches(str(name), available, n=1, cutoff=0.5)
+        return UnknownPluginError(
+            self.kind, name, available, matches[0] if matches else None
+        )
+
+    # ------------------------------------------------------------- Mapping
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        with self._lock:
+            return len(self._items)
+
+    def __contains__(self, name: Any) -> bool:
+        self._ensure_loaded()
+        with self._lock:
+            return name in self._items
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"

@@ -1,0 +1,107 @@
+"""Structured experiment reports: one JSON-serializable record per run.
+
+A :class:`Report` captures what the tables and sweep rows used to compute
+ad hoc — per-stage wall-clock timings with cache-hit flags, partition
+quality, per-node runtime statistics, and the Figure 11 speedup — in one
+machine-readable shape (the bench-trajectory format the ``--json`` CLI
+flags emit).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["StageTiming", "Report"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One completed stage: how long it took and whether the stage cache
+    served it."""
+
+    stage: str
+    elapsed_s: float
+    cache_hit: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class Report:
+    """Everything one experiment produced, ready to serialize.
+
+    ``sequential_s`` / ``distributed_s`` are virtual seconds on the
+    simulator and measured wall seconds on real backends (commensurable
+    pairs either way, like the paper's Figure 11).
+    """
+
+    #: ExperimentConfig.to_dict() of the run
+    config: Dict[str, Any]
+    #: completed stages in completion order
+    stages: List[StageTiming] = field(default_factory=list)
+    #: distribution-plan quality: nparts, method, granularity, edgecut,
+    #: main_partition — None until planning ran
+    partition: Optional[Dict[str, Any]] = None
+    #: per-node runtime statistics (NodeStats as dicts) — None until a run
+    node_stats: Optional[List[Dict[str, Any]]] = None
+    sequential_s: Optional[float] = None
+    distributed_s: Optional[float] = None
+    speedup_pct: Optional[float] = None
+    messages: Optional[int] = None
+    bytes: Optional[int] = None
+    rewrites: Optional[int] = None
+    #: stage-cache counters accumulated over this experiment's stages
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # -------------------------------------------------------------- views
+    def stage_timings_ms(self) -> Dict[str, float]:
+        """stage name -> wall-clock milliseconds (last completion wins)."""
+        return {t.stage: t.elapsed_s * 1e3 for t in self.stages}
+
+    def aggregate(self) -> Dict[str, float]:
+        """Cluster-wide rollup of the node statistics."""
+        from repro.runtime.backend import NodeStats, aggregate_node_stats
+
+        stats = [NodeStats(**ns) for ns in (self.node_stats or [])]
+        return aggregate_node_stats(stats)
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config,
+            "stages": [t.to_dict() for t in self.stages],
+            "partition": self.partition,
+            "node_stats": self.node_stats,
+            "sequential_s": self.sequential_s,
+            "distributed_s": self.distributed_s,
+            "speedup_pct": self.speedup_pct,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "rewrites": self.rewrites,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Report":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"Report.from_dict needs a dict, got {type(data).__name__}"
+            )
+        stages = [StageTiming(**t) for t in data.get("stages", [])]
+        kwargs = {k: v for k, v in data.items() if k != "stages"}
+        return cls(stages=stages, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        return cls.from_dict(json.loads(text))

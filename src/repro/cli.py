@@ -1,6 +1,8 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands mirror the infrastructure's phases:
+A thin consumer of :mod:`repro.api` — every stage runs through the typed
+:class:`~repro.api.experiment.Experiment` façade.  Commands mirror the
+infrastructure's phases:
 
 * ``run <workload>``        — execute a workload; ``--backend seq`` (default)
   is the centralized baseline, ``--backend {sim,thread,process}`` runs the
@@ -16,6 +18,13 @@ Commands mirror the infrastructure's phases:
   across a process pool (``--workers N``), printing one result table +
   cache stats
 * ``codegen``               — the Figure 5/6/7 tour
+
+``run``, ``distribute`` and ``sweep`` accept ``--json``: instead of the
+human-readable rendering, stdout carries one structured
+:class:`~repro.api.report.Report` serialization (the machine-readable
+bench-trajectory format).  Unknown workload/partitioner/backend/network
+names exit with code 2 and a one-line ``error:`` message (including a
+did-you-mean suggestion) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -25,15 +34,32 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.workloads import TABLE1_ORDER, WORKLOADS
+from repro.workloads import WORKLOADS
+
+
+def _experiment(args: argparse.Namespace, backend: str):
+    from repro.api import Experiment
+
+    return Experiment.from_options(
+        args.workload,
+        size=args.size,
+        nparts=getattr(args, "nodes", 2),
+        backend=backend,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.harness.pipeline import Pipeline
-
-    pipe = Pipeline(args.workload, args.size)
     if args.backend == "seq":
-        seq = pipe.run_sequential()
+        from repro.api import Experiment
+
+        # the centralized baseline always runs on the paper's 800 MHz
+        # machine (the slowest paper-testbed node); --nodes only shapes
+        # distributed runs
+        exp = Experiment.from_options(args.workload, size=args.size)
+        seq = exp.baseline()
+        if args.json:
+            print(exp.report().to_json(indent=2))
+            return 0
         for line in seq.stdout:
             print(line)
         print(f"[{args.workload}] {seq.cycles} cycles, "
@@ -42,24 +68,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     # distributed run on a real backend; program output goes to stdout so it
     # is byte-comparable across backends, diagnostics go to stderr
-    dist, plan, _ = pipe.run_distributed(args.nodes, backend=args.backend)
-    for line in dist.stdout:
+    exp = _experiment(args, args.backend)
+    res = exp.run()
+    if args.json:
+        print(res.report.to_json(indent=2))
+        return 0
+    for line in res.stdout:
         print(line)
     unit = "virtual ms" if args.backend == "sim" else "wall ms"
-    print(f"[{args.workload}] backend={args.backend} k={plan.nparts} "
-          f"{dist.makespan_s * 1e3:.3f} {unit}, "
-          f"{dist.total_messages} messages ({dist.total_bytes} bytes)",
+    print(f"[{args.workload}] backend={args.backend} k={res.plan.nparts} "
+          f"{res.distributed_s * 1e3:.3f} {unit}, "
+          f"{res.messages} messages ({res.bytes} bytes)",
           file=sys.stderr)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.harness.pipeline import Pipeline
-
-    pipe = Pipeline(args.workload, args.size)
-    a = pipe.analyze()
-    print(f"classes={pipe.work.num_classes} methods={pipe.work.num_methods} "
-          f"size={pipe.work.size_kb:.1f}KB")
+    exp = _experiment(args, "sim")
+    work = exp.compile()
+    a = exp.analyze()
+    print(f"classes={work.num_classes} methods={work.num_methods} "
+          f"size={work.size_kb:.1f}KB")
     print(f"CRG: {a.crg.num_nodes} nodes, {a.crg.num_edges} edges, "
           f"2-way edgecut {a.crg_partition.edgecut:.0f}")
     print(f"ODG: {a.odg.num_nodes} objects, {a.odg.num_edges} relations, "
@@ -87,20 +116,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_distribute(args: argparse.Namespace) -> int:
-    from repro.harness.pipeline import Pipeline
-    from repro.runtime.cluster import homogeneous, paper_testbed
-
-    pipe = Pipeline(args.workload, args.size)
-    cluster = paper_testbed() if args.nodes == 2 else homogeneous(args.nodes)
-    s = pipe.speedup(nparts=args.nodes, cluster=cluster, backend=args.backend)
+    exp = _experiment(args, args.backend)
+    res = exp.run()
+    if args.json:
+        print(res.report.to_json(indent=2))
+        return 0
     # non-sim backends compare wall against wall (commensurable units)
     unit = "virtual ms" if args.backend == "sim" else "wall ms"
-    print(f"sequential : {s['sequential_s'] * 1e3:10.3f} {unit}")
-    print(f"distributed: {s['distributed_s'] * 1e3:10.3f} {unit} "
+    print(f"sequential : {res.sequential_s * 1e3:10.3f} {unit}")
+    print(f"distributed: {res.distributed_s * 1e3:10.3f} {unit} "
           f"on {args.nodes} nodes ({args.backend} backend)")
-    print(f"messages   : {s['messages']}  ({s['bytes']} bytes)")
-    print(f"rewrites   : {s['rewrites']}  (plan edgecut {s['edgecut']:.0f})")
-    print(f"speedup    : {s['speedup_pct']:.1f}%  (paper range: 79.2%..175.2%)")
+    print(f"messages   : {res.messages}  ({res.bytes} bytes)")
+    print(f"rewrites   : {res.rewrite_stats.total}  "
+          f"(plan edgecut {res.plan.edgecut:.0f})")
+    print(f"speedup    : {res.speedup_pct:.1f}%  (paper range: 79.2%..175.2%)")
     return 0
 
 
@@ -120,7 +149,6 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError
     from repro.harness.sweep import SweepRunner, sweep_grid
 
     try:
@@ -132,10 +160,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             size=args.size,
             backends=tuple(args.backends.split(",")),
         )
-    except (ReproError, ValueError) as exc:
+    except ValueError as exc:  # e.g. non-integer --nodes
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = SweepRunner(configs, workers=args.workers).run()
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     text = result.table()
     print(text)
     print()
@@ -170,32 +201,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(Diaconescu et al., IPPS 2005 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    workloads = sorted(WORKLOADS)
+    # workload/backend names are validated against the plugin registries at
+    # execution time (clean UnknownPluginError with a did-you-mean), not by
+    # argparse choices= — so plugins registered later are first-class
+    workload_help = f"workload name ({', '.join(sorted(WORKLOADS))})"
 
     p = sub.add_parser("run", help="execute a workload (centralized or on a backend)")
-    p.add_argument("workload", choices=workloads)
+    p.add_argument("workload", metavar="workload", help=workload_help)
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.add_argument(
-        "--backend", default="seq", choices=("seq", "sim", "thread", "process"),
+        "--backend", default="seq", metavar="NAME",
         help="seq = centralized baseline; sim/thread/process = distributed "
         "execution on that runtime backend",
     )
     p.add_argument("--nodes", type=int, default=2,
                    help="partitions for non-seq backends")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured Report as JSON on stdout "
+                   "(seq runs report distributed_s: null)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("analyze", help="dependence analysis summary")
-    p.add_argument("workload", choices=workloads)
+    p.add_argument("workload", metavar="workload", help=workload_help)
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.add_argument("--vcg", help="directory for Figure 3/4 VCG files")
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("distribute", help="distributed execution (Figure 11)")
-    p.add_argument("workload", choices=workloads)
+    p.add_argument("workload", metavar="workload", help=workload_help)
     p.add_argument("--size", default="bench", choices=("test", "bench", "large"))
     p.add_argument("--nodes", type=int, default=2)
-    p.add_argument("--backend", default="sim",
-                   choices=("sim", "thread", "process"))
+    p.add_argument("--backend", default="sim", metavar="NAME",
+                   help="runtime backend (sim, thread, process)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured Report as JSON on stdout")
     p.set_defaults(fn=_cmd_distribute)
 
     p = sub.add_parser("tables", help="regenerate Tables 1-3 + Figure 11")
@@ -232,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width; <=1 runs serially in-process",
     )
     p.add_argument("--out", help="also write the result table to this file")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object on stdout whose 'records' "
+                   "array holds one Report per grid point")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("codegen", help="Figure 5/6/7 tour")
@@ -241,7 +283,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from repro.errors import ReproError
+
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # infrastructure failures (unknown plugin names, bad configs,
+        # diverged runs) surface as one clean line, not a traceback;
+        # genuine Python bugs still get their stack trace
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

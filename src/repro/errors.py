@@ -73,6 +73,45 @@ class PartitionError(ReproError):
     """Raised by the graph partitioner for invalid inputs."""
 
 
+class UnknownPluginError(ReproError, KeyError):
+    """An unknown name was looked up in a plugin :class:`~repro.api.registry.Registry`.
+
+    One failure mode for every pluggable axis — partitioners, runtime
+    backends, workloads, network presets — with the available names and a
+    did-you-mean suggestion attached.  Subclasses :class:`KeyError` so
+    mapping-style consumers (``WORKLOADS[name]``) keep their contract.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        available: "list[str]",
+        suggestion: "str | None" = None,
+    ) -> None:
+        message = f"unknown {kind} {name!r}; available: {', '.join(available)}"
+        if suggestion:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.available = list(available)
+        self.suggestion = suggestion
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes the message; show it verbatim instead
+        return self.args[0]
+
+
+class ConfigError(ReproError):
+    """Raised by the typed experiment configs for invalid field values."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the Experiment API for failed runs (e.g. a distributed
+    execution whose output diverges from the centralized baseline)."""
+
+
 class AnalysisError(ReproError):
     """Raised by the static analysis framework."""
 

@@ -1,29 +1,45 @@
 """Experiment harness: the end-to-end pipeline plus per-table/figure
 reproduction code (see DESIGN.md §4 for the experiment index), the
-content-addressed stage cache, and the batch sweep orchestrator."""
+content-addressed stage cache, and the batch sweep orchestrator.
+
+The heavy submodules import lazily (PEP 562): ``repro.api`` sits under the
+harness shims now, and an eager ``pipeline`` import here would cycle back
+through ``repro.api.experiment`` → ``repro.harness.cache``.
+"""
 
 from repro.harness.cache import StageCache, default_cache, reset_default_cache
-from repro.harness.pipeline import CompiledWorkload, Pipeline, compile_workload
-from repro.harness.sweep import (
-    SweepConfig,
-    SweepRecord,
-    SweepResult,
-    SweepRunner,
-    run_config,
-    sweep_grid,
-)
+
+_EXPORTS = {
+    "Pipeline": "repro.harness.pipeline",
+    "CompiledWorkload": "repro.harness.pipeline",
+    "compile_workload": "repro.harness.pipeline",
+    "SweepConfig": "repro.harness.sweep",
+    "SweepRecord": "repro.harness.sweep",
+    "SweepResult": "repro.harness.sweep",
+    "SweepRunner": "repro.harness.sweep",
+    "run_config": "repro.harness.sweep",
+    "sweep_grid": "repro.harness.sweep",
+}
 
 __all__ = [
-    "Pipeline",
-    "CompiledWorkload",
-    "compile_workload",
     "StageCache",
     "default_cache",
     "reset_default_cache",
-    "SweepConfig",
-    "SweepRecord",
-    "SweepResult",
-    "SweepRunner",
-    "run_config",
-    "sweep_grid",
+    *sorted(_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

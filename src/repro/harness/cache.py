@@ -84,12 +84,20 @@ class StageCache:
         """Return the cached value for ``(stage, key_material)``, building
         and storing it via ``builder()`` on a miss.  Hits return the
         *identical* object that the miss stored."""
+        return self.get_or_build_info(stage, key_material, builder)[0]
+
+    def get_or_build_info(
+        self, stage: str, key_material: Any, builder: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Like :meth:`get_or_build` but also reports whether the value was
+        served from the cache: ``(value, hit)``.  The Experiment API's stage
+        events carry this flag."""
         key = (stage, fingerprint(key_material))
         with self._lock:
             stats = self._stats.setdefault(stage, StageStats())
             if key in self._store:
                 stats.hits += 1
-                return self._store[key]
+                return self._store[key], True
         # build outside the lock: stages can be expensive and re-entrant
         # (plan building partitions, which may consult the cache itself)
         t0 = time.perf_counter()
@@ -101,11 +109,11 @@ class StageCache:
             stats = self._stats.setdefault(stage, StageStats())
             if key in self._store:  # lost a race; keep the first object
                 stats.hits += 1
-                return self._store[key]
+                return self._store[key], True
             stats.misses += 1
             stats.build_s += elapsed
             self._store[key] = value
-            return value
+            return value, False
 
     # ------------------------------------------------------------------ views
     def __len__(self) -> int:

@@ -1,119 +1,56 @@
-"""The end-to-end pipeline driver.
+"""Deprecated pipeline driver — a thin shim over :mod:`repro.api`.
 
-Chains every stage of Figure 1 of the paper: MJ source → bytecode → RTA →
-CRG → object set → ODG → partitioning → communication rewriting →
-centralized / distributed execution — with wall-clock timing per stage
-(that's Table 2) and virtual-time results (that's Figure 11).
+The stage logic that used to live here (MJ source → bytecode → RTA/CRG/ODG
+→ partitioning → rewriting → execution) moved to
+:mod:`repro.api.experiment`; new code should use
+:class:`repro.api.Experiment`.  This module keeps the historical surface —
+``Pipeline``, ``compile_workload``, the artifact dataclasses — delegating
+to the same engine, so existing imports keep working and both paths
+produce byte-identical artifacts from identical cache keys.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.analysis.class_relations import ClassRelationGraph, build_crg
-from repro.analysis.object_set import ObjectNode, compute_object_set
-from repro.analysis.odg import ObjectDependenceGraph, build_odg
-from repro.analysis.resources import _class_cpu
-from repro.analysis.rta import CallGraph, rapid_type_analysis
-from repro.bytecode import compile_program
+# re-exported for backward compatibility — these now live in repro.api
+from repro.api.experiment import (  # noqa: F401
+    PLAN_UBFACTOR,
+    AnalysisResult,
+    AnalysisTimings,
+    CompiledWorkload,
+    RewriteArtifact,
+    analyze_workload,
+    compile_workload,
+    map_partitions,
+    plan_workload,
+    rewrite_workload,
+    sequential_workload,
+)
 from repro.bytecode.model import BProgram
-from repro.distgen.plan import DistributionPlan, build_plan
-from repro.distgen.rewriter import RewriteStats, rewrite_program
-from repro.harness.cache import StageCache, default_cache, fingerprint
-from repro.lang import analyze, parse_program
-from repro.partition.api import PartitionResult, part_config_key, part_graph
+from repro.distgen.plan import DistributionPlan
+from repro.distgen.rewriter import RewriteStats
+from repro.harness.cache import StageCache, default_cache
 from repro.runtime.cluster import ClusterSpec, NodeSpec, paper_testbed
 from repro.runtime.executor import (
     DistributedExecutor,
     DistributedResult,
     SequentialResult,
-    run_sequential,
 )
-from repro.vm.loader import LoadedProgram, load_program
-from repro.workloads import WORKLOADS
-
-
-@dataclass
-class CompiledWorkload:
-    name: str
-    size: str
-    source: str
-    bprogram: BProgram
-    loaded: LoadedProgram
-    #: content hash of the MJ source — the upstream half of every derived
-    #: stage-cache key
-    source_fp: str = ""
-
-    @property
-    def num_classes(self) -> int:
-        return self.bprogram.num_classes()
-
-    @property
-    def num_methods(self) -> int:
-        return self.bprogram.num_methods()
-
-    @property
-    def size_kb(self) -> float:
-        return self.bprogram.size_bytes() / 1024.0
-
-
-def compile_workload(
-    name: str, size: str = "test", cache: Optional[StageCache] = None
-) -> CompiledWorkload:
-    """Front-end stage: MJ source → verified bytecode → loaded program.
-
-    Memoized in ``cache`` (the process-default :class:`StageCache` when
-    ``None``) under the source *text*, so two names/sizes yielding the same
-    program share one compile and repeated calls return the identical
-    object.  Safe to share: downstream consumers never mutate a
-    ``BProgram`` (the rewriter copies) and every VM machine takes fresh
-    statics from the shared ``LoadedProgram``."""
-    cache = cache if cache is not None else default_cache()
-    source = WORKLOADS[name].source(size)
-
-    def build() -> CompiledWorkload:
-        ast = parse_program(source)
-        table = analyze(ast)
-        bprogram = compile_program(ast, table)
-        return CompiledWorkload(
-            name, size, source, bprogram, load_program(bprogram),
-            source_fp=fingerprint(source),
-        )
-
-    return cache.get_or_build("compile", {"source": source}, build)
-
-
-@dataclass
-class AnalysisTimings:
-    """Table 2's measured stages, in milliseconds of wall-clock."""
-
-    construct_crg_ms: float = 0.0
-    construct_odg_ms: float = 0.0
-    partition_trg_ms: float = 0.0
-    partition_odg_ms: float = 0.0
-    rewrite_ms: float = 0.0
-
-
-@dataclass
-class AnalysisResult:
-    cg: CallGraph
-    crg: ClassRelationGraph
-    objects: List[ObjectNode]
-    odg: ObjectDependenceGraph
-    crg_partition: PartitionResult
-    odg_partition: PartitionResult
-    timings: AnalysisTimings
 
 
 class Pipeline:
-    """One workload through the whole infrastructure.
+    """Deprecated: use :class:`repro.api.Experiment`.
 
-    All pure stages (compile, analysis, planning, the sequential baseline)
-    route through a content-addressed :class:`StageCache` — the
-    process-default one unless ``cache`` is given — so repeated pipelines
-    over the same workload skip recompilation and reanalysis."""
+    One workload through the whole infrastructure.  All pure stages
+    (compile, analysis, planning, the sequential baseline) route through
+    the same content-addressed :class:`StageCache` engine as the
+    Experiment API — the process-default cache unless ``cache`` is given —
+    so repeated pipelines over the same workload skip recompilation and
+    reanalysis."""
+
+    #: kept as a class attribute for importers that read it here
+    PLAN_UBFACTOR = PLAN_UBFACTOR
 
     def __init__(
         self, name: str, size: str = "test", cache: Optional[StageCache] = None
@@ -127,46 +64,9 @@ class Pipeline:
 
     # ------------------------------------------------------------------ analysis
     def analyze(self, nparts: int = 2, method: str = "multilevel") -> AnalysisResult:
-        key = {
-            "source_fp": self.work.source_fp,
-            "nparts": nparts,
-            "method": method,
-        }
-        return self.cache.get_or_build(
-            "analysis", key, lambda: self._analyze(nparts, method)
-        )
-
-    def _analyze(self, nparts: int, method: str) -> AnalysisResult:
-        timings = AnalysisTimings()
-        t0 = time.perf_counter()
-        cg = rapid_type_analysis(self.bprogram)
-        crg = build_crg(cg)
-        timings.construct_crg_ms = (time.perf_counter() - t0) * 1e3
-
-        t0 = time.perf_counter()
-        objects = compute_object_set(cg)
-        odg = build_odg(cg, crg, objects)
-        timings.construct_odg_ms = (time.perf_counter() - t0) * 1e3
-
-        t0 = time.perf_counter()
-        trg_graph, _ = crg.use_graph()
-        crg_part = part_graph(trg_graph, min(nparts, max(trg_graph.num_nodes, 1)), method=method)
-        timings.partition_trg_ms = (time.perf_counter() - t0) * 1e3
-
-        t0 = time.perf_counter()
-        odg_graph, _ = odg.partition_graph()
-        odg_part = part_graph(odg_graph, min(nparts, max(odg_graph.num_nodes, 1)), method=method)
-        timings.partition_odg_ms = (time.perf_counter() - t0) * 1e3
-
-        return AnalysisResult(cg, crg, objects, odg, crg_part, odg_part, timings)
+        return analyze_workload(self.work, nparts, method, cache=self.cache)
 
     # ------------------------------------------------------------------ distribution
-    #: CPU-balance tolerance used for distribution plans.  Distribution of a
-    #: *sequential* program is about placement, not load balance — the cut
-    #: objective must dominate, so the tolerance is loose (the binding
-    #: constraints on constrained devices are memory/battery, not CPU).
-    PLAN_UBFACTOR = 4.0
-
     def plan(
         self,
         nparts: int = 2,
@@ -175,71 +75,23 @@ class Pipeline:
         cluster: Optional[ClusterSpec] = None,
         pin_main: bool = True,
     ) -> DistributionPlan:
-        tpwgts = None
-        pin_to = None
-        if cluster is not None:
-            speeds = [cluster.nodes[p].cpu_hz for p in range(nparts)]
-            total = sum(speeds)
-            tpwgts = [s / total for s in speeds]
-            if pin_main:
-                # the user launches the program on the slowest machine (the
-                # "computation node" of the paper's testbed); ExecutionStarter
-                # lives there
-                pin_to = min(range(nparts), key=lambda p: speeds[p])
-        key = {
-            "source_fp": self.work.source_fp,
-            "granularity": granularity,
-            "pin_to": pin_to,
-            "partition": part_config_key(
-                nparts, method, self.PLAN_UBFACTOR, tpwgts=tpwgts
-            ),
-        }
-        return self.cache.get_or_build(
-            "plan",
-            key,
-            lambda: build_plan(
-                self.bprogram, nparts, granularity=granularity, method=method,
-                tpwgts=tpwgts, ubfactor=self.PLAN_UBFACTOR, pin_main_to=pin_to,
-            ),
+        return plan_workload(
+            self.work, nparts, granularity=granularity, method=method,
+            cluster=cluster, pin_main=pin_main, cache=self.cache,
         )
 
     def rewrite(self, plan: DistributionPlan) -> Tuple[BProgram, RewriteStats, float]:
-        t0 = time.perf_counter()
-        rewritten, stats = rewrite_program(self.bprogram, plan)
-        return rewritten, stats, (time.perf_counter() - t0) * 1e3
+        art = rewrite_workload(self.work, plan)
+        return art.program, art.stats, art.elapsed_ms
 
     # ------------------------------------------------------------------ execution
     def run_sequential(self, node: Optional[NodeSpec] = None) -> SequentialResult:
-        if node is None:
-            node = paper_testbed().nodes[1]  # the 800 MHz baseline machine
-        # the sequential VM is deterministic, so the centralized baseline is
-        # a pure function of (program, node speed) — memoizable like any
-        # other stage; sweeps re-run it once per distinct baseline machine
-        key = {"source_fp": self.work.source_fp, "cpu_hz": node.cpu_hz}
-        return self.cache.get_or_build(
-            "sequential",
-            key,
-            lambda: run_sequential(self.bprogram, node, loaded=self.work.loaded),
-        )
+        return sequential_workload(self.work, node, cache=self.cache)
 
     def map_partitions(
         self, plan: DistributionPlan, cluster: ClusterSpec
     ) -> ClusterSpec:
-        """Runtime virtual-processor → machine mapping (paper §4: "the
-        program can be distributed by mapping virtual processors to actual
-        processing units at runtime"): the partition with the largest static
-        CPU weight gets the fastest machine, and so on down."""
-        nparts = plan.nparts
-        weights = [0.0] * nparts
-        for cls, part in plan.class_home.items():
-            if 0 <= part < nparts:
-                weights[part] += _class_cpu(cls, self.bprogram)
-        order_parts = sorted(range(nparts), key=lambda p: -weights[p])
-        order_specs = sorted(cluster.nodes, key=lambda s: -s.cpu_hz)
-        specs: List[NodeSpec] = list(cluster.nodes)[:nparts]
-        for part, spec in zip(order_parts, order_specs):
-            specs[part] = spec
-        return ClusterSpec(nodes=specs, link=cluster.link)
+        return map_partitions(self.work, plan, cluster)
 
     def run_distributed(
         self,

@@ -2,8 +2,9 @@
 
 The paper's evaluation is a family of tables that all re-run the same
 front-end (compile → RTA → CRG/ODG) while varying only downstream knobs —
-partitioner, node count, network, granularity, runtime backend.  ``SweepRunner`` makes that
-cheap: each configuration routes through the content-addressed
+partitioner, node count, network, granularity, runtime backend.
+``SweepRunner`` makes that cheap: each configuration is one
+:class:`repro.api.Experiment` routed through the content-addressed
 :class:`~repro.harness.cache.StageCache`, so within a sweep every workload
 compiles once, is analyzed once per (nparts, method), and — because the
 cluster runtime is a deterministic discrete-event simulation — even
@@ -27,26 +28,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.api.config import ExperimentConfig
+from repro.api.experiment import Experiment
+from repro.api.report import Report
 from repro.errors import ReproError
 from repro.harness.cache import StageCache, default_cache
-from repro.harness.pipeline import Pipeline
-from repro.runtime.cluster import (
-    ClusterSpec,
-    ethernet_100m,
-    ethernet_1g,
-    homogeneous,
-    paper_testbed,
-    wireless_80211b,
-)
+from repro.runtime.cluster import NETWORKS, ClusterSpec  # noqa: F401  (re-export)
 from repro.runtime.executor import NodeStats, aggregate_node_stats
-from repro.workloads import TABLE1_ORDER, WORKLOADS
+from repro.workloads import TABLE1_ORDER
 
-#: network presets a sweep can select by name
-NETWORKS = {
-    "ethernet_100m": ethernet_100m,
-    "ethernet_1g": ethernet_1g,
-    "wireless_80211b": wireless_80211b,
-}
 
 class SweepError(ReproError):
     """Bad sweep configuration."""
@@ -55,8 +45,11 @@ class SweepError(ReproError):
 @dataclass(frozen=True)
 class SweepConfig:
     """One point of the sweep grid.  Frozen + primitive fields only: the
-    config is both the process-pool task payload and (together with the
-    workload source hash) the execution-stage cache key."""
+    config is both the process-pool task payload and the flat-kwargs shape
+    behind one :class:`~repro.api.config.ExperimentConfig`.  Validation
+    happens by building that typed config — unknown plugin names raise
+    :class:`~repro.errors.UnknownPluginError`, bad values
+    :class:`~repro.errors.ConfigError`."""
 
     workload: str
     size: str = "test"
@@ -67,25 +60,15 @@ class SweepConfig:
     backend: str = "sim"
 
     def __post_init__(self) -> None:
-        from repro.partition.api import METHODS
-        from repro.runtime.backend import backend_names
+        self.experiment_config()  # validates every field
 
-        if self.workload not in WORKLOADS:
-            raise SweepError(f"unknown workload {self.workload!r}")
-        if self.method not in METHODS:
-            raise SweepError(
-                f"unknown method {self.method!r}; pick one of {METHODS}"
-            )
-        if self.network not in NETWORKS:
-            raise SweepError(
-                f"unknown network {self.network!r}; pick one of {sorted(NETWORKS)}"
-            )
-        if self.nparts < 1:
-            raise SweepError(f"nparts must be >= 1, got {self.nparts}")
-        if self.backend not in backend_names():
-            raise SweepError(
-                f"unknown backend {self.backend!r}; pick one of {backend_names()}"
-            )
+    def experiment_config(self) -> ExperimentConfig:
+        """The typed config this grid point denotes."""
+        return ExperimentConfig.from_options(
+            self.workload, size=self.size, method=self.method,
+            nparts=self.nparts, granularity=self.granularity,
+            network=self.network, backend=self.backend,
+        )
 
     def key(self) -> dict:
         return asdict(self)
@@ -101,20 +84,7 @@ def build_cluster(cfg: SweepConfig) -> ClusterSpec:
     """The cluster a configuration runs on: the paper's heterogeneous
     two-node testbed for ``nparts == 2``, a homogeneous cluster otherwise,
     with the link swapped for the configured network preset."""
-    link = NETWORKS[cfg.network]()
-    if cfg.nparts == 2:
-        base = paper_testbed()
-        return ClusterSpec(nodes=list(base.nodes), link=link)
-    return homogeneous(max(cfg.nparts, 1), link=link)
-
-
-def _cluster_signature(cluster: ClusterSpec) -> dict:
-    return {
-        "nodes": [
-            (n.cpu_hz, n.mem_bytes, n.battery_j) for n in cluster.nodes
-        ],
-        "link": (cluster.link.latency_s, cluster.link.bandwidth_Bps),
-    }
+    return cfg.experiment_config().cluster.build(cfg.nparts)
 
 
 def sweep_grid(
@@ -158,6 +128,8 @@ class SweepRecord:
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_s: float = 0.0
+    #: the structured per-run record the --json CLI flag serializes
+    report: Optional[Report] = None
 
     @property
     def aggregate(self) -> Dict[str, float]:
@@ -165,68 +137,29 @@ class SweepRecord:
 
 
 def run_config(cfg: SweepConfig, cache: Optional[StageCache] = None) -> SweepRecord:
-    """One grid point end to end, every stage through ``cache``."""
+    """One grid point end to end — a thin consumer of
+    :class:`repro.api.Experiment`, every stage through ``cache``."""
     cache = cache if cache is not None else default_cache()
     hits0, misses0 = cache.counts()
     t0 = time.perf_counter()
 
-    pipe = Pipeline(cfg.workload, cfg.size, cache=cache)
-    cluster = build_cluster(cfg)
-    baseline = min(cluster.nodes, key=lambda n: n.cpu_hz)
-    seq = pipe.run_sequential(baseline)
-
-    def execute() -> dict:
-        dist, plan, stats = pipe.run_distributed(
-            cfg.nparts, cluster, granularity=cfg.granularity, method=cfg.method,
-            backend=cfg.backend,
-        )
-        if dist.stdout and seq.stdout and dist.stdout[-1] != seq.stdout[-1]:
-            raise SweepError(
-                f"{cfg.label()}: distributed output diverged: "
-                f"{seq.stdout[-1]!r} vs {dist.stdout[-1]!r}"
-            )
-        return {
-            "makespan_s": dist.makespan_s,
-            "messages": dist.total_messages,
-            "bytes": dist.total_bytes,
-            "edgecut": plan.edgecut,
-            "rewrites": stats.total,
-            "node_stats": dist.node_stats,
-        }
-
-    if cfg.backend == "sim":
-        # only the simulator is deterministic; wall-clock backends must
-        # really execute every time
-        payload = cache.get_or_build(
-            "execute",
-            {
-                "source_fp": pipe.work.source_fp,
-                "config": cfg.key(),
-                "cluster": _cluster_signature(cluster),
-            },
-            execute,
-        )
-    else:
-        payload = execute()
+    res = Experiment(cfg.experiment_config(), cache=cache).run()
 
     hits1, misses1 = cache.counts()
-    # virtual/virtual on the simulator, measured wall/wall on real backends
-    seq_s = (
-        seq.exec_time_s if cfg.backend == "sim" else max(seq.wall_time_s, 1e-9)
-    )
     return SweepRecord(
         config=cfg,
-        sequential_s=seq_s,
-        distributed_s=payload["makespan_s"],
-        speedup_pct=100.0 * seq_s / payload["makespan_s"],
-        messages=payload["messages"],
-        bytes=payload["bytes"],
-        edgecut=payload["edgecut"],
-        rewrites=payload["rewrites"],
-        node_stats=payload["node_stats"],
+        sequential_s=res.sequential_s,
+        distributed_s=res.distributed_s,
+        speedup_pct=res.speedup_pct,
+        messages=res.messages,
+        bytes=res.bytes,
+        edgecut=res.plan.edgecut,
+        rewrites=res.rewrite_stats.total,
+        node_stats=res.distributed.node_stats,
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,
         elapsed_s=time.perf_counter() - t0,
+        report=res.report,
     )
 
 
@@ -300,6 +233,27 @@ class SweepResult:
             f"{self.cache_hits}/{calls} hits "
             f"({100.0 * self.cache_hit_rate:.1f}% hit rate)"
         )
+
+    def to_dict(self) -> dict:
+        """Machine-readable sweep outcome: one
+        :class:`~repro.api.report.Report` dict per grid point plus the
+        cache telemetry (what ``repro sweep --json`` emits)."""
+        return {
+            "records": [
+                r.report.to_dict() if r.report is not None else None
+                for r in self.records
+            ],
+            "elapsed_s": self.elapsed_s,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        import json
+
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
 
 
 class SweepRunner:

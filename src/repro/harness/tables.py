@@ -10,12 +10,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.config import ExperimentConfig
+from repro.api.experiment import Experiment, compile_workload
 from repro.harness.cache import StageCache
-from repro.harness.pipeline import Pipeline, compile_workload
 from repro.profiler import ALL_METRICS, attach, make_profiler
-from repro.runtime.cluster import paper_testbed
 from repro.vm.interpreter import Machine, run_sync
 from repro.workloads import TABLE1_ORDER, WORKLOADS
+
+
+def _experiment(
+    name: str, size: str, cache: Optional[StageCache] = None
+) -> Experiment:
+    """One stock experiment per table row: the paper's defaults (2-way
+    multilevel partition, paper testbed, simulator backend)."""
+    return Experiment(
+        ExperimentConfig.from_options(name, size=size), cache=cache
+    )
 
 
 def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -42,14 +52,15 @@ def table1(
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size, cache=cache)
-        a = pipe.analyze(nparts=2)
+        exp = _experiment(name, size, cache)
+        work = exp.compile()
+        a = exp.analyze()
         rows.append(
             {
                 "benchmark": name,
-                "classes": pipe.work.num_classes,
-                "methods": pipe.work.num_methods,
-                "kb": round(pipe.work.size_kb, 1),
+                "classes": work.num_classes,
+                "methods": work.num_methods,
+                "kb": round(work.size_kb, 1),
                 "crg_nodes": a.crg.num_nodes,
                 "crg_edges": a.crg.num_edges,
                 "crg_ec": round(a.crg_partition.edgecut),
@@ -80,10 +91,10 @@ def table2(
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size, cache=cache)
-        a = pipe.analyze(nparts=2)
-        plan = pipe.plan(2, cluster=paper_testbed())
-        _, stats, rewrite_ms = pipe.rewrite(plan)
+        exp = _experiment(name, size, cache)
+        a = exp.analyze()
+        rewritten = exp.rewrite()  # plans on the paper testbed implicitly
+        stats, rewrite_ms = rewritten.stats, rewritten.elapsed_ms
         rows.append(
             {
                 "benchmark": name,
@@ -180,16 +191,15 @@ def figure11(
     names = list(names or TABLE1_ORDER)
     rows: List[dict] = []
     for name in names:
-        pipe = Pipeline(name, size, cache=cache)
-        s = pipe.speedup()
+        res = _experiment(name, size, cache).run()
         rows.append(
             {
                 "benchmark": name,
-                "speedup_pct": round(s["speedup_pct"], 1),
-                "sequential_ms": round(s["sequential_s"] * 1e3, 3),
-                "distributed_ms": round(s["distributed_s"] * 1e3, 3),
-                "messages": s["messages"],
-                "bytes": s["bytes"],
+                "speedup_pct": round(res.speedup_pct, 1),
+                "sequential_ms": round(res.sequential_s * 1e3, 3),
+                "distributed_ms": round(res.distributed_s * 1e3, 3),
+                "messages": res.messages,
+                "bytes": res.bytes,
             }
         )
     text = _fmt_table(

@@ -19,10 +19,11 @@ Methods:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import Registry
 from repro.errors import PartitionError
 from repro.graph.metrics import edgecut, imbalance
 from repro.graph.wgraph import WeightedGraph
@@ -30,6 +31,77 @@ from repro.partition.kl import kernighan_lin
 from repro.partition.multilevel import multilevel_bisect, recursive_kway
 from repro.partition.spectral import spectral_bisect
 
+#: a partitioner takes (graph, nparts, rng, ubfactor, tpwgts) and returns the
+#: per-node partition vector; ``part_graph`` handles the degenerate cases
+#: (k == 1, empty graph, k >= n) before dispatching
+Partitioner = Callable[
+    [WeightedGraph, int, np.random.Generator, float, Optional[List[float]]],
+    List[int],
+]
+
+#: the unified plugin registry partition methods are selected through
+PARTITIONERS: Registry = Registry("partition method")
+
+
+def _kway_from_bisector(graph: WeightedGraph, nparts: int, bisector) -> List[int]:
+    parts = [0] * graph.num_nodes
+
+    def split(node_ids: List[int], k: int, base: int) -> None:
+        if k == 1 or len(node_ids) <= 1:
+            for u in node_ids:
+                parts[u] = base
+            return
+        sub, mapping = graph.subgraph(node_ids)
+        bis = bisector(sub)
+        left = [mapping[i] for i, p in enumerate(bis) if p == 0]
+        right = [mapping[i] for i, p in enumerate(bis) if p == 1]
+        if not left or not right:
+            mid = max(1, len(node_ids) // 2)
+            left, right = node_ids[:mid], node_ids[mid:]
+        k_left = k // 2
+        split(left, k_left, base)
+        split(right, k - k_left, base + k_left)
+
+    split(list(range(graph.num_nodes)), nparts, 0)
+    return parts
+
+
+@PARTITIONERS.register("multilevel")
+def _part_multilevel(graph, nparts, rng, ubfactor, tpwgts) -> List[int]:
+    return recursive_kway(
+        graph, nparts, rng, ubfactor,
+        tpwgts=list(tpwgts) if tpwgts is not None else None,
+    )
+
+
+@PARTITIONERS.register("kl")
+def _part_kl(graph, nparts, rng, ubfactor, tpwgts) -> List[int]:
+    return _kway_from_bisector(graph, nparts, lambda sub: kernighan_lin(sub, rng))
+
+
+@PARTITIONERS.register("spectral")
+def _part_spectral(graph, nparts, rng, ubfactor, tpwgts) -> List[int]:
+    return _kway_from_bisector(
+        graph,
+        nparts,
+        lambda sub: spectral_bisect(sub)
+        if sub.num_nodes >= 2
+        else [0] * sub.num_nodes,
+    )
+
+
+@PARTITIONERS.register("roundrobin")
+def _part_roundrobin(graph, nparts, rng, ubfactor, tpwgts) -> List[int]:
+    return [i % nparts for i in range(graph.num_nodes)]
+
+
+@PARTITIONERS.register("random")
+def _part_random(graph, nparts, rng, ubfactor, tpwgts) -> List[int]:
+    return [int(rng.integers(nparts)) for _ in range(graph.num_nodes)]
+
+
+#: canonical method tuple (registry names in historical order) — kept for
+#: existing importers; prefer ``PARTITIONERS.names()``
 METHODS = ("multilevel", "kl", "spectral", "roundrobin", "random")
 
 
@@ -100,29 +172,6 @@ class PartitionResult:
                 )
 
 
-def _kway_from_bisector(graph: WeightedGraph, nparts: int, bisector) -> List[int]:
-    parts = [0] * graph.num_nodes
-
-    def split(node_ids: List[int], k: int, base: int) -> None:
-        if k == 1 or len(node_ids) <= 1:
-            for u in node_ids:
-                parts[u] = base
-            return
-        sub, mapping = graph.subgraph(node_ids)
-        bis = bisector(sub)
-        left = [mapping[i] for i, p in enumerate(bis) if p == 0]
-        right = [mapping[i] for i, p in enumerate(bis) if p == 1]
-        if not left or not right:
-            mid = max(1, len(node_ids) // 2)
-            left, right = node_ids[:mid], node_ids[mid:]
-        k_left = k // 2
-        split(left, k_left, base)
-        split(right, k - k_left, base + k_left)
-
-    split(list(range(graph.num_nodes)), nparts, 0)
-    return parts
-
-
 def part_graph(
     graph: WeightedGraph,
     nparts: int,
@@ -137,8 +186,7 @@ def part_graph(
     node capacities); multilevel only — baselines ignore it."""
     if nparts < 1:
         raise PartitionError(f"nparts must be >= 1, got {nparts}")
-    if method not in METHODS:
-        raise PartitionError(f"unknown method {method!r}; pick one of {METHODS}")
+    partitioner = PARTITIONERS.get(method)  # UnknownPluginError on bad names
     if tpwgts is not None and len(tpwgts) != nparts:
         raise PartitionError("tpwgts length must equal nparts")
     n = graph.num_nodes
@@ -148,27 +196,11 @@ def part_graph(
         parts: List[int] = [0] * n
     elif nparts >= n:
         parts = list(range(n))  # one node per part; extra parts stay empty
-    elif method == "multilevel":
-        parts = recursive_kway(
+    else:
+        parts = partitioner(
             graph, nparts, rng, ubfactor,
-            tpwgts=list(tpwgts) if tpwgts is not None else None,
+            list(tpwgts) if tpwgts is not None else None,
         )
-    elif method == "kl":
-        parts = _kway_from_bisector(
-            graph, nparts, lambda sub: kernighan_lin(sub, rng)
-        )
-    elif method == "spectral":
-        parts = _kway_from_bisector(
-            graph,
-            nparts,
-            lambda sub: spectral_bisect(sub)
-            if sub.num_nodes >= 2
-            else [0] * sub.num_nodes,
-        )
-    elif method == "roundrobin":
-        parts = [i % nparts for i in range(n)]
-    else:  # random
-        parts = [int(rng.integers(nparts)) for _ in range(n)]
 
     return PartitionResult(
         parts=parts,

@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, List, Optional, Type
 
+from repro.api.registry import Registry
 from repro.errors import RuntimeServiceError
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.message import Message
@@ -260,43 +261,33 @@ def provision(backend, loaded, main_partition: int, async_writes: bool):
 
 
 # ------------------------------------------------------------------- registry
-_REGISTRY: Dict[str, Type[RuntimeBackend]] = {}
-_BUILTINS_LOADED = False
+def _load_builtins() -> None:
+    # the implementations self-register on import
+    import repro.runtime.proc  # noqa: F401
+    import repro.runtime.simnet  # noqa: F401
+    import repro.runtime.threads  # noqa: F401
+
+
+#: the unified plugin registry runtime backends are selected through; the
+#: builtin implementations are imported (and so self-registered) lazily on
+#: the first lookup
+BACKENDS: Registry = Registry("runtime backend")
+BACKENDS.set_loader(_load_builtins)
 
 
 def register_backend(cls: Type[RuntimeBackend]) -> Type[RuntimeBackend]:
     """Class decorator: make ``cls`` selectable by its ``name``."""
     if cls.name == "?":
         raise RuntimeServiceError(f"{cls.__name__} has no backend name")
-    _REGISTRY[cls.name] = cls
+    BACKENDS.register(cls.name, cls, override=True)
     return cls
 
 
-def _load_builtins() -> None:
-    global _BUILTINS_LOADED
-    if _BUILTINS_LOADED:
-        return
-    # the implementations self-register on import
-    import repro.runtime.proc  # noqa: F401
-    import repro.runtime.simnet  # noqa: F401
-    import repro.runtime.threads  # noqa: F401
-
-    _BUILTINS_LOADED = True
-
-
 def backend_names() -> List[str]:
-    _load_builtins()
-    return sorted(_REGISTRY)
+    return BACKENDS.names()
 
 
 def create_backend(name: str, spec: ClusterSpec) -> RuntimeBackend:
     """Instantiate a registered backend for ``spec`` — the one sanctioned
     route from a backend name to a concrete cluster implementation."""
-    _load_builtins()
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise RuntimeServiceError(
-            f"unknown runtime backend {name!r}; available: {backend_names()}"
-        ) from None
-    return cls(spec)
+    return BACKENDS.get(name)(spec)

@@ -50,6 +50,21 @@ def wireless_80211b() -> LinkSpec:
     return LinkSpec(latency_s=2e-3, bandwidth_Bps=700e3)
 
 
+def _network_registry():
+    from repro.api.registry import Registry
+
+    reg: "Registry" = Registry("network preset")
+    reg.register("ethernet_100m", ethernet_100m)
+    reg.register("ethernet_1g", ethernet_1g)
+    reg.register("wireless_80211b", wireless_80211b)
+    return reg
+
+
+#: name -> LinkSpec factory; the registry every config/sweep network lookup
+#: goes through
+NETWORKS = _network_registry()
+
+
 @dataclass
 class ClusterSpec:
     """A set of nodes and the (uniform) link between them."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.api.registry import Registry
 from repro.workloads import (
     bank,
     jgf_create,
@@ -45,7 +46,13 @@ class Workload:
         return self.source_fn(size)
 
 
-WORKLOADS: Dict[str, Workload] = {
+#: the unified plugin registry workloads are selected through — a full
+#: ``Mapping``, so dict-style consumers (``WORKLOADS[name]``,
+#: ``sorted(WORKLOADS)``, ``name in WORKLOADS``) work unchanged; unknown
+#: names raise :class:`~repro.errors.UnknownPluginError`
+WORKLOADS: Registry = Registry("workload")
+
+_BUILTINS: Dict[str, Workload] = {
     "bank": Workload(
         "bank", "running example (Fig. 2)", bank.source,
         "The Bank/Account running example used throughout the paper.",
@@ -84,16 +91,22 @@ WORKLOADS: Dict[str, Workload] = {
     ),
 }
 
+for _w in _BUILTINS.values():
+    WORKLOADS.register(_w.name, _w)
+
 #: the eight rows of the paper's Table 1 in row order
 TABLE1_ORDER = (
     "create", "method", "crypt", "heapsort", "moldyn", "search", "compress", "db",
 )
 
 
+def register_workload(workload: Workload, *, override: bool = False) -> Workload:
+    """Add a workload to the registry (new scenarios plug in here)."""
+    return WORKLOADS.register(workload.name, workload, override=override)
+
+
 def get(name: str) -> Workload:
-    try:
-        return WORKLOADS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
-        ) from None
+    """Look up one workload; raises
+    :class:`~repro.errors.UnknownPluginError` (a :class:`KeyError`) with a
+    did-you-mean suggestion for unknown names."""
+    return WORKLOADS.get(name)

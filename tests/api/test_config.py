@@ -1,0 +1,118 @@
+"""Config dataclasses: validation and dict/JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    BackendConfig,
+    ClusterConfig,
+    ConfigError,
+    ExperimentConfig,
+    PartitionConfig,
+    UnknownPluginError,
+    WorkloadSpec,
+)
+
+ALL_FLAT_CONFIGS = (
+    WorkloadSpec(name="crypt", size="bench"),
+    PartitionConfig(method="kl", nparts=3, granularity="object", pin_main=False),
+    ClusterConfig(nodes=4, network="wireless_80211b"),
+    ClusterConfig(),  # nodes=None must survive the round trip too
+    BackendConfig(name="thread", async_writes=True, max_events=1000),
+)
+
+
+@pytest.mark.parametrize("cfg", ALL_FLAT_CONFIGS, ids=lambda c: type(c).__name__)
+def test_flat_config_dict_round_trip(cfg):
+    data = cfg.to_dict()
+    assert type(cfg).from_dict(data) == cfg
+    # and via JSON text
+    assert type(cfg).from_json(cfg.to_json()) == cfg
+    # to_json is valid, key-sorted JSON
+    assert json.loads(cfg.to_json()) == data
+
+
+def test_experiment_config_round_trip():
+    cfg = ExperimentConfig.from_options(
+        "heapsort", size="test", method="spectral", nparts=3, backend="thread",
+        network="ethernet_1g", pin_main=False, async_writes=True,
+    )
+    data = cfg.to_dict()
+    assert set(data) == {"workload", "partition", "cluster", "backend"}
+    restored = ExperimentConfig.from_dict(data)
+    assert restored == cfg
+    assert ExperimentConfig.from_json(cfg.to_json()) == cfg
+    assert restored.label() == cfg.label()
+
+
+def test_experiment_config_partial_dict_uses_defaults():
+    cfg = ExperimentConfig.from_dict({"workload": {"name": "bank"}})
+    assert cfg.partition == PartitionConfig()
+    assert cfg.backend.name == "sim"
+
+
+def test_unknown_plugin_names_rejected():
+    with pytest.raises(UnknownPluginError, match="unknown workload"):
+        WorkloadSpec(name="quicksort")
+    with pytest.raises(UnknownPluginError, match="unknown partition method"):
+        PartitionConfig(method="annealing")
+    with pytest.raises(UnknownPluginError, match="unknown network preset"):
+        ClusterConfig(network="token-ring")
+    with pytest.raises(UnknownPluginError, match="unknown runtime backend"):
+        BackendConfig(name="mpi")
+
+
+def test_did_you_mean_suggestions():
+    with pytest.raises(UnknownPluginError, match="did you mean 'heapsort'"):
+        WorkloadSpec(name="heapsorted")
+    with pytest.raises(UnknownPluginError, match="did you mean 'thread'"):
+        BackendConfig(name="threads")
+
+
+def test_bad_field_values_rejected():
+    with pytest.raises(ConfigError, match="size"):
+        WorkloadSpec(name="bank", size="gigantic")
+    with pytest.raises(ConfigError, match="nparts"):
+        PartitionConfig(nparts=0)
+    with pytest.raises(ConfigError, match="granularity"):
+        PartitionConfig(granularity="module")
+    with pytest.raises(ConfigError, match="node"):
+        ClusterConfig(nodes=0)
+    with pytest.raises(ConfigError, match="max_events"):
+        BackendConfig(max_events=0)
+    with pytest.raises(ConfigError, match="nodes"):
+        ExperimentConfig.from_options("bank", nparts=4, nodes=2)
+
+
+def test_unknown_dict_fields_rejected():
+    with pytest.raises(ConfigError, match="unknown WorkloadSpec field"):
+        WorkloadSpec.from_dict({"name": "bank", "flavor": "spicy"})
+    with pytest.raises(ConfigError, match="unknown ExperimentConfig field"):
+        ExperimentConfig.from_dict({"workload": {"name": "bank"}, "extra": {}})
+    with pytest.raises(ConfigError, match="workload"):
+        ExperimentConfig.from_dict({})
+
+
+def test_configs_are_frozen_with_replace():
+    spec = WorkloadSpec(name="bank")
+    with pytest.raises(Exception):
+        spec.name = "crypt"  # frozen dataclass
+    bench = spec.replace(size="bench")
+    assert bench.size == "bench" and spec.size == "test"
+
+
+def test_workload_spec_source():
+    assert "class" in WorkloadSpec(name="bank").source()
+
+
+def test_cluster_config_build_matches_paper_testbed():
+    from repro.runtime.cluster import paper_testbed
+
+    spec = ClusterConfig().build(2)
+    assert [n.cpu_hz for n in spec.nodes] == [
+        n.cpu_hz for n in paper_testbed().nodes
+    ]
+    four = ClusterConfig(network="ethernet_1g").build(4)
+    assert four.size == 4
+    assert four.link.bandwidth_Bps == 125e6

@@ -1,0 +1,105 @@
+"""Event hooks: ordering, cache-hit flags, observer styles."""
+
+from repro.api import EventBus, Experiment, ExperimentObserver, StageRecorder
+from repro.harness.cache import StageCache
+
+
+class Collector(ExperimentObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_stage_start(self, event):
+        self.calls.append(("start", event.stage))
+
+    def on_stage_end(self, event):
+        self.calls.append(("end", event.stage, event.cache_hit))
+
+
+def test_bus_notifies_in_subscription_order():
+    order = []
+    bus = EventBus("exp")
+    bus.subscribe(lambda e: order.append(("first", e.seq)))
+    bus.subscribe(lambda e: order.append(("second", e.seq)))
+    bus.stage_start("compile")
+    bus.stage_end("compile", 0.5, False)
+    assert order == [("first", 0), ("second", 0), ("first", 1), ("second", 1)]
+
+
+def test_bus_unsubscribe():
+    seen = []
+    bus = EventBus("exp")
+    cb = bus.subscribe(lambda e: seen.append(e.stage))
+    bus.stage_start("a")
+    bus.unsubscribe(cb)
+    bus.stage_start("b")
+    assert seen == ["a"]
+
+
+def test_experiment_emits_ordered_start_end_pairs():
+    collector = Collector()
+    exp = Experiment.from_options(
+        "bank", cache=StageCache(), observers=[collector]
+    )
+    exp.run()
+    assert collector.calls == [
+        ("start", "compile"), ("end", "compile", False),
+        ("start", "sequential"), ("end", "sequential", False),
+        ("start", "plan"), ("end", "plan", False),
+        ("start", "rewrite"), ("end", "rewrite", False),
+        ("start", "execute"), ("end", "execute", False),
+    ]
+    # events carry monotonically increasing sequence numbers
+    seqs = [e.seq for e in exp.recorder.events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_stage_methods_emit_once():
+    """Composable stage methods memoize: a repeated call emits no events."""
+    collector = Collector()
+    exp = Experiment.from_options(
+        "bank", cache=StageCache(), observers=[collector]
+    )
+    exp.analyze()
+    n = len(collector.calls)
+    assert [c[:2] for c in collector.calls] == [
+        ("start", "compile"), ("end", "compile"),
+        ("start", "analyze"), ("end", "analyze"),
+    ]
+    exp.analyze()
+    exp.compile()
+    assert len(collector.calls) == n
+
+
+def test_cache_hit_flags_on_shared_cache():
+    """A second experiment over the same cache reports cache hits on every
+    cache-backed stage; rewrite is deliberately uncached."""
+    cache = StageCache()
+    Experiment.from_options("bank", cache=cache).run()
+    collector = Collector()
+    Experiment.from_options("bank", cache=cache, observers=[collector]).run()
+    flags = {c[1]: c[2] for c in collector.calls if c[0] == "end"}
+    assert flags == {
+        "compile": True, "sequential": True, "plan": True,
+        "rewrite": False, "execute": True,
+    }
+
+
+def test_recorder_keeps_end_view():
+    exp = Experiment.from_options("bank", cache=StageCache())
+    exp.compile()
+    recorder = exp.recorder
+    assert isinstance(recorder, StageRecorder)
+    assert [e.stage for e in recorder.stages] == ["compile"]
+    assert all(e.phase == "end" for e in recorder.stages)
+    assert recorder.stages[0].elapsed_s >= 0.0
+
+
+def test_late_subscriber_sees_only_subsequent_events():
+    exp = Experiment.from_options("bank", cache=StageCache())
+    exp.compile()
+    collector = Collector()
+    exp.subscribe(collector)
+    exp.analyze()
+    assert [c[:2] for c in collector.calls] == [
+        ("start", "analyze"), ("end", "analyze"),
+    ]

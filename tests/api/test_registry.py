@@ -1,0 +1,130 @@
+"""The unified Registry: registration, override, lookup and error paths."""
+
+import pytest
+
+from repro.api import Registry, UnknownPluginError
+from repro.errors import ReproError
+
+
+def test_register_and_get():
+    reg = Registry("gadget")
+    reg.register("a", 1)
+    assert reg.get("a") == 1
+    assert reg.names() == ["a"]
+
+
+def test_register_as_decorator():
+    reg = Registry("gadget")
+
+    @reg.register("fn")
+    def fn():
+        return 42
+
+    assert reg.get("fn") is fn
+
+
+def test_duplicate_registration_needs_override():
+    reg = Registry("gadget")
+    reg.register("a", 1)
+    with pytest.raises(ReproError, match="already registered"):
+        reg.register("a", 2)
+    assert reg.get("a") == 1
+    reg.register("a", 2, override=True)
+    assert reg.get("a") == 2
+
+
+def test_unknown_name_error_shape():
+    reg = Registry("gadget")
+    reg.register("multilevel", 1)
+    reg.register("spectral", 2)
+    with pytest.raises(UnknownPluginError) as exc_info:
+        reg.get("multilvel")
+    err = exc_info.value
+    assert err.kind == "gadget"
+    assert err.name == "multilvel"
+    assert err.available == ["multilevel", "spectral"]
+    assert err.suggestion == "multilevel"
+    assert "did you mean 'multilevel'?" in str(err)
+    # UnknownPluginError doubles as KeyError for mapping-style callers
+    assert isinstance(err, KeyError) and isinstance(err, ReproError)
+
+
+def test_get_with_explicit_default():
+    reg = Registry("gadget")
+    reg.register("a", 1)
+    assert reg.get("a", None) == 1
+    assert reg.get("z", None) is None
+    assert reg.get("z", "fallback") == "fallback"
+    with pytest.raises(UnknownPluginError):
+        reg.get("z")  # no default -> loud failure
+
+
+def test_mapping_protocol():
+    reg = Registry("gadget")
+    reg.register("b", 2)
+    reg.register("a", 1)
+    assert sorted(reg) == ["a", "b"]
+    assert len(reg) == 2
+    assert "a" in reg and "z" not in reg
+    assert reg["a"] == 1
+    assert dict(reg.items()) == {"a": 1, "b": 2}
+    with pytest.raises(KeyError):
+        reg["z"]
+
+
+def test_unregister():
+    reg = Registry("gadget")
+    reg.register("a", 1)
+    assert reg.unregister("a") == 1
+    assert "a" not in reg
+    with pytest.raises(UnknownPluginError):
+        reg.unregister("a")
+
+
+def test_lazy_loader_runs_once():
+    calls = []
+    reg = Registry("gadget")
+
+    def loader():
+        calls.append(1)
+        reg.register("late", 9)
+
+    reg.set_loader(loader)
+    assert reg.names() == ["late"]
+    assert reg.get("late") == 9
+    assert calls == [1]
+
+
+def test_builtin_registries_are_unified():
+    """The three historically divergent lookups now share one mechanism
+    and one error type."""
+    from repro.partition.api import PARTITIONERS
+    from repro.runtime.backend import BACKENDS
+    from repro.runtime.cluster import NETWORKS
+    from repro.workloads import WORKLOADS
+
+    for reg, known in (
+        (PARTITIONERS, "multilevel"),
+        (BACKENDS, "sim"),
+        (NETWORKS, "ethernet_100m"),
+        (WORKLOADS, "bank"),
+    ):
+        assert isinstance(reg, Registry)
+        assert known in reg.names()
+        with pytest.raises(UnknownPluginError):
+            reg.get("definitely-not-registered")
+
+
+def test_workload_registration_roundtrip():
+    from repro.workloads import WORKLOADS, Workload, register_workload
+
+    wl = Workload("tmp_test_wl", "synthetic", lambda size: "class M {}", "tmp")
+    try:
+        register_workload(wl)
+        assert WORKLOADS.get("tmp_test_wl") is wl
+        with pytest.raises(ReproError, match="already registered"):
+            register_workload(wl)
+        register_workload(wl, override=True)
+    finally:
+        WORKLOADS.unregister("tmp_test_wl")
+    assert "tmp_test_wl" not in WORKLOADS

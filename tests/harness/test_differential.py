@@ -18,6 +18,11 @@ program output to sequential execution for every workload (the acceptance
 criterion for the pluggable transport layer).  ``REPRO_DIFF_BACKENDS``
 narrows the backend set — CI uses it to fan the suite over a matrix.
 
+The Experiment API must be indistinguishable from the legacy pipeline:
+for every workload × partitioner × {sim, thread}, ``Experiment.run()``
+produces byte-identical program output and equal NodeStats to
+``Pipeline.run_distributed`` (the api_redesign acceptance criterion).
+
 All pipelines share the process-default stage cache, so the grid compiles
 and analyzes each workload once.
 """
@@ -26,6 +31,7 @@ import os
 
 import pytest
 
+from repro.api import Experiment
 from repro.harness.pipeline import Pipeline
 from repro.workloads import WORKLOADS
 
@@ -36,6 +42,10 @@ BACKENDS = tuple(
     for b in os.environ.get("REPRO_DIFF_BACKENDS", "sim,thread,process").split(",")
     if b.strip()
 )
+
+#: backends the Experiment-vs-legacy grid covers (the api_redesign
+#: acceptance criterion: sim + thread), narrowed by the same env filter
+API_BACKENDS = tuple(b for b in ("sim", "thread") if b in BACKENDS)
 
 
 @pytest.mark.parametrize("method", PLAN_METHODS)
@@ -76,6 +86,47 @@ def test_backend_output_byte_identical(workload, backend):
         # wall-clock backends must report real measurements
         assert dist.makespan_s > 0.0
     assert len(dist.node_stats) == 2
+
+
+@pytest.mark.parametrize("backend", API_BACKENDS)
+@pytest.mark.parametrize("method", PLAN_METHODS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_experiment_matches_legacy_pipeline(workload, method, backend):
+    """The api_redesign acceptance criterion: the Experiment façade produces
+    byte-identical program output and equal NodeStats to the legacy
+    ``Pipeline.run_distributed`` path for every workload × partitioner ×
+    {sim, thread}.  On the deterministic simulator *everything* must match
+    exactly; on the wall-clock thread backend the timing fields naturally
+    differ between two real executions, so equality is asserted on every
+    deterministic NodeStats field."""
+    pipe = Pipeline(workload, "test")
+    legacy_dist, legacy_plan, _ = pipe.run_distributed(
+        2, method=method, backend=backend
+    )
+
+    exp = Experiment.from_options(workload, method=method, backend=backend)
+    res = exp.run()
+
+    assert res.plan is legacy_plan  # same engine, same cache key
+    assert res.distributed.stdout == legacy_dist.stdout
+    assert res.distributed.result == legacy_dist.result
+    if backend == "sim":
+        assert res.distributed.node_stats == legacy_dist.node_stats
+        assert res.distributed.makespan_s == legacy_dist.makespan_s
+        assert res.distributed.total_messages == legacy_dist.total_messages
+        assert res.distributed.total_bytes == legacy_dist.total_bytes
+    else:
+        assert len(res.distributed.node_stats) == len(legacy_dist.node_stats)
+        for ours, theirs in zip(
+            res.distributed.node_stats, legacy_dist.node_stats
+        ):
+            assert ours.name == theirs.name
+            assert ours.messages_sent == theirs.messages_sent
+            assert ours.bytes_sent == theirs.bytes_sent
+            assert ours.requests_served == theirs.requests_served
+            assert ours.heap_objects == theirs.heap_objects
+            assert ours.heap_bytes == theirs.heap_bytes
+            assert ours.stdout == theirs.stdout
 
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))

@@ -4,7 +4,7 @@ run is at least 2x faster thanks to the stage cache."""
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError, UnknownPluginError
 from repro.harness.cache import StageCache
 from repro.harness.sweep import (
     NETWORKS,
@@ -36,15 +36,19 @@ def test_sweep_grid_defaults_to_table1_workloads():
 
 
 def test_config_validation():
-    with pytest.raises(SweepError):
+    # unknown plugin names share one failure mode across every axis
+    with pytest.raises(UnknownPluginError, match="unknown workload"):
         SweepConfig(workload="nosuch")
-    with pytest.raises(SweepError):
+    with pytest.raises(UnknownPluginError, match="unknown network preset"):
         SweepConfig(workload="bank", network="carrier-pigeon")
-    with pytest.raises(SweepError):
+    with pytest.raises(ConfigError, match="nparts"):
         SweepConfig(workload="bank", nparts=0)
-    with pytest.raises(SweepError):
+    with pytest.raises(UnknownPluginError, match="unknown runtime backend"):
         SweepConfig(workload="bank", backend="carrier-pigeon")
+    with pytest.raises(UnknownPluginError, match="unknown partition method"):
+        SweepConfig(workload="bank", method="annealing")
     assert issubclass(SweepError, ReproError)
+    assert issubclass(UnknownPluginError, ReproError)
 
 
 def test_backend_is_a_sweep_axis():

@@ -77,8 +77,13 @@ def test_invalid_nparts():
 
 
 def test_unknown_method():
-    with pytest.raises(PartitionError):
+    from repro.errors import UnknownPluginError
+
+    with pytest.raises(UnknownPluginError, match="unknown partition method"):
         part_graph(random_graph(5, 4), 2, method="simulated-annealing")
+    # suggestion attached for near-misses
+    with pytest.raises(UnknownPluginError, match="did you mean 'multilevel'"):
+        part_graph(random_graph(5, 4), 2, method="multilvel")
 
 
 def test_tpwgts_length_checked():

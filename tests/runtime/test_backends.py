@@ -47,9 +47,13 @@ def test_registry_lists_all_builtin_backends():
 
 
 def test_unknown_backend_rejected():
+    from repro.errors import UnknownPluginError
+
     spec = ClusterSpec(nodes=[NodeSpec("n0", 1e9)], link=ethernet_100m())
-    with pytest.raises(RuntimeServiceError, match="unknown runtime backend"):
+    with pytest.raises(UnknownPluginError, match="unknown runtime backend"):
         create_backend("carrier-pigeon", spec)
+    with pytest.raises(UnknownPluginError, match="did you mean 'thread'"):
+        create_backend("threads", spec)
 
 
 def test_executor_rejects_unknown_backend_at_run():
@@ -61,7 +65,9 @@ def test_executor_rejects_unknown_backend_at_run():
     )
     cluster = ClusterSpec(nodes=[NodeSpec("n0", 1e9)], link=ethernet_100m())
     ex = DistributedExecutor(bp, plan, cluster, backend="nosuch")
-    with pytest.raises(RuntimeServiceError, match="unknown runtime backend"):
+    from repro.errors import UnknownPluginError
+
+    with pytest.raises(UnknownPluginError, match="unknown runtime backend"):
         ex.run()
 
 

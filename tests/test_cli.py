@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,6 +25,40 @@ def test_run_backend_stdout_matches_sequential(capsys):
     assert "backend=sim" in sim.err
 
 
+def test_run_json_emits_report(capsys):
+    assert main(["run", "bank", "--backend", "sim", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["config"]["workload"]["name"] == "bank"
+    assert report["speedup_pct"] > 0
+    assert report["messages"] >= 1
+    stages = [t["stage"] for t in report["stages"]]
+    assert stages == ["compile", "sequential", "plan", "rewrite", "execute"]
+    # the distributed program output rides inside the node statistics
+    assert any(
+        "assets=6597100" in line
+        for ns in report["node_stats"]
+        for line in ns["stdout"]
+    )
+
+
+def test_run_seq_baseline_ignores_nodes(capsys):
+    """--nodes shapes distributed runs only: the centralized baseline always
+    runs on the paper's 800 MHz machine, so its numbers don't drift."""
+    assert main(["run", "bank"]) == 0
+    two = capsys.readouterr().err
+    assert main(["run", "bank", "--nodes", "3"]) == 0
+    three = capsys.readouterr().err
+    assert two == three
+    assert "800 MHz baseline" in two
+
+
+def test_run_seq_json_emits_report(capsys):
+    assert main(["run", "bank", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["sequential_s"] > 0
+    assert report["distributed_s"] is None  # nothing distributed ran
+
+
 def test_analyze_command(capsys, tmp_path):
     assert main(["analyze", "bank", "--vcg", str(tmp_path / "vcg")]) == 0
     out = capsys.readouterr().out
@@ -38,6 +74,14 @@ def test_distribute_command(capsys):
     assert "messages" in out
 
 
+def test_distribute_json_emits_report(capsys):
+    assert main(["distribute", "method", "--size", "test", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["partition"]["nparts"] == 2
+    assert report["speedup_pct"] > 0
+    assert report["config"]["backend"]["name"] == "sim"
+
+
 def test_sweep_command(capsys, tmp_path):
     out_file = tmp_path / "sweep.txt"
     assert main([
@@ -51,9 +95,22 @@ def test_sweep_command(capsys, tmp_path):
     assert out_file.read_text().count("\n") >= 6  # header + rule + 4 rows
 
 
+def test_sweep_json_emits_reports(capsys):
+    assert main([
+        "sweep", "--workloads", "bank", "--methods", "multilevel,kl", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["records"]) == 2
+    methods = [
+        r["config"]["partition"]["method"] for r in payload["records"]
+    ]
+    assert methods == ["multilevel", "kl"]
+    assert all(r["speedup_pct"] > 0 for r in payload["records"])
+
+
 def test_sweep_rejects_bad_grid_cleanly(capsys):
     assert main(["sweep", "--workloads", "bank", "--methods", "annealing"]) == 2
-    assert "unknown method" in capsys.readouterr().err
+    assert "unknown partition method" in capsys.readouterr().err
     assert main(["sweep", "--workloads", "bank", "--nodes", "two"]) == 2
     assert "two" in capsys.readouterr().err
 
@@ -65,9 +122,22 @@ def test_codegen_command(capsys):
     assert "mov PC, R14" in out
 
 
-def test_unknown_workload_rejected():
-    with pytest.raises(SystemExit):
-        main(["run", "nosuch"])
+def test_unknown_workload_rejected(capsys):
+    """Unknown plugin names exit cleanly with a did-you-mean, no traceback."""
+    assert main(["run", "nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert "error: unknown workload 'nosuch'" in err
+    assert main(["run", "hepsort"]) == 2
+    assert "did you mean 'heapsort'" in capsys.readouterr().err
+
+
+def test_unknown_backend_rejected(capsys):
+    assert main(["run", "bank", "--backend", "threds"]) == 2
+    err = capsys.readouterr().err
+    assert "error: unknown runtime backend 'threds'" in err
+    assert "did you mean 'thread'" in err
+    assert main(["distribute", "bank", "--backend", "carrier-pigeon"]) == 2
+    assert "unknown runtime backend" in capsys.readouterr().err
 
 
 def test_parser_lists_all_workloads():
