@@ -33,9 +33,15 @@ class Label:
 
 
 class Instr:
-    """One bytecode instruction: an opcode plus up to three operands."""
+    """One bytecode instruction: an opcode plus up to three operands.
 
-    __slots__ = ("op", "a", "b", "c", "line")
+    ``opx`` (dense interned opcode) and ``cost`` (abstract cycles) are
+    precomputed at construction so the interpreter hot loop never does a
+    string-keyed lookup; ``cfn`` holds the resolved comparison callable for
+    flattened compare-branches (set by :meth:`BMethod.flat`).
+    """
+
+    __slots__ = ("op", "a", "b", "c", "line", "opx", "cost", "cfn")
 
     def __init__(self, opname: str, a=None, b=None, c=None, line: int = 0) -> None:
         self.op = opname
@@ -43,6 +49,9 @@ class Instr:
         self.b = b
         self.c = c
         self.line = line
+        self.opx = op.OPX.get(opname, 0)
+        self.cost = op.COST.get(opname, 1)
+        self.cfn = None
 
     def operands(self) -> Tuple:
         out = []
@@ -56,14 +65,54 @@ class Instr:
         return f"{self.op}({ops})" if ops else self.op
 
 
+def basic_block_leaders(instrs: List[Instr]) -> Tuple[int, ...]:
+    """Basic-block leader indices of flattened code: entry, every branch
+    target, and every instruction following a branch, invoke or return.
+
+    This is the *static* block structure (``repro bench`` reports it as
+    mean block length — the shape metric behind the cost-batching win);
+    the fast path itself batches dynamically, straight through branches
+    and calls until the next syscall boundary."""
+    leaders = {0}
+    for i, ins in enumerate(instrs):
+        o = ins.op
+        if o in op.BRANCHES:
+            target = ins.b if o in op.CMP_BRANCHES else ins.a
+            leaders.add(target)
+            leaders.add(i + 1)
+        elif o in op.INVOKES or o in op.RETURNS:
+            leaders.add(i + 1)
+    return tuple(sorted(l for l in leaders if l < len(instrs)))
+
+
 class FlatCode:
     """Executable form: label-free instruction list with integer targets."""
 
-    __slots__ = ("instrs", "label_index")
+    __slots__ = ("instrs", "label_index", "_block_starts", "threaded")
 
     def __init__(self, instrs: List[Instr], label_index: Dict[Label, int]) -> None:
         self.instrs = instrs
         self.label_index = label_index
+        self._block_starts: Optional[Tuple[int, ...]] = None
+        #: threaded form ``[(handler, instr), ...]`` built lazily by the VM
+        #: fast path on first execution (the bytecode layer stays ignorant
+        #: of the handler table)
+        self.threaded = None
+
+    @property
+    def block_starts(self) -> Tuple[int, ...]:
+        """Basic-block leader indices (entry, branch targets, post-branch /
+        post-call instructions) — static block structure for tooling and
+        the ``repro bench`` block-shape statistics.  Computed lazily so the
+        compile/rewrite hot path never pays for it."""
+        if self._block_starts is None:
+            self._block_starts = basic_block_leaders(self.instrs)
+        return self._block_starts
+
+    def basic_blocks(self) -> List[Tuple[int, int]]:
+        """``(start, end)`` half-open index ranges of the basic blocks."""
+        bounds = list(self.block_starts) + [len(self.instrs)]
+        return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
 
     def __len__(self) -> int:
         return len(self.instrs)
@@ -163,7 +212,18 @@ class BMethod:
                     )
                 idx = label_at[target]
                 if ins.op in op.CMP_BRANCHES:
-                    resolved.append(Instr(ins.op, ins.a, idx, None, ins.line))
+                    ri = Instr(ins.op, ins.a, idx, None, ins.line)
+                    # resolve the condition string to its comparison callable
+                    # once, here, instead of per executed branch; mirror the
+                    # reference path exactly: IF_ACMP treats every non-EQ
+                    # condition as NE, the typed compares leave unknown
+                    # conditions unresolved (the handler then raises the
+                    # same KeyError the oracle's table lookup would)
+                    if ins.op == op.IF_ACMP:
+                        ri.cfn = op.ACMP_FUNCS["EQ" if ins.a == "EQ" else "NE"]
+                    else:
+                        ri.cfn = op.CMP_FUNCS.get(ins.a)
+                    resolved.append(ri)
                 else:
                     resolved.append(Instr(ins.op, idx, None, None, ins.line))
             else:

@@ -13,7 +13,8 @@ the Figure 11 speedup experiment deterministic (see
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+import operator
+from typing import Callable, Dict, FrozenSet, Tuple
 
 # --- constants -------------------------------------------------------------
 LDC = "LDC"                    # (value, type_char)
@@ -146,8 +147,68 @@ COST: Dict[str, int] = {
 
 
 def cost_of(op: str) -> int:
-    """Abstract cycle cost of one opcode (see module docstring)."""
+    """Abstract cycle cost of one opcode (see module docstring).
+
+    Static analyses (e.g. the resource model) still call this; the
+    interpreter hot path does not — every :class:`~repro.bytecode.model.Instr`
+    carries its cost precomputed in ``Instr.cost``.
+    """
     return COST.get(op, 1)
+
+
+# --- opcode interning -------------------------------------------------------
+#: dense opcode numbering for the threaded-code dispatch table
+#: (:mod:`repro.vm.dispatch`).  Index 0 is reserved for unknown opcodes so a
+#: handcrafted bad instruction still fails with the VM's "unknown opcode"
+#: error instead of an index error.  The order is load-bearing only in that
+#: it must match the handler table built against ``OPCODE_LIST``.
+OPCODE_LIST: Tuple[str, ...] = (
+    "<unknown>",
+    LDC, ACONST_NULL,
+    ILOAD, LLOAD, FLOAD, ALOAD,
+    ISTORE, LSTORE, FSTORE, ASTORE,
+    DUP, POP, SWAP,
+    IADD, ISUB, IMUL, IDIV, IREM, INEG,
+    LADD, LSUB, LMUL, LDIV, LREM, LNEG,
+    FADD, FSUB, FMUL, FDIV, FREM, FNEG,
+    IAND, IOR, IXOR, ISHL, ISHR, IUSHR,
+    LAND, LOR, LXOR, LSHL, LSHR, LUSHR,
+    I2L, I2F, L2I, L2F, F2I, F2L,
+    IF_ICMP, IF_LCMP, IF_FCMP, IF_ACMP, IFTRUE, IFFALSE, GOTO,
+    NEW, INVOKEVIRTUAL, INVOKESPECIAL, INVOKESTATIC,
+    GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC, CHECKCAST, INSTANCEOF,
+    NEWARRAY, ARRAYLENGTH, XALOAD, XASTORE,
+    RETURN, IRETURN, LRETURN, FRETURN, ARETURN,
+    PACK,
+    LABEL,
+)
+
+#: opcode name → dense int index (the interned form stored in ``Instr.opx``)
+OPX: Dict[str, int] = {name: i for i, name in enumerate(OPCODE_LIST)}
+NUM_OPCODES = len(OPCODE_LIST)
+
+
+def _acmp_eq(a, b) -> bool:
+    # reference equality with value semantics for boxed/str operands
+    return (a == b) if (a is not None and b is not None) else (a is b)
+
+
+def _acmp_ne(a, b) -> bool:
+    return not _acmp_eq(a, b)
+
+
+#: branch-condition name → comparison callable, resolved once at flatten
+#: time onto ``Instr.cfn`` so the interpreter never does the string-keyed
+#: lookup per executed branch
+CMP_FUNCS: Dict[str, Callable] = {
+    "EQ": operator.eq,
+    "NE": operator.ne,
+    "LT": operator.lt,
+    "LE": operator.le,
+    "GT": operator.gt,
+    "GE": operator.ge,
+}
+ACMP_FUNCS: Dict[str, Callable] = {"EQ": _acmp_eq, "NE": _acmp_ne}
 
 
 #: result type char pushed by each arithmetic/conversion opcode; used by the

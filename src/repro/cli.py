@@ -179,6 +179,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import (
+        check_regression,
+        load_bench,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    # read the committed baseline up front: a bad --check path must fail
+    # before minutes of measurement, and before --out (which defaults to
+    # the baseline's own path in the documented gate invocation
+    # `repro bench --quick --check BENCH_vm.json`) overwrites it
+    committed = load_bench(args.check) if args.check else None
+    workloads = args.workloads.split(",") if args.workloads else None
+    doc = run_bench(workloads, quick=args.quick)
+    print(render_bench(doc))
+    if args.out:
+        out = pathlib.Path(args.out)
+        if out.parent != pathlib.Path():
+            out.parent.mkdir(parents=True, exist_ok=True)
+        write_bench(doc, out)
+        print(f"bench written to {out}", file=sys.stderr)
+    if committed is not None:
+        failures = check_regression(doc, committed, tolerance=args.tolerance)
+        if failures:
+            for f in failures:
+                print(f"regression: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"bench within {args.tolerance:.0%} of committed {args.check}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.harness.figures import fig5, fig6, fig7
 
@@ -275,6 +311,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit one JSON object on stdout whose 'records' "
                    "array holds one Report per grid point")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure interpreter + simulator throughput (BENCH_vm.json)",
+    )
+    p.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: heapsort,crypt)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small 'test' workload size — the CI smoke configuration",
+    )
+    p.add_argument(
+        "--out", default="BENCH_vm.json",
+        help="write the JSON bench document here ('' to skip)",
+    )
+    p.add_argument(
+        "--check", metavar="FILE",
+        help="compare against a committed BENCH_vm.json; exit 1 if the "
+        "relative metrics regress beyond --tolerance",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional regression for --check (default 0.30)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("codegen", help="Figure 5/6/7 tour")
     p.set_defaults(fn=_cmd_codegen)

@@ -1,0 +1,293 @@
+"""VM / simulator throughput benchmarks — the engine behind ``repro bench``.
+
+Measures, per JGF workload:
+
+* **interpreter throughput** — instructions/sec of a full sequential run,
+  on both the cost-batched fast path and the per-step reference path (the
+  oracle), with their ratio as the hardware-independent ``speedup``;
+* **simulator event counts** — discrete-event scheduler events of a 2-node
+  distributed run on both paths; cost batching must shrink this by an
+  order of magnitude at *identical* virtual timing (asserted here).
+
+Results serialize to ``BENCH_vm.json`` — the recorded computing-time
+baseline future PRs measure themselves against.  Because absolute
+instructions/sec depend on the machine running the bench, the regression
+gate (:func:`check_regression`) compares the *relative* metrics (fast/slow
+speedup, event reduction), which transfer across hardware; absolute
+throughput is recorded alongside for trajectory plots.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.vm.interpreter import forced_slow_path
+
+#: format tag of the BENCH_vm.json document
+BENCH_SCHEMA = "repro.bench_vm/1"
+
+#: the acceptance workloads: JGF section-2 kernels with deep hot loops
+DEFAULT_WORKLOADS = ("heapsort", "crypt")
+
+
+def _run_sequential(workload: str, size: str):
+    """One uncached sequential run; returns (machine, wall_seconds).
+
+    Deliberately bypasses the stage cache's ``sequential`` memoization —
+    a bench must execute, not replay."""
+    from repro.api.experiment import compile_workload
+    from repro.vm.interpreter import Machine, run_sync
+
+    work = compile_workload(workload, size)
+    machine = Machine(work.loaded)
+    machine.statics = work.loaded.fresh_statics()
+    machine.call_bmethod(work.loaded.main_method(), None, [None])
+    t0 = time.perf_counter()
+    run_sync(machine)
+    return machine, time.perf_counter() - t0
+
+
+def bench_interpreter(
+    workload: str, size: str, *, slow: bool, repeats: int = 1
+) -> Dict[str, float]:
+    """Best-of-``repeats`` sequential throughput on one path."""
+    best = None
+    machine = None
+    with forced_slow_path(slow):
+        for _ in range(max(1, repeats)):
+            machine, wall = _run_sequential(workload, size)
+            best = wall if best is None else min(best, wall)
+    wall = max(best, 1e-9)
+    return {
+        "steps": machine.steps,
+        "cycles": machine.cycles,
+        "wall_s": wall,
+        "ips": machine.steps / wall,
+    }
+
+
+def bench_simulator(workload: str, size: str, *, slow: bool) -> Dict[str, float]:
+    """One 2-node multilevel distributed run on the deterministic
+    simulator; returns scheduler event count, events/sec and virtual
+    makespan.  Executes the backend directly (no ``execute``-stage cache)."""
+    from repro.harness.pipeline import Pipeline
+    from repro.runtime.backend import create_backend
+    from repro.runtime.cluster import paper_testbed
+    from repro.vm.loader import load_program
+
+    pipe = Pipeline(workload, size)
+    cluster = paper_testbed()
+    plan = pipe.plan(2, method="multilevel", cluster=cluster)
+    rewritten, _, _ = pipe.rewrite(plan)
+    loaded = load_program(rewritten)
+    with forced_slow_path(slow):
+        backend = create_backend("sim", cluster)
+        t0 = time.perf_counter()
+        run = backend.execute(
+            rewritten, loaded, plan.main_partition, False, 200_000_000
+        )
+        wall = max(time.perf_counter() - t0, 1e-9)
+    return {
+        "events": backend.events_processed,
+        "eps": backend.events_processed / wall,
+        "wall_s": wall,
+        "makespan_s": run.makespan_s,
+        "stdout_tail": run.stdout[-1] if run.stdout else "",
+    }
+
+
+def static_block_stats(workload: str, size: str) -> Dict[str, float]:
+    """Static basic-block shape of one compiled workload (from
+    ``FlatCode.block_starts``): how much straight-line code each branchy
+    region offers is the shape metric behind the cost-batching win."""
+    from repro.api.experiment import compile_workload
+
+    work = compile_workload(workload, size)
+    nblocks = 0
+    ninstrs = 0
+    for bclass in work.bprogram.classes.values():
+        for bmethod in bclass.methods.values():
+            flat = bmethod.flat()
+            nblocks += len(flat.basic_blocks())
+            ninstrs += len(flat.instrs)
+    return {
+        "blocks": nblocks,
+        "instrs": ninstrs,
+        "mean_block_len": ninstrs / nblocks if nblocks else 0.0,
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def run_bench(
+    workloads: Optional[Iterable[str]] = None,
+    *,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> Dict:
+    """Run the full bench matrix and return the ``BENCH_vm.json`` document.
+
+    ``quick`` uses the small ``test`` workload size (CI smoke); the default
+    ``bench`` size matches the Figure 11 measurements.  Each workload is
+    measured on the fast path and the per-step reference path, and the two
+    simulator runs are asserted to agree on virtual makespan and output —
+    the bench refuses to report numbers from a diverged fast path.
+    """
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    size = "test" if quick else "bench"
+    if repeats is None:
+        repeats = 3 if quick else 1
+    doc: Dict = {
+        "schema": BENCH_SCHEMA,
+        "size": size,
+        "quick": quick,
+        "python": platform.python_version(),
+        "workloads": {},
+    }
+    for name in names:
+        fast = bench_interpreter(name, size, slow=False, repeats=repeats)
+        ref = bench_interpreter(name, size, slow=True, repeats=repeats)
+        if (fast["steps"], fast["cycles"]) != (ref["steps"], ref["cycles"]):
+            raise ReproError(
+                f"bench: {name} diverged between fast and reference paths "
+                f"(steps {fast['steps']} vs {ref['steps']})"
+            )
+        sim_fast = bench_simulator(name, size, slow=False)
+        sim_ref = bench_simulator(name, size, slow=True)
+        if sim_fast["makespan_s"] != sim_ref["makespan_s"] or (
+            sim_fast["stdout_tail"] != sim_ref["stdout_tail"]
+        ):
+            raise ReproError(
+                f"bench: {name} simulator timing diverged between fast and "
+                f"reference paths ({sim_fast['makespan_s']} vs "
+                f"{sim_ref['makespan_s']})"
+            )
+        doc["workloads"][name] = {
+            "static_blocks": static_block_stats(name, size),
+            "interpreter": {
+                "steps": fast["steps"],
+                "cycles": fast["cycles"],
+                "fast": {"wall_s": fast["wall_s"], "ips": fast["ips"]},
+                "slow": {"wall_s": ref["wall_s"], "ips": ref["ips"]},
+                "speedup": fast["ips"] / ref["ips"] if ref["ips"] else 0.0,
+            },
+            "simulator": {
+                "makespan_s": sim_fast["makespan_s"],
+                "fast": {
+                    "events": sim_fast["events"],
+                    "eps": sim_fast["eps"],
+                    "wall_s": sim_fast["wall_s"],
+                },
+                "slow": {
+                    "events": sim_ref["events"],
+                    "eps": sim_ref["eps"],
+                    "wall_s": sim_ref["wall_s"],
+                },
+                "event_reduction": (
+                    sim_ref["events"] / sim_fast["events"]
+                    if sim_fast["events"]
+                    else 0.0
+                ),
+            },
+        }
+    per = doc["workloads"].values()
+    doc["summary"] = {
+        "ips_fast": _geomean([w["interpreter"]["fast"]["ips"] for w in per]),
+        "ips_slow": _geomean([w["interpreter"]["slow"]["ips"] for w in per]),
+        "speedup": _geomean([w["interpreter"]["speedup"] for w in per]),
+        "event_reduction": _geomean(
+            [w["simulator"]["event_reduction"] for w in per]
+        ),
+    }
+    return doc
+
+
+def render_bench(doc: Dict) -> str:
+    """Human-readable table of one bench document."""
+    lines = [
+        f"# VM throughput ({doc['size']} size, python {doc['python']})",
+        f"{'workload':10s} {'ins/s fast':>12s} {'ins/s slow':>12s} "
+        f"{'speedup':>8s} {'sim events':>11s} {'batched':>8s} {'shrink':>8s}",
+    ]
+    for name, w in doc["workloads"].items():
+        it, sim = w["interpreter"], w["simulator"]
+        lines.append(
+            f"{name:10s} {it['fast']['ips']:12.0f} {it['slow']['ips']:12.0f} "
+            f"{it['speedup']:7.2f}x {sim['slow']['events']:11d} "
+            f"{sim['fast']['events']:8d} {sim['event_reduction']:7.1f}x"
+        )
+    s = doc["summary"]
+    lines.append(
+        f"{'geomean':10s} {s['ips_fast']:12.0f} {s['ips_slow']:12.0f} "
+        f"{s['speedup']:7.2f}x {'':11s} {'':8s} {s['event_reduction']:7.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def check_regression(
+    doc: Dict, committed: Dict, tolerance: float = 0.30
+) -> List[str]:
+    """Compare a fresh bench against the committed baseline; returns a list
+    of human-readable failures (empty = pass).
+
+    Gates on the hardware-independent relative metrics: the fast-vs-slow
+    interpreter speedup and the simulator event reduction must not fall
+    more than ``tolerance`` below the committed values.  Absolute
+    instructions/sec vary with the host running CI, so they are reported
+    but never gated on.
+    """
+    failures: List[str] = []
+    if doc.get("size") != committed.get("size"):
+        return [
+            f"size mismatch: bench ran at {doc.get('size')!r} but the "
+            f"committed baseline is {committed.get('size')!r} — event "
+            "reduction scales with workload size, so the gate only "
+            "compares like-for-like runs"
+        ]
+    for key, label in (
+        ("speedup", "interpreter speedup vs reference path"),
+        ("event_reduction", "simulator event reduction"),
+    ):
+        base = committed.get("summary", {}).get(key)
+        got = doc.get("summary", {}).get(key)
+        if base is None or got is None:
+            failures.append(f"missing summary metric {key!r}")
+            continue
+        floor = base * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"{label} regressed: {got:.2f}x < {floor:.2f}x "
+                f"(committed {base:.2f}x - {tolerance:.0%})"
+            )
+    return failures
+
+
+def load_bench(path) -> Dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read bench baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BENCH_SCHEMA:
+        raise ReproError(f"{path}: not a {BENCH_SCHEMA} document")
+    return doc
+
+
+def write_bench(doc: Dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

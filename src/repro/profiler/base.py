@@ -5,6 +5,13 @@ return value is extra overhead cycles) and ``on_invoke`` / ``on_return``
 when frames push/pop (these charge overhead via ``machine.pending_extra``).
 The heap's ``alloc_hook`` routes allocations to ``on_alloc``.
 
+Attaching any profiler automatically switches the machine from the
+cost-batched fast path to the per-step reference path
+(:meth:`~repro.vm.interpreter.Machine.step`), so ``on_step`` keeps firing
+once per executed instruction with that instruction's cost — profiling
+semantics are unchanged by the block engine, at the price of running at
+oracle speed while attached.  Detaching restores the fast path.
+
 The *baseline* profiler mirrors the paper's baseline column: "the execution
 times with all the profiling code compiled in but not enabled" — the hooks
 are installed but charge nothing and record nothing.

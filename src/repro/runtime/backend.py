@@ -136,7 +136,24 @@ class BackendNode:
         self.msgs_sent = 0
         self.bytes_sent = 0
         self.msgs_received = 0
-        self.busy_s = 0.0                    # CPU time actually charged
+        #: total ``('cost', n)`` cycles charged to this node.  Kept as an
+        #: integer so ``busy_s`` is one exact division — byte-identical
+        #: whether the VM charged per instruction or per batched block.
+        self.charged_cycles = 0
+
+    @property
+    def busy_s(self) -> float:
+        """CPU time actually charged, derived from the integer cycle total
+        (identical for per-step and per-block charging)."""
+        return self.charged_cycles / self.spec.cpu_hz
+
+    def charge(self, cycles: int) -> None:
+        """Account one ``('cost', n)`` event: node busy time plus the VM's
+        cycle counter.  The driver calls this once per event — whole blocks
+        on the fast path, single instructions on the reference path."""
+        self.charged_cycles += cycles
+        if self.machine is not None:
+            self.machine.cycles += cycles
 
     def take_matching(
         self, match: Callable[[Message], bool]

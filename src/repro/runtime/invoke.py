@@ -4,9 +4,11 @@ Both the local dispatcher and the MessageExchange service need to run one
 method call to completion *inside* an already-running machine (the paper's
 runtime does the same when a DEPENDENCE request arrives at an object's home
 node).  ``call_and_run`` pushes a frame whose return value is captured
-instead of being handed to a caller frame, then steps the machine until that
-capture fires — delegating any nested syscalls, so remote calls may nest
-arbitrarily."""
+instead of being handed to a caller frame, then drives the machine until
+that frame pops — delegating any nested syscalls, so remote calls may nest
+arbitrarily.  Driving goes through :meth:`Machine.drive`, so service-side
+execution gets the same cost-batched fast path (and the same per-step
+profiler fallback) as top-level execution."""
 
 from __future__ import annotations
 
@@ -22,17 +24,9 @@ def call_and_run(machine, method: BMethod, receiver, args) -> Iterator:
 
     def on_return(value) -> None:
         captured["value"] = value
-        captured["done"] = True
 
     machine.call_bmethod(method, receiver, args, on_return=on_return)
-    while "done" not in captured:
-        r = machine.step()
-        if isinstance(r, int):
-            yield ("cost", r)
-        else:
-            _, gen, push, cost = r
-            yield ("cost", cost)
-            value = yield from gen
-            if push and machine.frames:
-                machine.frames[-1].push(value)
+    # drive until the frame we just pushed has returned: its depth is the
+    # current depth, so the stop condition is "depth fell below it"
+    yield from machine.drive(len(machine.frames))
     return captured.get("value")

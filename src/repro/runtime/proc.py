@@ -168,9 +168,7 @@ def _worker_main(
                     raise RuntimeServiceError("execution exceeded event budget")
                 kind = event[0]
                 if kind == "cost":
-                    cycles = event[1]
-                    node.busy_s += cycles / node.spec.cpu_hz
-                    node.machine.cycles += cycles
+                    node.charge(event[1])
                 elif kind == "wait":
                     node.wait_for_message(WAIT_TIMEOUT_S)
                 else:  # pragma: no cover

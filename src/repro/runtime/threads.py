@@ -130,9 +130,7 @@ class ThreadBackend(RuntimeBackend, Transport):
                         )
                     kind = event[0]
                     if kind == "cost":
-                        cycles = event[1]
-                        node.busy_s += cycles / node.spec.cpu_hz
-                        node.machine.cycles += cycles
+                        node.charge(event[1])
                     elif kind == "wait":
                         node.wait_for_message(self.WAIT_TIMEOUT_S)
                     else:  # pragma: no cover

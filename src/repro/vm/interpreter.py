@@ -1,9 +1,24 @@
 """The steppable MJ bytecode interpreter.
 
-:class:`Machine` executes one instruction per :meth:`Machine.step` call and
-reports the instruction's abstract cycle cost.  Cost flows to the caller as
-``('cost', n)`` events from :meth:`Machine.run_gen`; the driver (sequential
-:func:`run_sync`, or a simulated cluster node) owns the clock.  Distribution
+:class:`Machine` has two execution engines over one instruction set:
+
+* the **fast path** — :meth:`Machine.run_block` executes instructions in a
+  tight threaded-code loop (:data:`repro.vm.dispatch.HANDLERS`, indexed by
+  the interned opcode ``Instr.opx``), accumulating precomputed ``Instr.cost``
+  cycles locally and surfacing **one** ``('cost', N)`` event per run of
+  instructions between syscall/communication boundaries;
+* the **slow reference path** — :meth:`Machine.step` executes one
+  instruction per call through the original if/elif chain and reports its
+  cost individually.  It is the oracle the differential suite checks the
+  fast path against, and it is used automatically whenever a profiler is
+  attached (per-step ``on_step`` hooks need per-step control) or when
+  :data:`FORCE_SLOW_PATH` / ``REPRO_VM_SLOW=1`` forces it.
+
+Both engines emit the same totals: identical ``cycles``, ``steps``,
+``result``, ``stdout`` and syscall boundaries — only the granularity of
+``('cost', n)`` events differs.  Cost flows to the caller as events from
+:meth:`Machine.run_gen` / :meth:`Machine.drive`; the driver (sequential
+:func:`run_sync`, or a runtime-backend node) owns the clock.  Distribution
 natives (``DependentObject.create`` / ``.access``) are delegated to the
 machine's pluggable ``syscall`` handler — a generator function — so the same
 interpreter runs both centralized and distributed programs.
@@ -11,6 +26,8 @@ interpreter runs both centralized and distributed programs.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import VMError
@@ -18,10 +35,47 @@ from repro.bytecode import opcodes as op
 from repro.bytecode.model import BMethod, Instr
 from repro.lang.symbols import DEPENDENT_OBJECT
 from repro.lang.types import VOID
+from repro.vm.dispatch import FRAME_SWITCH, HANDLERS, INVOKE_HANDLER
 from repro.vm.frame import Frame
 from repro.vm.heap import Heap
 from repro.vm.natives import find_native
 from repro.vm.values import DependentRef, Ref, i32, i64, idiv, irem, iushr
+
+#: set (or export ``REPRO_VM_SLOW=1``) to force the per-step reference path
+#: everywhere — the switch the differential suite flips to compare the fast
+#: block engine against its oracle
+FORCE_SLOW_PATH = os.environ.get("REPRO_VM_SLOW", "") not in ("", "0")
+
+
+@contextmanager
+def forced_slow_path(slow: bool = True):
+    """Temporarily force (or release) the per-step reference path — in this
+    process *and*, via the ``REPRO_VM_SLOW`` environment variable, in any
+    worker process spawned inside the block (the process backend re-reads
+    the variable at import under spawn-style multiprocessing)."""
+    global FORCE_SLOW_PATH
+    prev, prev_env = FORCE_SLOW_PATH, os.environ.get("REPRO_VM_SLOW")
+    FORCE_SLOW_PATH = slow
+    os.environ["REPRO_VM_SLOW"] = "1" if slow else "0"
+    try:
+        yield
+    finally:
+        FORCE_SLOW_PATH = prev
+        if prev_env is None:
+            os.environ.pop("REPRO_VM_SLOW", None)
+        else:
+            os.environ["REPRO_VM_SLOW"] = prev_env
+
+
+def _threaded(flat):
+    """Threaded form of one method's flat code: ``[(handler, instr), ...]``,
+    built once per :class:`~repro.bytecode.model.FlatCode` on first
+    execution and cached on it — the per-program direct-handler lists of
+    classic threaded-code dispatch."""
+    code = flat.threaded
+    if code is None:
+        code = flat.threaded = [(HANDLERS[i.opx], i) for i in flat.instrs]
+    return code
 
 _INT_BIN = {
     op.IADD: lambda a, b: i32(a + b),
@@ -50,14 +104,10 @@ _FLOAT_BIN = {
     op.FSUB: lambda a, b: a - b,
     op.FMUL: lambda a, b: a * b,
 }
-_CMP = {
-    "EQ": lambda a, b: a == b,
-    "NE": lambda a, b: a != b,
-    "LT": lambda a, b: a < b,
-    "LE": lambda a, b: a <= b,
-    "GT": lambda a, b: a > b,
-    "GE": lambda a, b: a >= b,
-}
+# one source of truth with the fast path's flatten-time resolution — the
+# oracle's dispatch structure stays independent, the comparison semantics
+# must not be able to drift
+_CMP = op.CMP_FUNCS
 
 
 class Machine:
@@ -82,6 +132,15 @@ class Machine:
         #: overhead cycles queued by profiler hooks that fire mid-step
         #: (invoke/return/alloc); folded into the current step's cost
         self.pending_extra = 0
+        #: cycles a failed :meth:`run_block` had accumulated for already
+        #: *completed* instructions; the driving generator charges them
+        #: before propagating the error, matching the per-step path
+        self.pending_block_cost = 0
+        #: cycles the in-flight :meth:`run_block` has completed but not yet
+        #: surfaced to the driver; published around call dispatch so
+        #: cycle-reading natives (``Sys.time``) see exactly what the
+        #: per-step path would have charged by that point
+        self.inflight_cycles = 0
 
     # ------------------------------------------------------------------ calls
     def call_bmethod(
@@ -134,7 +193,7 @@ class Machine:
         ins = frame.flat[frame.pc]
         frame.pc += 1
         self.steps += 1
-        cost = op.cost_of(ins.op)
+        cost = ins.cost
         if self.profiler is not None:
             cost += self.profiler.on_step(self, cost)
         result = self._execute(ins, frame)
@@ -473,22 +532,118 @@ class Machine:
         gen = self._require_syscall()("access", recv, [list(args), access, member])
         return ("syscall", gen, push)
 
+    # ------------------------------------------------------------------ fast path
+    def run_block(self, stop_depth: int = 1):
+        """Execute a cost-batched run of instructions in a tight
+        threaded-code loop (the fast path).
+
+        Runs until a syscall boundary is reached or the frame depth drops
+        below ``stop_depth``, dispatching through
+        :data:`repro.vm.dispatch.HANDLERS` and accumulating the precomputed
+        per-instruction cycle cost locally — no per-step generator yields,
+        no string-keyed lookups.  Returns ``(kind, gen, push, cost)`` where
+        ``kind`` is ``'syscall'`` (run the generator, push its value when
+        ``push``) or ``None`` (depth boundary reached); ``cost`` is the
+        cycles of the whole block, to be surfaced as **one** ``('cost', N)``
+        event.  On error, the cost of the completed prefix is parked in
+        ``pending_block_cost`` so drivers charge exactly what the per-step
+        oracle would have charged.
+        """
+        frames = self.frames
+        acc = 0
+        nsteps = 0
+        frame = frames[-1]
+        code = _threaded(frame.flat)
+        ncode = len(code)
+        while True:
+            pc = frame.pc
+            if pc >= ncode:
+                self.steps += nsteps
+                self.pending_block_cost = acc
+                raise VMError(f"{frame.method.qualified}: fell off end of code")
+            handler, ins = code[pc]
+            frame.pc = pc + 1
+            nsteps += 1
+            acc += ins.cost
+            try:
+                if handler is INVOKE_HANDLER:
+                    # a native reached through this call (Sys.time) may read
+                    # the cycle counter: publish the block's completed
+                    # prefix so it sees the per-step path's exact value
+                    self.inflight_cycles = acc - ins.cost
+                    r = handler(self, frame, ins)
+                    self.inflight_cycles = 0
+                else:
+                    r = handler(self, frame, ins)
+            except BaseException:
+                # the failing instruction's own cost is never charged — the
+                # per-step path raises out of step() before returning it
+                self.inflight_cycles = 0
+                self.steps += nsteps
+                self.pending_block_cost = acc - ins.cost
+                raise
+            if r is None:
+                continue
+            if r is FRAME_SWITCH:
+                if len(frames) < stop_depth:
+                    break
+                frame = frames[-1]
+                code = _threaded(frame.flat)
+                ncode = len(code)
+                continue
+            self.steps += nsteps
+            return (r[0], r[1], r[2], acc)
+        self.steps += nsteps
+        return (None, None, None, acc)
+
     # ------------------------------------------------------------------ driving
-    def run_gen(self):
-        """Generator that steps the machine to completion, yielding
-        ``('cost', cycles)`` events (and whatever events delegated syscall
-        generators yield, e.g. ``('wait',)`` from the simulated MPI layer)."""
-        while self.frames:
-            r = self.step()
-            if isinstance(r, int):
-                yield ("cost", r)
+    def drive(self, stop_depth: int = 1):
+        """Generator driving the machine until the frame depth drops below
+        ``stop_depth``, yielding ``('cost', n)`` events (and whatever events
+        delegated syscall generators yield, e.g. ``('wait',)`` from the
+        simulated MPI layer).
+
+        With no profiler attached this batches cost per
+        :meth:`run_block` — one event per syscall-to-syscall span of
+        computation.  Attaching a profiler (or setting
+        :data:`FORCE_SLOW_PATH`) transparently falls back to the per-step
+        reference path, preserving per-instruction ``on_step`` semantics.
+        The two paths produce identical cycle/step totals and identical
+        machine state at every syscall boundary.
+        """
+        frames = self.frames
+        while len(frames) >= stop_depth:
+            if self.profiler is None and not FORCE_SLOW_PATH:
+                try:
+                    kind, gen, push, cost = self.run_block(stop_depth)
+                except BaseException:
+                    charge = self.pending_block_cost
+                    self.pending_block_cost = 0
+                    if charge:
+                        yield ("cost", charge)
+                    raise
+                if cost:
+                    yield ("cost", cost)
+                if kind is None:
+                    continue
             else:
+                r = self.step()
+                if isinstance(r, int):
+                    yield ("cost", r)
+                    continue
                 _, gen, push, cost = r
                 yield ("cost", cost)
-                value = yield from gen
-                if push and self.frames:
-                    self.frames[-1].push(value)
+            value = yield from gen
+            if push and frames:
+                frames[-1].push(value)
         return self.result
+
+    def run_gen(self):
+        """Generator that runs the machine to completion, yielding
+        ``('cost', cycles)`` events — batched per block on the fast path,
+        per instruction on the reference path (see :meth:`drive`)."""
+        result = yield from self.drive(1)
+        return result
 
 
 def run_sync(machine: Machine) -> object:

@@ -200,8 +200,10 @@ def _sys_print(m, recv, args):
 
 
 def _sys_time(m, recv, args):
-    # virtual milliseconds at the nominal 1 GHz clock
-    return i64(int(m.cycles // 1_000_000))
+    # virtual milliseconds at the nominal 1 GHz clock; include the cycles
+    # the in-flight fast-path block has completed but not yet surfaced, so
+    # both engines observe the identical instant
+    return i64(int((m.cycles + m.inflight_cycles) // 1_000_000))
 
 
 def _str_concat(m, recv, args):

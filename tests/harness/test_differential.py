@@ -27,12 +27,16 @@ All pipelines share the process-default stage cache, so the grid compiles
 and analyzes each workload once.
 """
 
+import dataclasses
 import os
 
 import pytest
 
 from repro.api import Experiment
 from repro.harness.pipeline import Pipeline
+from repro.runtime.cluster import paper_testbed
+from repro.runtime.executor import DistributedExecutor
+from repro.vm.interpreter import forced_slow_path
 from repro.workloads import WORKLOADS
 
 PLAN_METHODS = ("kl", "multilevel", "spectral", "roundrobin")
@@ -127,6 +131,66 @@ def test_experiment_matches_legacy_pipeline(workload, method, backend):
             assert ours.heap_objects == theirs.heap_objects
             assert ours.heap_bytes == theirs.heap_bytes
             assert ours.stdout == theirs.stdout
+
+
+def _run_on_path(workload, method, backend, slow):
+    """One distributed run straight through the executor (bypassing the
+    ``execute`` stage cache, which would otherwise replay the first path's
+    result) on the chosen VM engine."""
+    pipe = Pipeline(workload, "test")
+    cluster = paper_testbed()
+    plan = pipe.plan(2, method=method, cluster=cluster)
+    rewritten, _, _ = pipe.rewrite(plan)
+    # forced_slow_path also exports REPRO_VM_SLOW, so process-backend
+    # workers pick the engine up even under spawn-style multiprocessing
+    with forced_slow_path(slow):
+        return DistributedExecutor(
+            rewritten, plan, cluster, backend=backend
+        ).run()
+
+
+@pytest.mark.skipif("sim" not in BACKENDS, reason="sim excluded by env")
+@pytest.mark.parametrize("method", PLAN_METHODS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_fast_path_matches_reference_sim(workload, method):
+    """The perf_opt acceptance criterion, simulator half: the cost-batched
+    fast path must be **byte-identical** to the per-step reference oracle —
+    stdout, result, every NodeStats field (including the float clocks),
+    makespan and message totals — for every workload × partitioner."""
+    fast = _run_on_path(workload, method, "sim", slow=False)
+    ref = _run_on_path(workload, method, "sim", slow=True)
+
+    assert fast.stdout == ref.stdout
+    assert fast.result == ref.result
+    assert fast.total_messages == ref.total_messages
+    assert fast.total_bytes == ref.total_bytes
+    assert fast.makespan_s == ref.makespan_s
+    assert [dataclasses.asdict(s) for s in fast.node_stats] == [
+        dataclasses.asdict(s) for s in ref.node_stats
+    ]
+
+
+@pytest.mark.parametrize("backend", tuple(b for b in BACKENDS if b != "sim"))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_fast_path_matches_reference_wallclock(workload, backend):
+    """Fast vs reference path on the wall-clock backends: every
+    deterministic observable must match (clocks are real time and differ
+    between two executions by nature)."""
+    fast = _run_on_path(workload, "multilevel", backend, slow=False)
+    ref = _run_on_path(workload, "multilevel", backend, slow=True)
+
+    assert fast.stdout == ref.stdout
+    assert fast.result == ref.result
+    assert fast.total_messages == ref.total_messages
+    assert fast.total_bytes == ref.total_bytes
+    for ours, theirs in zip(fast.node_stats, ref.node_stats):
+        assert ours.name == theirs.name
+        assert ours.messages_sent == theirs.messages_sent
+        assert ours.bytes_sent == theirs.bytes_sent
+        assert ours.requests_served == theirs.requests_served
+        assert ours.heap_objects == theirs.heap_objects
+        assert ours.heap_bytes == theirs.heap_bytes
+        assert ours.stdout == theirs.stdout
 
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))

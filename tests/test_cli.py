@@ -140,7 +140,59 @@ def test_unknown_backend_rejected(capsys):
     assert "unknown runtime backend" in capsys.readouterr().err
 
 
+def test_bench_command_writes_and_gates(tmp_path, capsys):
+    """`repro bench`: measures both VM paths, writes BENCH_vm.json, and the
+    --check gate passes against the measurement it just produced."""
+    out = tmp_path / "BENCH_vm.json"
+    assert main(["bench", "--workloads", "bank", "--quick",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "speedup" in captured.out
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench_vm/1"
+    bank = doc["workloads"]["bank"]
+    assert bank["interpreter"]["speedup"] > 1.0
+    assert bank["simulator"]["event_reduction"] > 5.0
+    assert doc["summary"]["ips_fast"] > doc["summary"]["ips_slow"]
+
+    assert main(["bench", "--workloads", "bank", "--quick", "--out", "",
+                 "--check", str(out)]) == 0
+    assert "within 30%" in capsys.readouterr().err
+
+
+def test_bench_check_reads_baseline_before_overwrite(tmp_path, capsys):
+    """The documented gate `repro bench --check BENCH_vm.json` writes its
+    fresh measurement over the committed baseline by default — the gate
+    must compare against the baseline as committed, not against itself."""
+    out = tmp_path / "BENCH_vm.json"
+    assert main(["bench", "--workloads", "bank", "--quick",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    doc["summary"]["speedup"] = 1000.0  # unreachable: the gate must fail
+    out.write_text(json.dumps(doc))
+    assert main(["bench", "--workloads", "bank", "--quick",
+                 "--out", str(out), "--check", str(out)]) == 1
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_bench_check_rejects_size_mismatch(tmp_path, capsys):
+    """A quick run must not be gated against a full-size baseline — event
+    reduction scales with workload size."""
+    out = tmp_path / "BENCH_vm.json"
+    assert main(["bench", "--workloads", "bank", "--quick",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    doc["size"] = "bench"
+    out.write_text(json.dumps(doc))
+    assert main(["bench", "--workloads", "bank", "--quick", "--out", "",
+                 "--check", str(out)]) == 1
+    assert "size mismatch" in capsys.readouterr().err
+
+
 def test_parser_lists_all_workloads():
     parser = build_parser()
     help_text = parser.format_help()
     assert "distribute" in help_text and "analyze" in help_text
+    assert "bench" in help_text

@@ -1,0 +1,290 @@
+"""Differential tests for the cost-batched fast path.
+
+The threaded-code block engine (:meth:`Machine.run_block` driven through
+:meth:`Machine.drive`) must be observationally identical to the per-step
+reference oracle (:meth:`Machine.step`): same ``cycles``, ``steps``,
+``result`` and ``stdout`` on every program — including randomly generated
+ones (hypothesis) and programs that fault mid-block — and attaching a
+profiler must transparently fall back to the per-step path with unchanged
+``on_step`` semantics.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import compile_mj
+
+from repro.errors import VMError
+from repro.profiler.base import BaselineProfiler, Profiler, attach
+from repro.vm.interpreter import Machine, forced_slow_path, run_sync
+from repro.workloads import WORKLOADS
+
+
+def _run_path(loaded, slow, profiler=None, main_args=None):
+    """One full run on the chosen engine; returns the finished machine (or
+    raises the program's VMError after recording charged state)."""
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    if profiler is not None:
+        attach(machine, profiler)
+    machine.call_bmethod(loaded.main_method(), None, [main_args])
+    with forced_slow_path(slow):
+        run_sync(machine)
+    return machine
+
+
+def _observe(loaded, slow):
+    """(cycles, steps, result, stdout, error-text) of one run."""
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    machine.call_bmethod(loaded.main_method(), None, [None])
+    error = None
+    with forced_slow_path(slow):
+        try:
+            run_sync(machine)
+        except VMError as exc:
+            error = str(exc)
+    return (machine.cycles, machine.steps, machine.result,
+            tuple(machine.stdout), error)
+
+
+def assert_paths_agree(source: str):
+    loaded = compile_mj(source)
+    fast = _observe(loaded, slow=False)
+    ref = _observe(loaded, slow=True)
+    assert fast == ref, f"fast path diverged from oracle:\n{fast}\nvs\n{ref}"
+
+
+# ------------------------------------------------------------------ workloads
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_workload_fast_equals_slow(workload):
+    """run_block ≡ step on (cycles, steps, result, stdout) for every
+    bundled workload."""
+    from repro.api.experiment import compile_workload
+
+    loaded = compile_workload(workload, "test").loaded
+    fast = _run_path(loaded, slow=False)
+    ref = _run_path(loaded, slow=True)
+    assert fast.cycles == ref.cycles
+    assert fast.steps == ref.steps
+    assert fast.result == ref.result
+    assert fast.stdout == ref.stdout
+
+
+# ------------------------------------------------------------------ events
+def test_fast_path_batches_cost_events():
+    """The fast path surfaces one cost event per syscall-free span; the
+    oracle surfaces one per instruction.  Totals must agree exactly."""
+    loaded = compile_mj(
+        """
+        class M {
+            static void main(String[] a) {
+                int s = 0;
+                for (int i = 0; i < 500; i++) { s = s + i * i; }
+                Sys.println(s);
+            }
+        }
+        """
+    )
+
+    def events(slow):
+        machine = Machine(loaded)
+        machine.statics = loaded.fresh_statics()
+        machine.call_bmethod(loaded.main_method(), None, [None])
+        with forced_slow_path(slow):
+            out = [e for e in machine.run_gen() if e[0] == "cost"]
+        return machine, out
+
+    m_fast, ev_fast = events(False)
+    m_ref, ev_ref = events(True)
+    assert sum(e[1] for e in ev_fast) == sum(e[1] for e in ev_ref)
+    assert m_fast.cycles == m_ref.cycles == 0  # run_gen alone charges nobody
+    assert len(ev_ref) == m_ref.steps
+    # a syscall-free program is one block: a single batched cost event
+    assert len(ev_fast) == 1
+    assert m_fast.stdout == m_ref.stdout
+
+
+def test_sys_time_sees_in_flight_block_cycles():
+    """Sys.time() reads the cycle counter mid-block; the fast path must
+    show it the same value the per-step oracle would have charged by that
+    instant — including the unflushed prefix of the current block."""
+    assert_paths_agree(
+        """
+        class M {
+            static void main(String[] args) {
+                long t0 = Sys.time();
+                int s = 0;
+                for (int i = 0; i < 200000; i++) { s = s + i * i; }
+                long t1 = Sys.time();
+                Sys.println((t1 - t0) + ":" + s);
+            }
+        }
+        """
+    )
+    # and the elapsed time must be nonzero, or the assertion is vacuous
+    loaded = compile_mj(
+        """
+        class M {
+            static void main(String[] args) {
+                long t0 = Sys.time();
+                int s = 0;
+                for (int i = 0; i < 200000; i++) { s = s + i * i; }
+                Sys.println(Sys.time() - t0);
+            }
+        }
+        """
+    )
+    fast = _run_path(loaded, slow=False)
+    assert int(fast.stdout[-1]) > 0
+
+
+# ------------------------------------------------------------------ faults
+@pytest.mark.parametrize(
+    "body, match",
+    [
+        ("int d = 0; int x = 1 / d;", "division by zero"),
+        ("int[] xs = new int[2]; xs[5] = 1;", "out of bounds"),
+        ("int[] xs = new int[0-1];", "negative"),
+        ("int x = a.length;", "null"),
+    ],
+)
+def test_faulting_programs_charge_identically(body, match):
+    """A mid-block fault must leave exactly the oracle's cycles/steps behind
+    (the failing instruction's cost is never charged on either path)."""
+    src = "class M { static void main(String[] a) { %s } }" % body
+    loaded = compile_mj(src)
+    fast = _observe(loaded, slow=False)
+    ref = _observe(loaded, slow=True)
+    assert fast == ref
+    assert ref[4] is not None and match in ref[4]
+
+
+# ------------------------------------------------------------------ profiler
+class _CountingProfiler(Profiler):
+    """Records every on_step call (per-instruction semantics check)."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.on_step_calls = 0
+        self.cost_sum = 0
+        self.invokes = 0
+
+    def on_step(self, machine, cost):
+        self.on_step_calls += 1
+        self.cost_sum += cost
+        return 0
+
+    def on_invoke(self, machine, method):
+        self.invokes += 1
+
+
+def test_profiler_attach_falls_back_to_per_step_path():
+    """Attaching a profiler transparently selects the per-step path:
+    on_step fires once per executed instruction with the same per-step
+    costs, and the run's observables match the fast path's."""
+    loaded = compile_mj(
+        """
+        class M {
+            static int f(int n) { if (n <= 1) { return 1; } return n * f(n - 1); }
+            static void main(String[] a) { Sys.println(f(10)); }
+        }
+        """
+    )
+    bare = _run_path(loaded, slow=False)
+
+    prof = _CountingProfiler()
+    profiled = _run_path(loaded, slow=False, profiler=prof)
+
+    assert prof.on_step_calls == profiled.steps == bare.steps
+    assert prof.cost_sum == profiled.cycles == bare.cycles
+    assert prof.invokes > 0
+    assert profiled.stdout == bare.stdout
+    assert profiled.result == bare.result
+
+
+def test_baseline_profiler_charges_nothing():
+    """The paper's baseline column: hooks installed, zero overhead — so the
+    per-step fallback must reproduce the fast path's cycle count exactly."""
+    loaded = compile_mj(
+        "class M { static void main(String[] a) { "
+        "int s = 0; for (int i = 0; i < 50; i++) { s += i; } Sys.println(s); } }"
+    )
+    bare = _run_path(loaded, slow=False)
+    baseline = _run_path(loaded, slow=False, profiler=BaselineProfiler())
+    assert baseline.cycles == bare.cycles
+    assert baseline.steps == bare.steps
+    assert baseline.stdout == bare.stdout
+
+
+# ------------------------------------------------------------------ hypothesis
+_INT_OPS = ("+", "-", "*", "/", "%", "&", "|", "^")
+
+
+@st.composite
+def _expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(
+            st.one_of(
+                st.integers(min_value=-100, max_value=100).map(str),
+                st.sampled_from(("x", "y", "z")),
+            )
+        )
+    a = draw(_expressions(depth=depth + 1))
+    b = draw(_expressions(depth=depth + 1))
+    op_ = draw(st.sampled_from(_INT_OPS))
+    return f"({a} {op_} {b})"
+
+
+@st.composite
+def _statements(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ("assign", "if", "loop") if depth < 2 else ("assign",)
+    ))
+    var = draw(st.sampled_from(("x", "y", "z")))
+    if kind == "assign":
+        return f"{var} = {draw(_expressions())};"
+    if kind == "if":
+        cond = draw(st.sampled_from(("<", "<=", ">", ">=", "==", "!=")))
+        then = draw(_statements(depth=depth + 1))
+        other = draw(_statements(depth=depth + 1))
+        return (
+            f"if ({var} {cond} {draw(_expressions())}) "
+            f"{{ {then} }} else {{ {other} }}"
+        )
+    body = draw(_statements(depth=depth + 1))
+    bound = draw(st.integers(min_value=0, max_value=8))
+    return f"for (int i{depth} = 0; i{depth} < {bound}; i{depth}++) {{ {body} }}"
+
+
+@st.composite
+def _programs(draw):
+    stmts = draw(st.lists(_statements(), min_size=1, max_size=6))
+    body = "\n            ".join(stmts)
+    return f"""
+    class M {{
+        static void main(String[] args) {{
+            int x = {draw(st.integers(-50, 50))};
+            int y = {draw(st.integers(-50, 50))};
+            int z = {draw(st.integers(-50, 50))};
+            {body}
+            Sys.println(x + "," + y + "," + z);
+        }}
+    }}
+    """
+
+
+@settings(max_examples=60, deadline=None)
+@given(_programs())
+def test_random_programs_fast_equals_slow(source):
+    """Property: for arbitrary generated int programs (arithmetic including
+    faulting division, branches, nested bounded loops), the fast path and
+    the per-step oracle agree on cycles, steps, result, stdout — and on the
+    error text when the program faults."""
+    assert_paths_agree(source)
