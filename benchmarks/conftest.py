@@ -25,16 +25,20 @@ from bench_utils import OUT_DIR
 
 from repro.harness.cache import StageCache, default_cache
 
+from repro.testing.seeds import derive_seed
+
 #: one seed for every bench — makes any stochastic helper (synthetic graph
-#: generators, sampling profilers) reproducible run to run
-BENCH_SEED = 0x1995
+#: generators, sampling profilers) reproducible run to run.  Derived from
+#: the documented ``REPRO_TEST_SEED`` knob (``repro.testing.seeds``); with
+#: the knob unset this is a fixed constant, so default runs stay stable.
+BENCH_SEED = derive_seed("bench")
 
 
 @pytest.fixture(autouse=True)
 def seed_rngs():
     """Deterministically seed the global RNGs before every bench."""
     random.seed(BENCH_SEED)
-    np.random.seed(BENCH_SEED)
+    np.random.seed(BENCH_SEED % 2**32)
     yield
 
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bytecode.model import BProgram
-from repro.distgen.plan import DistributionPlan, build_plan
+from repro.distgen.plan import DistributionPlan, build_plan, placement_cost
 from repro.profiler import MemoryProfiler, MethodDurationProfiler, attach
 from repro.profiler.report import to_resource_inputs
 from repro.vm.heap import Heap
@@ -41,10 +41,23 @@ class AdaptiveResult:
     refined_plan: DistributionPlan
     measured_cycles: Dict[str, float]
     measured_bytes: Dict[str, float]
+    #: predicted makespan of the *initial* placement under measured weights
+    initial_cost_measured: float = 0.0
+    #: predicted makespan of the refined placement (``refined_plan.est_cost``)
+    refined_cost: float = 0.0
 
     @property
     def placement_changed(self) -> bool:
         return self.initial_plan.class_home != self.refined_plan.class_home
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Fraction of the baseline's predicted makespan the refinement
+        saves; >= 0 by construction (the initial placement is always a
+        candidate of the refined plan)."""
+        if self.initial_cost_measured <= 0:
+            return 0.0
+        return 1.0 - self.refined_cost / self.initial_cost_measured
 
 
 def profile_program(
@@ -80,17 +93,37 @@ def adaptive_repartition(
         program, nparts, tpwgts=tpwgts, pin_main_to=pin_main_to, **plan_kwargs
     )
     cycles, alloc_bytes = profile_program(program, loaded)
+    # the initial placement rides along as an explicit candidate, so the
+    # refined plan can never predict a makespan worse than its own baseline
+    # under the measured weights (the adaptive-repartitioning contract the
+    # property suite checks on generated scenarios)
     refined = build_plan(
         program,
         nparts,
         tpwgts=tpwgts,
         pin_main_to=pin_main_to,
         measured_cpu=cycles,
+        extra_candidates=(
+            [initial.parts] if initial.parts is not None else None
+        ),
         **plan_kwargs,
     )
+    # the refined build already scored the baseline placement on its own
+    # measured-weight graph; fall back to an explicit re-score only when
+    # that bookkeeping is absent (e.g. object granularity)
+    if refined.baseline_cost is not None:
+        initial_cost = refined.baseline_cost
+    elif initial.parts is not None:
+        initial_cost = placement_cost(
+            program, initial.parts, nparts, tpwgts=tpwgts, measured_cpu=cycles
+        )
+    else:
+        initial_cost = 0.0
     return AdaptiveResult(
         initial_plan=initial,
         refined_plan=refined,
         measured_cycles=cycles,
         measured_bytes=alloc_bytes,
+        initial_cost_measured=initial_cost,
+        refined_cost=refined.est_cost,
     )

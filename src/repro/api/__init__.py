@@ -62,6 +62,9 @@ _EXPORTS = {
     "AnalysisResult": "repro.api.experiment",
     "AnalysisTimings": "repro.api.experiment",
     "compile_workload": "repro.api.experiment",
+    # conformance (the repro.testing oracle behind Experiment.conformance)
+    "ConformanceOutcome": "repro.testing.oracle",
+    "Divergence": "repro.testing.oracle",
     # plugin registries
     "PARTITIONERS": "repro.partition.api",
     "BACKENDS": "repro.runtime.backend",

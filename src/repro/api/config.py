@@ -128,33 +128,85 @@ class ClusterConfig(_Config):
     ``nodes is None`` means "as many nodes as the partition config needs":
     the paper's heterogeneous two-node testbed for k == 2, a homogeneous
     cluster otherwise — exactly the sweep's historical behavior.
+
+    ``speeds`` makes the cluster explicitly heterogeneous: one ``cpu_hz``
+    per node (the scenario generator's degenerate 1-node and wide 16-node
+    topologies use this).  When given, it fixes the node count; ``nodes``
+    may be omitted or must agree.  ``mem_mb`` bounds every node's memory.
     """
 
     nodes: Optional[int] = None
     network: str = "ethernet_100m"
+    #: explicit per-node CPU speeds in Hz (heterogeneous clusters); None
+    #: keeps the historical paper-testbed/homogeneous shapes
+    speeds: Optional[tuple] = None
+    #: per-node memory bound in MB (None = the NodeSpec default)
+    mem_mb: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.runtime.cluster import NETWORKS
 
         NETWORKS.get(self.network)
+        if self.speeds is not None:
+            # normalize the JSON round-trip (lists) to the hashable tuple
+            object.__setattr__(
+                self, "speeds", tuple(float(s) for s in self.speeds)
+            )
+            if not self.speeds:
+                raise ConfigError("speeds must name at least one node")
+            if any(s <= 0 for s in self.speeds):
+                raise ConfigError(f"speeds must be positive, got {self.speeds}")
+            if self.nodes is not None and self.nodes != len(self.speeds):
+                raise ConfigError(
+                    f"nodes={self.nodes} disagrees with "
+                    f"{len(self.speeds)} speeds"
+                )
         if self.nodes is not None and self.nodes < 1:
             raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
+        if self.mem_mb is not None and self.mem_mb < 1:
+            raise ConfigError(f"mem_mb must be >= 1, got {self.mem_mb}")
+
+    @property
+    def size(self) -> Optional[int]:
+        """Node count when the config pins one (``nodes`` or ``speeds``)."""
+        if self.speeds is not None:
+            return len(self.speeds)
+        return self.nodes
 
     def build(self, nparts: int = 2):
         """Materialize the :class:`~repro.runtime.cluster.ClusterSpec`."""
         from repro.runtime.cluster import (
+            MB,
             ClusterSpec,
             NETWORKS,
+            NodeSpec,
             homogeneous,
             paper_testbed,
         )
 
-        size = self.nodes if self.nodes is not None else nparts
         link = NETWORKS.get(self.network)()
+        if self.speeds is not None:
+            mem = (self.mem_mb if self.mem_mb is not None else 512) * MB
+            return ClusterSpec(
+                nodes=[
+                    NodeSpec(f"node{i}", hz, mem_bytes=mem)
+                    for i, hz in enumerate(self.speeds)
+                ],
+                link=link,
+            )
+        size = self.nodes if self.nodes is not None else nparts
         if size == 2:
             base = paper_testbed()
-            return ClusterSpec(nodes=list(base.nodes), link=link)
-        return homogeneous(max(size, 1), link=link)
+            cluster = ClusterSpec(nodes=list(base.nodes), link=link)
+        else:
+            cluster = homogeneous(max(size, 1), link=link)
+        if self.mem_mb is not None:
+            from dataclasses import replace as _replace
+
+            cluster.nodes = [
+                _replace(n, mem_bytes=self.mem_mb * MB) for n in cluster.nodes
+            ]
+        return cluster
 
 
 @dataclass(frozen=True)
@@ -210,12 +262,12 @@ class ExperimentConfig(_Config):
                     f"got {type(value).__name__}"
                 )
         if (
-            self.cluster.nodes is not None
-            and self.cluster.nodes < self.partition.nparts
+            self.cluster.size is not None
+            and self.cluster.size < self.partition.nparts
         ):
             raise ConfigError(
                 f"plan needs {self.partition.nparts} nodes, cluster config "
-                f"has {self.cluster.nodes}"
+                f"has {self.cluster.size}"
             )
 
     @classmethod

@@ -615,6 +615,23 @@ class Experiment:
         )
         return self._result
 
+    # -------------------------------------------------------- conformance
+    def conformance(self, deep: bool = False):
+        """Differentially verify this experiment's equivalence claims: the
+        fast VM path against the per-step reference oracle on its workload,
+        and the configured distributed backend against the sequential
+        baseline (stdout byte-identity, result equality, NodeStats sanity).
+        With ``deep=True`` the simulator execution is additionally compared
+        byte-for-byte between VM engines.
+
+        Returns a :class:`repro.testing.oracle.ConformanceOutcome`; an
+        empty ``divergences`` list means the claims hold for this
+        configuration.  This is the programmatic face of ``repro fuzz`` —
+        same oracle, one hand-picked scenario instead of generated ones."""
+        from repro.testing.oracle import check_experiment
+
+        return check_experiment(self, deep=deep)
+
     # -------------------------------------------------------------- report
     def report(self) -> Report:
         """Structured record of everything run so far (complete after

@@ -17,6 +17,10 @@ infrastructure's phases:
   × network × backend) grid through the stage-cached pipeline, optionally
   across a process pool (``--workers N``), printing one result table +
   cache stats
+* ``fuzz``                  — differential conformance fuzzing: seeded
+  generated programs × generated worlds through the cross-backend oracle
+  (:mod:`repro.testing`), with minimized counterexamples and golden-corpus
+  save/replay (``--replay tests/corpus`` is the CI regression gate)
 * ``codegen``               — the Figure 5/6/7 tour
 
 ``run``, ``distribute`` and ``sweep`` accept ``--json``: instead of the
@@ -215,6 +219,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.testing import corpus as corpus_mod
+    from repro.testing import oracle
+    from repro.testing.seeds import base_seed, describe
+
+    if args.replay:
+        cache = None
+        failures = 0
+        entries = corpus_mod.load_corpus(args.replay)
+        for path, entry in entries:
+            divs = corpus_mod.replay_entry(entry, cache=cache, deep=args.deep)
+            status = "ok" if not divs else "DIVERGED"
+            print(f"replay {entry.name} [{entry.kind}]: {status}",
+                  file=sys.stderr)
+            for d in divs:
+                failures += 1
+                print(f"  {d.check}: {d.message}", file=sys.stderr)
+                print(f"    expected: {d.expected!r}", file=sys.stderr)
+                print(f"    actual:   {d.actual!r}", file=sys.stderr)
+        print(f"replayed {len(entries)} corpus entries, "
+              f"{failures} divergences", file=sys.stderr)
+        return 1 if failures else 0
+
+    seed = args.seed if args.seed is not None else base_seed(default=0)
+    print(f"fuzzing: seed={seed} budget={args.budget} ({describe()} overrides "
+          f"the default seed)", file=sys.stderr)
+    report, golden = oracle.run_fuzz(
+        seed=seed,
+        budget=args.budget,
+        include_thread=not args.no_thread,
+        include_process=args.include_process,
+        deep=args.deep,
+        shrink_budget=args.max_shrink,
+        collect_golden=bool(args.save_corpus),
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.save_corpus:
+        out = pathlib.Path(args.save_corpus)
+        for scenario, outcome in golden:
+            entry = corpus_mod.entry_from_outcome(
+                scenario, outcome,
+                meta={"gen_seed": scenario.gen_seed, "fuzz_seed": seed},
+            )
+            entry.save(out)
+        print(f"saved {len(golden)} golden entries to {out}/", file=sys.stderr)
+    for ce in report.failures:
+        out = pathlib.Path(args.save_corpus or args.failures_dir)
+        path = corpus_mod.entry_from_counterexample(ce).save(out)
+        print(f"counterexample minimized and saved: {path}", file=sys.stderr)
+        print(f"  replay with: repro fuzz --replay {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from repro.harness.figures import fig5, fig6, fig7
 
@@ -338,6 +401,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional regression for --check (default 0.30)",
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing (repro.testing): generated "
+        "programs x generated worlds through the cross-backend oracle",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="fuzz seed (default: $REPRO_TEST_SEED, else 0)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=50,
+        help="number of generated scenarios to check (default 50)",
+    )
+    p.add_argument(
+        "--replay", metavar="PATH",
+        help="replay a corpus entry file or directory (e.g. tests/corpus) "
+        "instead of generating new scenarios",
+    )
+    p.add_argument(
+        "--save-corpus", metavar="DIR",
+        help="save every passing scenario as a golden corpus entry (and "
+        "counterexamples) under DIR",
+    )
+    p.add_argument(
+        "--failures-dir", default="fuzz-failures", metavar="DIR",
+        help="where minimized counterexamples are written (default "
+        "fuzz-failures/)",
+    )
+    p.add_argument(
+        "--deep", action="store_true",
+        help="also assert byte-identical fast-vs-reference cluster "
+        "execution on the simulator (slower)",
+    )
+    p.add_argument(
+        "--no-thread", action="store_true",
+        help="restrict worlds to the deterministic simulator backend",
+    )
+    p.add_argument(
+        "--include-process", action="store_true",
+        help="let worlds include the multiprocessing backend (slow)",
+    )
+    p.add_argument(
+        "--max-shrink", type=int, default=120,
+        help="shrinking budget (oracle evaluations) per counterexample",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured ConformanceReport as JSON")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("codegen", help="Figure 5/6/7 tour")
     p.set_defaults(fn=_cmd_codegen)

@@ -39,6 +39,17 @@ class DistributionPlan:
     main_partition: int = 0
     edgecut: float = 0.0
     method: str = "multilevel"
+    #: the chosen placement vector over ``order`` (the dependence-graph
+    #: node names) — lets adaptive repartitioning seed the next plan with
+    #: this plan as a baseline candidate
+    parts: Optional[List[int]] = None
+    order: Optional[List[str]] = None
+    #: the static makespan estimate the placement was chosen by
+    est_cost: float = 0.0
+    #: estimated cost of the first ``extra_candidates`` placement under
+    #: *this* plan's weights — what adaptive repartitioning reports as the
+    #: baseline prediction without re-running the analysis
+    baseline_cost: Optional[float] = None
 
     def home_of_site(self, method_q: str, index: int, class_name: str) -> int:
         if self.granularity == "object":
@@ -88,6 +99,52 @@ def estimate_plan_cost(
     return cpu + comm
 
 
+def _weighted_use_graph(crg, program: BProgram,
+                        measured_cpu: Optional[Dict[str, float]]):
+    """The CRG use graph with CPU vertex weights: measured cycles when a
+    profile is available (adaptive repartitioning input), the static
+    loop-scaled heuristic otherwise.  One definition, shared by
+    :func:`build_plan` and :func:`placement_cost` so candidate placements
+    are always compared on the same weighted graph."""
+    from repro.analysis.resources import _class_cpu
+
+    graph, order = crg.use_graph()
+    for i, node in enumerate(order):
+        cls = node.split("_", 1)[1]
+        if measured_cpu is not None and cls in measured_cpu:
+            graph.set_weight(i, [max(measured_cpu[cls], 1.0)])
+        else:
+            graph.set_weight(i, [max(_class_cpu(cls, program), 1.0)])
+    return graph, order
+
+
+def _edgecut_of(graph, parts: List[int]) -> float:
+    return float(sum(
+        w for u, v, w in graph.edges() if parts[u] != parts[v]
+    ))
+
+
+def placement_cost(
+    program: BProgram,
+    parts: List[int],
+    nparts: int,
+    tpwgts: Optional[List[float]] = None,
+    measured_cpu: Optional[Dict[str, float]] = None,
+) -> float:
+    """Static makespan estimate of an explicit class-granularity placement
+    (a ``DistributionPlan.parts`` vector) under the given — possibly
+    measured — weights.  Lets callers compare two plans' predictions on an
+    equal footing (see :mod:`repro.adaptive`)."""
+    cg = rapid_type_analysis(program)
+    crg = build_crg(cg)
+    graph, order = _weighted_use_graph(crg, program, measured_cpu)
+    if len(parts) != graph.num_nodes:
+        raise AnalysisError(
+            f"placement names {len(parts)} nodes, graph has {graph.num_nodes}"
+        )
+    return estimate_plan_cost(graph, list(parts), nparts, tpwgts)
+
+
 def build_plan(
     program: BProgram,
     nparts: int,
@@ -100,13 +157,19 @@ def build_plan(
     pin_main_to: Optional[int] = None,
     force_distribution: bool = False,
     measured_cpu: Optional[Dict[str, float]] = None,
+    extra_candidates: Optional[List[List[int]]] = None,
 ) -> DistributionPlan:
     """Analyze ``program`` and produce a distribution plan for ``nparts``.
 
     ``tpwgts`` gives target capacity fractions per partition (e.g. relative
     CPU speeds of the actual machines — the paper's resource-availability
     modeling); CPU-heuristic node weights make the balance constraint mean
-    *compute* balance, not class-count balance."""
+    *compute* balance, not class-count balance.
+
+    ``extra_candidates`` (class granularity only) adds explicit placement
+    vectors to the candidate pool — e.g. a previous plan's ``parts`` — so a
+    replan under new weights can never pick something it predicts to be
+    worse than that baseline."""
     if granularity not in ("class", "object"):
         raise AnalysisError(f"unknown granularity {granularity!r}")
     cg = rapid_type_analysis(program)
@@ -114,18 +177,7 @@ def build_plan(
     main_cls = program.main_class
 
     if granularity == "class" or nparts == 1:
-        graph, order = crg.use_graph()
-        # weight each class part by its CPU estimate — measured cycles when a
-        # profile is available (adaptive repartitioning input), the static
-        # loop-scaled heuristic otherwise
-        from repro.analysis.resources import _class_cpu
-
-        for i, node in enumerate(order):
-            cls = node.split("_", 1)[1]
-            if measured_cpu is not None and cls in measured_cpu:
-                graph.set_weight(i, [max(measured_cpu[cls], 1.0)])
-            else:
-                graph.set_weight(i, [max(_class_cpu(cls, program), 1.0)])
+        graph, order = _weighted_use_graph(crg, program, measured_cpu)
 
         main_node = f"ST_{main_cls}"
 
@@ -149,20 +201,27 @@ def build_plan(
                 graph, nparts, method=method, seed=seed, tpwgts=tpwgts,
                 ubfactor=ub,
             )
-            candidates.append((pinned_parts(res.parts), res))
+            candidates.append((pinned_parts(res.parts), res.edgecut))
         if nparts > 1 and not force_distribution:
             # degenerate candidate: everything co-located with main — the
             # right answer for chatty programs ("many programs may not need
             # distribution at all", §1)
             home = pin_main_to if pin_main_to is not None else 0
-            trivial = part_graph(graph, 1, method=method, seed=seed)
-            candidates.append(([home] * graph.num_nodes, trivial))
-        for parts, res in candidates:
+            candidates.append(([home] * graph.num_nodes, 0.0))
+        baseline_cost = None
+        for extra in extra_candidates or ():
+            if len(extra) != graph.num_nodes:
+                continue  # stale baseline from a different program shape
+            parts = pinned_parts(list(extra))
+            candidates.append((parts, _edgecut_of(graph, parts)))
+            if baseline_cost is None:
+                baseline_cost = estimate_plan_cost(graph, parts, nparts, tpwgts)
+        for parts, cut in candidates:
             if force_distribution and len(set(parts)) < min(nparts, 2):
                 continue  # collapsed after pinning; not a real distribution
             cost = estimate_plan_cost(graph, parts, nparts, tpwgts)
             if best is None or cost < best[0]:
-                best = (cost, parts, res)
+                best = (cost, parts, cut)
         if best is None:
             # every candidate collapsed; fall back to isolating the heaviest
             # non-main node on partition (pin+1) % nparts
@@ -178,9 +237,9 @@ def build_plan(
             best = (
                 estimate_plan_cost(graph, fallback, nparts, tpwgts),
                 fallback,
-                part_graph(graph, 1, method=method, seed=seed),
+                _edgecut_of(graph, fallback),
             )
-        _, parts, result = best
+        cost, parts, edgecut = best
         part_of = {node: parts[i] for i, node in enumerate(order)}
         class_home: Dict[str, int] = {}
         for node, p in part_of.items():
@@ -195,8 +254,12 @@ def build_plan(
             class_home=class_home,
             dependent_classes=dependent if nparts > 1 else set(),
             main_partition=main_partition,
-            edgecut=result.edgecut,
+            edgecut=edgecut,
             method=method,
+            parts=list(parts),
+            order=list(order),
+            est_cost=cost,
+            baseline_cost=baseline_cost,
         )
         return plan
 

@@ -1,0 +1,92 @@
+"""``repro.testing`` — the scenario fuzzing & conformance subsystem.
+
+Four layers, composable from tests, the :class:`~repro.api.Experiment` API
+(``Experiment.conformance()``) and the ``repro fuzz`` CLI:
+
+* :mod:`repro.testing.seeds`    — the one ``REPRO_TEST_SEED`` knob every
+  randomized test, bench and fuzzer derives from;
+* :mod:`repro.testing.genprog`  — seeded, size-parameterized, *shrinkable*
+  multi-class MJ program generation;
+* :mod:`repro.testing.genworld` — seeded cluster/network/partitioner/
+  backend configuration generation (degenerate 1-node up to wide 16-node
+  heterogeneous topologies);
+* :mod:`repro.testing.oracle`   — the cross-backend differential
+  conformance oracle with minimized, replayable counterexamples;
+* :mod:`repro.testing.corpus`   — the golden-trace corpus under
+  ``tests/corpus/``: every past counterexample is a permanent regression
+  test (``repro fuzz --replay tests/corpus``).
+"""
+
+from repro.testing.seeds import (  # noqa: F401
+    DEFAULT_SEED,
+    ENV_VAR,
+    base_seed,
+    derive_seed,
+)
+from repro.testing.genprog import (  # noqa: F401
+    ARRAY_LEN,
+    GenConfig,
+    ProgramSpec,
+    generate_program,
+    generate_source,
+    shrink_program,
+)
+from repro.testing.genworld import (  # noqa: F401
+    SPEED_PALETTE,
+    WorldSpec,
+    degenerate_worlds,
+    generate_world,
+)
+from repro.testing.oracle import (  # noqa: F401
+    ConformanceOutcome,
+    ConformanceReport,
+    CounterExample,
+    Divergence,
+    Scenario,
+    check_experiment,
+    check_scenario,
+    minimize_scenario,
+    observe_vm,
+    run_fuzz,
+    temp_workload,
+)
+from repro.testing.corpus import (  # noqa: F401
+    CorpusEntry,
+    entry_from_counterexample,
+    entry_from_outcome,
+    load_corpus,
+    replay_entry,
+)
+
+__all__ = [
+    "ARRAY_LEN",
+    "ConformanceOutcome",
+    "ConformanceReport",
+    "CorpusEntry",
+    "CounterExample",
+    "DEFAULT_SEED",
+    "Divergence",
+    "ENV_VAR",
+    "GenConfig",
+    "ProgramSpec",
+    "Scenario",
+    "SPEED_PALETTE",
+    "WorldSpec",
+    "base_seed",
+    "check_experiment",
+    "check_scenario",
+    "degenerate_worlds",
+    "derive_seed",
+    "entry_from_counterexample",
+    "entry_from_outcome",
+    "generate_program",
+    "generate_source",
+    "generate_world",
+    "load_corpus",
+    "minimize_scenario",
+    "observe_vm",
+    "replay_entry",
+    "run_fuzz",
+    "shrink_program",
+    "temp_workload",
+]

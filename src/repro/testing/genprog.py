@@ -1,0 +1,660 @@
+"""Seeded, size-parameterized MJ program generator with shrinking.
+
+Replaces (and subsumes) the flat statement fuzzer that used to live inline
+in ``tests/vm/test_fastpath.py``: programs here are **multi-class** — helper
+classes with int fields, an ``int[8]`` array, generated methods, bounded
+recursion and a cross-class ``peer`` reference chain (class ``i`` may read
+fields, call methods and index arrays of class ``i-1``), plus a ``FuzzMain``
+whose ``main`` drives them through loops, branches, array/field stores and
+``Sys.println`` I/O.  Every program is well-typed by construction and, with
+``allow_faults=False``, total: division, modulo and array indexing go
+through the ``FuzzMain.div``/``mod``/``idx`` guard helpers.  With
+``allow_faults=True`` the generator also emits raw ``/``, ``%`` and
+unguarded indices, producing programs that may fault mid-execution — the
+VM differential oracle checks those too (fault text and charged cycles must
+match between engines).
+
+The generator is **structured**: :func:`generate_program` returns a
+:class:`ProgramSpec` (classes, methods, a statement tree), and
+``spec.render()`` deterministically produces the MJ source.  Structure is
+what makes :func:`shrink_program` possible — the shrinker removes
+statements, flattens branches/loops and drops methods/classes while a
+caller-supplied predicate still reproduces the failure, yielding the
+minimized counterexamples ``repro fuzz`` reports.
+
+Everything derives from one ``random.Random(cfg.seed)``; the same
+:class:`GenConfig` always yields byte-identical source (the corpus and
+failure replays depend on this).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import asdict, dataclass, field, fields
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "GenConfig",
+    "ProgramSpec",
+    "ClassSpec",
+    "MethodSpec",
+    "generate_program",
+    "generate_source",
+    "shrink_program",
+    "ARRAY_LEN",
+]
+
+#: every helper class carries one ``int[ARRAY_LEN]`` field named ``data``
+ARRAY_LEN = 8
+
+_SAFE_BIN_OPS = ("+", "-", "*", "&", "|", "^")
+_REL_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of one generated program — the scenario's reproducible recipe."""
+
+    seed: int = 0
+    #: helper classes besides ``FuzzMain`` (0 = flat single-class program,
+    #: the shape of the old ``test_fastpath`` fuzzer)
+    n_classes: int = 2
+    #: generated methods per helper class (``check()`` comes on top)
+    n_methods: int = 2
+    #: statements per block before nesting
+    max_stmts: int = 5
+    #: maximum statement nesting depth (if/for)
+    max_depth: int = 2
+    #: maximum expression tree depth
+    max_expr_depth: int = 2
+    #: upper bound for generated for-loop trip counts
+    loop_bound: int = 6
+    #: upper bound for generated recursion depths
+    recursion_depth: int = 6
+    #: emit raw ``/``, ``%`` and unguarded array indices (programs may fault)
+    allow_faults: bool = False
+    allow_recursion: bool = True
+    allow_arrays: bool = True
+    #: emit ``Sys.println`` statements in ``main`` (the digest prints always)
+    allow_io: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# ---------------------------------------------------------------------------
+# statement tree
+# ---------------------------------------------------------------------------
+@dataclass
+class SAssign:
+    """``lhs = expr;`` — lhs is a variable, field or array slot."""
+
+    lhs: str
+    expr: str
+
+    def render(self, indent: str) -> List[str]:
+        return [f"{indent}{self.lhs} = {self.expr};"]
+
+
+@dataclass
+class SPrint:
+    """``Sys.println("tag:" + expr);``"""
+
+    tag: str
+    expr: str
+
+    def render(self, indent: str) -> List[str]:
+        return [f'{indent}Sys.println("{self.tag}:" + ({self.expr}));']
+
+
+@dataclass
+class SIf:
+    cond: str
+    then: List[object]
+    orelse: List[object]
+
+    def render(self, indent: str) -> List[str]:
+        lines = [f"{indent}if ({self.cond}) {{"]
+        for s in self.then:
+            lines.extend(s.render(indent + "    "))
+        if self.orelse:
+            lines.append(f"{indent}}} else {{")
+            for s in self.orelse:
+                lines.extend(s.render(indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class SFor:
+    var: str
+    bound: int
+    body: List[object]
+
+    def render(self, indent: str) -> List[str]:
+        lines = [
+            f"{indent}for (int {self.var} = 0; "
+            f"{self.var} < {self.bound}; {self.var}++) {{"
+        ]
+        for s in self.body:
+            lines.extend(s.render(indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+
+
+Stmt = object  # SAssign | SPrint | SIf | SFor
+
+
+# ---------------------------------------------------------------------------
+# program spec
+# ---------------------------------------------------------------------------
+@dataclass
+class MethodSpec:
+    name: str
+    body: List[Stmt]
+    ret_expr: str
+    #: "plain" (``m(int p0, int p1)``) or "rec" (``m(int n, int acc)``,
+    #: self-recursive on ``n - 1`` — terminates by construction)
+    kind: str = "plain"
+
+
+@dataclass
+class ClassSpec:
+    index: int
+    methods: List[MethodSpec] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"Helper{self.index}"
+
+    @property
+    def has_peer(self) -> bool:
+        return self.index > 0
+
+    def rec_method(self) -> Optional[MethodSpec]:
+        for m in self.methods:
+            if m.kind == "rec":
+                return m
+        return None
+
+
+@dataclass
+class ProgramSpec:
+    """A generated program, structured for rendering *and* shrinking."""
+
+    config: GenConfig
+    classes: List[ClassSpec]
+    #: ``int x{i} = <literal>;`` initializers of main's scratch variables
+    main_vars: List[int]
+    main_body: List[Stmt]
+
+    # ------------------------------------------------------------- metrics
+    def num_statements(self) -> int:
+        def count(stmts: Sequence[Stmt]) -> int:
+            n = 0
+            for s in stmts:
+                n += 1
+                if isinstance(s, SIf):
+                    n += count(s.then) + count(s.orelse)
+                elif isinstance(s, SFor):
+                    n += count(s.body)
+            return n
+
+        total = count(self.main_body)
+        for cls in self.classes:
+            for m in cls.methods:
+                total += count(m.body) + 1
+        return total
+
+    def clone(self) -> "ProgramSpec":
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------ rendering
+    def render(self) -> str:
+        lines: List[str] = []
+        for cls in self.classes:
+            lines.extend(self._render_class(cls))
+            lines.append("")
+        lines.extend(self._render_main())
+        return "\n".join(lines) + "\n"
+
+    def _render_class(self, cls: ClassSpec) -> List[str]:
+        ind = "    "
+        lines = [f"class {cls.name} {{"]
+        lines.append(f"{ind}int f0;")
+        lines.append(f"{ind}int f1;")
+        lines.append(f"{ind}int[] data;")
+        if cls.has_peer:
+            peer_cls = f"Helper{cls.index - 1}"
+            lines.append(f"{ind}{peer_cls} peer;")
+            ctor_sig = f"{ind}{cls.name}(int s, {peer_cls} peer) {{"
+        else:
+            ctor_sig = f"{ind}{cls.name}(int s) {{"
+        lines.append(ctor_sig)
+        if cls.has_peer:
+            lines.append(f"{ind}    this.peer = peer;")
+        lines.append(f"{ind}    f0 = s;")
+        lines.append(f"{ind}    f1 = s * 7 + 3;")
+        lines.append(f"{ind}    data = new int[{ARRAY_LEN}];")
+        lines.append(
+            f"{ind}    for (int i = 0; i < {ARRAY_LEN}; i++) "
+            f"{{ data[i] = i * s + f0; }}"
+        )
+        lines.append(f"{ind}}}")
+        for m in cls.methods:
+            lines.extend(self._render_method(m, ind))
+        # check(): the fixed state digest every class exposes — main's final
+        # println observes every field and array slot through it
+        lines.append(f"{ind}int check() {{")
+        lines.append(f"{ind}    int s = f0 + f1 * 5;")
+        lines.append(
+            f"{ind}    for (int i = 0; i < {ARRAY_LEN}; i++) "
+            f"{{ s = s + data[i] * (i + 1); }}"
+        )
+        if cls.has_peer:
+            lines.append(f"{ind}    return s + peer.check();")
+        else:
+            lines.append(f"{ind}    return s;")
+        lines.append(f"{ind}}}")
+        lines.append("}")
+        return lines
+
+    def _render_method(self, m: MethodSpec, ind: str) -> List[str]:
+        if m.kind == "rec":
+            lines = [f"{ind}int {m.name}(int n, int acc) {{"]
+            lines.append(f"{ind}    if (n <= 0) {{ return acc; }}")
+            for s in m.body:
+                lines.extend(s.render(ind + "    "))
+            lines.append(f"{ind}    return {m.name}(n - 1, {m.ret_expr});")
+        else:
+            lines = [f"{ind}int {m.name}(int p0, int p1) {{"]
+            lines.append(f"{ind}    int a0 = p0 ^ p1;")
+            for s in m.body:
+                lines.extend(s.render(ind + "    "))
+            lines.append(f"{ind}    return {m.ret_expr};")
+        lines.append(f"{ind}}}")
+        return lines
+
+    def _render_main(self) -> List[str]:
+        ind = "    "
+        body_ind = ind + "    "
+        lines = ["class FuzzMain {"]
+        # total-arithmetic guards — referenced by generated expressions
+        lines.append(
+            f"{ind}static int div(int a, int b) "
+            f"{{ if (b == 0) {{ return a; }} return a / b; }}"
+        )
+        lines.append(
+            f"{ind}static int mod(int a, int b) "
+            f"{{ if (b == 0) {{ return 0; }} return a % b; }}"
+        )
+        lines.append(
+            f"{ind}static int idx(int i, int n) "
+            f"{{ int m = i % n; if (m < 0) {{ m = m + n; }} return m; }}"
+        )
+        lines.append(f"{ind}static void main(String[] args) {{")
+        for cls in self.classes:
+            init = 3 + 2 * cls.index
+            if cls.has_peer:
+                lines.append(
+                    f"{body_ind}{cls.name} h{cls.index} = "
+                    f"new {cls.name}({init}, h{cls.index - 1});"
+                )
+            else:
+                lines.append(
+                    f"{body_ind}{cls.name} h{cls.index} = new {cls.name}({init});"
+                )
+        for i, init in enumerate(self.main_vars):
+            lines.append(f"{body_ind}int x{i} = {init};")
+        for s in self.main_body:
+            lines.extend(s.render(body_ind))
+        digest = " + \",\" + ".join(
+            [f"x{i}" for i in range(len(self.main_vars))]
+            + [f"h{cls.index}.check()" for cls in self.classes]
+        )
+        lines.append(f'{body_ind}Sys.println("digest:" + {digest});')
+        lines.append(f"{ind}}}")
+        lines.append("}")
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+class _Scope:
+    """What an expression may reference at its generation site."""
+
+    def __init__(
+        self,
+        ints: List[str],
+        arrays: List[str],
+        fields_: List[str],
+        calls: List[Tuple[str, str]],
+        rec_calls: List[Tuple[str, str]],
+    ) -> None:
+        self.ints = ints          # plain int variables
+        self.arrays = arrays      # int[] expressions (always length ARRAY_LEN)
+        self.fields = fields_     # readable int field expressions
+        self.calls = calls        # (receiver, name) of plain int(int,int) methods
+        self.rec_calls = rec_calls  # (receiver, name) of rec int(int,int) methods
+
+
+class _Gen:
+    def __init__(self, cfg: GenConfig) -> None:
+        self.cfg = cfg
+        self.rng = random.Random(cfg.seed)
+        self._uniq = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._uniq += 1
+        return f"{prefix}{self._uniq}"
+
+    # ----------------------------------------------------------- expressions
+    def literal(self) -> str:
+        v = self.rng.randint(-99, 99)
+        return str(v) if v >= 0 else f"(0 - {-v})"
+
+    def atom(self, scope: _Scope) -> str:
+        pool: List[str] = [self.literal()]
+        pool.extend(scope.ints)
+        pool.extend(scope.fields)
+        return self.rng.choice(pool)
+
+    def index_expr(self, scope: _Scope, depth: int) -> str:
+        inner = self.expr(scope, depth + 1)
+        if self.cfg.allow_faults and self.rng.random() < 0.2:
+            return inner  # may be out of bounds — that's the point
+        return f"FuzzMain.idx({inner}, {ARRAY_LEN})"
+
+    def expr(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= self.cfg.max_expr_depth or rng.random() < 0.35:
+            return self.atom(scope)
+        forms = ["bin", "bin", "divmod"]
+        if scope.arrays and self.cfg.allow_arrays:
+            forms.append("aread")
+        if scope.calls:
+            forms.append("call")
+        if scope.rec_calls:
+            forms.append("rec")
+        form = rng.choice(forms)
+        if form == "bin":
+            a = self.expr(scope, depth + 1)
+            b = self.expr(scope, depth + 1)
+            return f"({a} {rng.choice(_SAFE_BIN_OPS)} {b})"
+        if form == "divmod":
+            a = self.expr(scope, depth + 1)
+            b = self.expr(scope, depth + 1)
+            op = rng.choice(("/", "%"))
+            if self.cfg.allow_faults and rng.random() < 0.25:
+                return f"({a} {op} {b})"
+            fn = "div" if op == "/" else "mod"
+            return f"FuzzMain.{fn}({a}, {b})"
+        if form == "aread":
+            arr = rng.choice(scope.arrays)
+            return f"{arr}[{self.index_expr(scope, depth)}]"
+        if form == "rec":
+            recv, name = rng.choice(scope.rec_calls)
+            n = rng.randint(1, self.cfg.recursion_depth)
+            return f"{recv}{name}({n}, {self.expr(scope, depth + 1)})"
+        recv, name = rng.choice(scope.calls)
+        a = self.expr(scope, depth + 1)
+        b = self.expr(scope, depth + 1)
+        return f"{recv}{name}({a}, {b})"
+
+    def cond(self, scope: _Scope) -> str:
+        a = self.expr(scope, self.cfg.max_expr_depth - 1)
+        b = self.expr(scope, self.cfg.max_expr_depth - 1)
+        return f"{a} {self.rng.choice(_REL_OPS)} {b}"
+
+    # ------------------------------------------------------------ statements
+    def block(
+        self,
+        scope: _Scope,
+        writable: List[str],
+        depth: int,
+        n_stmts: Optional[int] = None,
+        io: bool = False,
+    ) -> List[Stmt]:
+        rng = self.rng
+        if n_stmts is None:
+            n_stmts = rng.randint(1, self.cfg.max_stmts)
+        stmts: List[Stmt] = []
+        for _ in range(n_stmts):
+            kinds = ["assign", "assign", "assign"]
+            if scope.arrays and self.cfg.allow_arrays:
+                kinds.append("astore")
+            if depth < self.cfg.max_depth:
+                kinds.extend(["if", "for"])
+            if io and self.cfg.allow_io:
+                kinds.append("print")
+            kind = rng.choice(kinds)
+            if kind == "assign":
+                stmts.append(SAssign(rng.choice(writable), self.expr(scope)))
+            elif kind == "astore":
+                arr = rng.choice(scope.arrays)
+                lhs = f"{arr}[{self.index_expr(scope, 0)}]"
+                stmts.append(SAssign(lhs, self.expr(scope)))
+            elif kind == "print":
+                stmts.append(SPrint(self.fresh("t"), self.expr(scope)))
+            elif kind == "if":
+                then = self.block(scope, writable, depth + 1,
+                                  rng.randint(1, 2), io=io)
+                orelse = (
+                    self.block(scope, writable, depth + 1,
+                               rng.randint(1, 2), io=io)
+                    if rng.random() < 0.6 else []
+                )
+                stmts.append(SIf(self.cond(scope), then, orelse))
+            else:
+                var = self.fresh("i")
+                inner = _Scope(
+                    scope.ints + [var], scope.arrays, scope.fields,
+                    scope.calls, scope.rec_calls,
+                )
+                body = self.block(inner, writable, depth + 1,
+                                  rng.randint(1, 2), io=io)
+                stmts.append(SFor(var, rng.randint(1, self.cfg.loop_bound), body))
+        return stmts
+
+    # --------------------------------------------------------------- classes
+    def helper_class(self, index: int, prev: Optional[ClassSpec]) -> ClassSpec:
+        cls = ClassSpec(index)
+        # what this class's method bodies may touch: own fields/array, and —
+        # through ``peer`` — the previous class's state and methods
+        fields_ = ["f0", "f1"]
+        arrays = ["data"] if self.cfg.allow_arrays else []
+        calls: List[Tuple[str, str]] = []
+        rec_calls: List[Tuple[str, str]] = []
+        if prev is not None:
+            fields_ += ["peer.f0", "peer.f1"]
+            if self.cfg.allow_arrays:
+                arrays.append("peer.data")
+            calls = [("peer.", m.name) for m in prev.methods if m.kind == "plain"]
+            prev_rec = prev.rec_method()
+            if prev_rec is not None:
+                rec_calls = [("peer.", prev_rec.name)]
+        n_rec = 1 if (self.cfg.allow_recursion and
+                      self.rng.random() < 0.8) else 0
+        for j in range(max(self.cfg.n_methods, 1)):
+            if n_rec and j == 0:
+                scope = _Scope(["n", "acc"], arrays, fields_, calls, rec_calls)
+                body = self.block(scope, ["acc"], self.cfg.max_depth,
+                                  self.rng.randint(0, 1))
+                cls.methods.append(
+                    MethodSpec(f"rec{index}", body,
+                               self.expr(scope, 1), kind="rec")
+                )
+                continue
+            scope = _Scope(["p0", "p1", "a0"], arrays, fields_, calls, rec_calls)
+            body = self.block(scope, ["a0"], self.cfg.max_depth - 1,
+                              self.rng.randint(0, 2))
+            cls.methods.append(
+                MethodSpec(f"m{index}_{j}", body, self.expr(scope))
+            )
+        return cls
+
+    def program(self) -> ProgramSpec:
+        classes: List[ClassSpec] = []
+        prev: Optional[ClassSpec] = None
+        for i in range(self.cfg.n_classes):
+            cls = self.helper_class(i, prev)
+            classes.append(cls)
+            prev = cls
+        n_vars = self.rng.randint(3, 4)
+        main_vars = [self.rng.randint(-50, 50) for _ in range(n_vars)]
+        ints = [f"x{i}" for i in range(n_vars)]
+        fields_: List[str] = []
+        arrays: List[str] = []
+        calls: List[Tuple[str, str]] = []
+        rec_calls: List[Tuple[str, str]] = []
+        for cls in classes:
+            h = f"h{cls.index}"
+            fields_ += [f"{h}.f0", f"{h}.f1"]
+            if self.cfg.allow_arrays:
+                arrays.append(f"{h}.data")
+            for m in cls.methods:
+                if m.kind == "plain":
+                    calls.append((f"{h}.", m.name))
+                else:
+                    rec_calls.append((f"{h}.", m.name))
+        scope = _Scope(ints, arrays, fields_, calls, rec_calls)
+        body = self.block(
+            scope, ints, 0,
+            self.rng.randint(max(1, self.cfg.max_stmts - 2),
+                             self.cfg.max_stmts),
+            io=True,
+        )
+        return ProgramSpec(self.cfg, classes, main_vars, body)
+
+
+def generate_program(cfg: GenConfig) -> ProgramSpec:
+    """The seeded generator: same config → byte-identical program."""
+    return _Gen(cfg).program()
+
+
+def generate_source(cfg: GenConfig) -> str:
+    return generate_program(cfg).render()
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+def _nested_blocks(stmts: List[Stmt]):
+    """Yield every statement list in a tree (the list itself included)."""
+    yield stmts
+    for s in stmts:
+        if isinstance(s, SIf):
+            yield from _nested_blocks(s.then)
+            yield from _nested_blocks(s.orelse)
+        elif isinstance(s, SFor):
+            yield from _nested_blocks(s.body)
+
+
+def _candidates(spec: ProgramSpec):
+    """Reduced copies of ``spec``, most aggressive first.  Copies that no
+    longer compile are fine — the predicate rejects them."""
+    # drop the highest helper class (digest/decls re-render without it)
+    if spec.classes:
+        c = spec.clone()
+        c.classes.pop()
+        yield c
+    # drop whole methods
+    for ci, cls in enumerate(spec.classes):
+        for mi in range(len(cls.methods)):
+            c = spec.clone()
+            c.classes[ci].methods.pop(mi)
+            yield c
+    # statement-level reductions over every block in the program
+    roots: List[Tuple[Callable[[ProgramSpec], List[Stmt]], List[Stmt]]] = [
+        (lambda s: s.main_body, spec.main_body)
+    ]
+    for ci, cls in enumerate(spec.classes):
+        for mi, m in enumerate(cls.methods):
+            roots.append(
+                (lambda s, ci=ci, mi=mi: s.classes[ci].methods[mi].body,
+                 m.body)
+            )
+    for getter, root in roots:
+        # address blocks by their path of (stmt index, branch) hops
+        def blocks_with_paths(stmts, path):
+            yield stmts, path
+            for i, s in enumerate(stmts):
+                if isinstance(s, SIf):
+                    yield from blocks_with_paths(s.then, path + [(i, "then")])
+                    yield from blocks_with_paths(s.orelse, path + [(i, "orelse")])
+                elif isinstance(s, SFor):
+                    yield from blocks_with_paths(s.body, path + [(i, "body")])
+
+        def resolve(c_spec, path):
+            blk = getter(c_spec)
+            for i, branch in path:
+                blk = getattr(blk[i], branch)
+            return blk
+
+        for blk, path in blocks_with_paths(root, []):
+            for i, s in enumerate(blk):
+                # remove the statement entirely
+                c = spec.clone()
+                resolve(c, path).pop(i)
+                yield c
+                if isinstance(s, SIf):
+                    # replace the if with one of its branches
+                    for branch in ("then", "orelse"):
+                        c = spec.clone()
+                        tgt = resolve(c, path)
+                        inner = list(getattr(tgt[i], branch))
+                        tgt[i:i + 1] = inner
+                        yield c
+                elif isinstance(s, SFor):
+                    # hoist the body / shrink the trip count
+                    c = spec.clone()
+                    tgt = resolve(c, path)
+                    tgt[i:i + 1] = list(tgt[i].body)
+                    yield c
+                    if s.bound > 1:
+                        c = spec.clone()
+                        resolve(c, path)[i].bound = 1
+                        yield c
+    # drop main scratch variables (highest first; body refs reject via compile)
+    if len(spec.main_vars) > 1:
+        c = spec.clone()
+        c.main_vars.pop()
+        yield c
+
+
+def shrink_program(
+    spec: ProgramSpec,
+    predicate: Callable[[ProgramSpec], bool],
+    max_evals: int = 200,
+) -> Tuple[ProgramSpec, int]:
+    """Greedy structural minimization: repeatedly apply the first reduction
+    that still satisfies ``predicate`` (e.g. "the oracle still reports the
+    same divergence") until none does or ``max_evals`` predicate calls are
+    spent.  Returns ``(minimized spec, evaluations used)``.
+
+    ``predicate`` must treat non-compiling programs as ``False``."""
+    evals = 0
+    current = spec
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for cand in _candidates(current):
+            if evals >= max_evals:
+                break
+            evals += 1
+            try:
+                ok = predicate(cand)
+            except Exception:
+                ok = False
+            if ok:
+                current = cand
+                progress = True
+                break
+    return current, evals

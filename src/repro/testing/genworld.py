@@ -1,0 +1,202 @@
+"""Seeded generators for execution *worlds*: cluster topology, network,
+partitioner and runtime-backend configurations.
+
+A :class:`WorldSpec` is the environment half of a fuzz scenario (the
+program half comes from :mod:`repro.testing.genprog`).  It deliberately
+spans the degenerate corners the fixed test grids never visit:
+
+* 1-node "clusters" (distribution must collapse to sequential semantics),
+* the paper's heterogeneous 2-node testbed shape,
+* mid-size heterogeneous clusters with node speeds spread over ~8x,
+* wide 16-node topologies where most nodes sit idle (plans use fewer
+  partitions than there are machines),
+* every registered network preset and partitioner, both granularities,
+  and sync vs fire-and-forget remote writes.
+
+Worlds render to :class:`repro.api.config.ExperimentConfig` (one per
+backend), so fuzz scenarios run through exactly the same typed-config /
+registry / stage-cache plumbing as every other experiment in the repo.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Optional, Tuple
+
+__all__ = [
+    "WorldSpec",
+    "generate_world",
+    "degenerate_worlds",
+    "SPEED_PALETTE",
+]
+
+#: CPU speeds (Hz) heterogeneous clusters draw from — 400 MHz handhelds up
+#: to 3.2 GHz servers, the paper's pervasive-computing spread
+SPEED_PALETTE = (400e6, 800e6, 1.0e9, 1.7e9, 2.4e9, 3.2e9)
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """One reproducible execution environment for a generated program."""
+
+    nparts: int = 2
+    method: str = "multilevel"
+    granularity: str = "class"
+    network: str = "ethernet_100m"
+    #: per-node CPU speeds; length is the cluster size (>= nparts)
+    speeds: Tuple[float, ...] = (1.7e9, 800e6)
+    mem_mb: int = 512
+    #: runtime backends the oracle must agree across
+    backends: Tuple[str, ...] = ("sim",)
+    async_writes: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+        object.__setattr__(self, "backends", tuple(self.backends))
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.speeds)
+
+    def label(self) -> str:
+        return (
+            f"k{self.nparts}/{self.method}/{self.granularity}"
+            f"/{self.network}/n{self.nnodes}/{'+'.join(self.backends)}"
+        )
+
+    # ----------------------------------------------------------- round trip
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["speeds"] = list(self.speeds)
+        d["backends"] = list(self.backends)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorldSpec":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "speeds" in kwargs:
+            kwargs["speeds"] = tuple(kwargs["speeds"])
+        if "backends" in kwargs:
+            kwargs["backends"] = tuple(kwargs["backends"])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------- configs
+    def experiment_config(
+        self, workload: str, size: str = "test", backend: Optional[str] = None
+    ):
+        """The typed :class:`~repro.api.config.ExperimentConfig` this world
+        denotes for one backend (default: the world's first)."""
+        from repro.api.config import (
+            BackendConfig,
+            ClusterConfig,
+            ExperimentConfig,
+            PartitionConfig,
+            WorkloadSpec,
+        )
+
+        return ExperimentConfig(
+            workload=WorkloadSpec(name=workload, size=size),
+            partition=PartitionConfig(
+                method=self.method,
+                nparts=self.nparts,
+                granularity=self.granularity,
+            ),
+            cluster=ClusterConfig(
+                network=self.network,
+                speeds=self.speeds,
+                mem_mb=self.mem_mb,
+            ),
+            backend=BackendConfig(
+                name=backend if backend is not None else self.backends[0],
+                async_writes=self.async_writes,
+            ),
+        )
+
+
+def _speeds(rng: random.Random, n: int, heterogeneous: bool) -> Tuple[float, ...]:
+    if not heterogeneous:
+        return (rng.choice(SPEED_PALETTE),) * n
+    return tuple(rng.choice(SPEED_PALETTE) for _ in range(n))
+
+
+def generate_world(
+    rng: random.Random,
+    include_thread: bool = True,
+    include_process: bool = False,
+    max_nodes: int = 16,
+) -> WorldSpec:
+    """Sample one world.  Distribution is deliberately corner-heavy: about
+    one scenario in five runs a degenerate topology (1 node, or a wide
+    cluster with idle machines)."""
+    from repro.partition.api import PARTITIONERS
+    from repro.runtime.cluster import NETWORKS
+
+    shape = rng.choice(
+        ("paper", "flat", "flat", "hetero", "hetero", "single", "wide")
+    )
+    if shape == "single":
+        nparts, nnodes, hetero = 1, 1, False
+    elif shape == "paper":
+        nparts, nnodes, hetero = 2, 2, True
+    elif shape == "wide":
+        nparts = rng.randint(2, 4)
+        nnodes = min(max_nodes, rng.choice((8, 12, 16)))
+        hetero = True
+    else:
+        nparts = rng.randint(2, 4)
+        nnodes = nparts
+        hetero = shape == "hetero"
+    if shape == "paper":
+        speeds: Tuple[float, ...] = (1.7e9, 800e6)
+    else:
+        speeds = _speeds(rng, nnodes, hetero)
+    backends = ["sim"]
+    if include_thread and rng.random() < 0.5 and nnodes <= 8:
+        backends.append("thread")
+    if include_process and nnodes <= 4 and rng.random() < 0.25:
+        backends.append("process")
+    return WorldSpec(
+        nparts=nparts,
+        method=rng.choice(PARTITIONERS.names()),
+        granularity="object" if rng.random() < 0.25 else "class",
+        network=rng.choice(NETWORKS.names()),
+        speeds=speeds,
+        mem_mb=rng.choice((64, 128, 256, 512)),
+        backends=tuple(backends),
+        async_writes=rng.random() < 0.3,
+    )
+
+
+def degenerate_worlds() -> Tuple[WorldSpec, ...]:
+    """The fixed corner cases every conformance run should cover at least
+    once (tests parametrize over these directly)."""
+    return (
+        # 1-node: distribution must collapse to sequential semantics
+        WorldSpec(nparts=1, speeds=(800e6,), backends=("sim",)),
+        # the paper's exact heterogeneous testbed
+        WorldSpec(nparts=2, speeds=(1.7e9, 800e6), backends=("sim", "thread")),
+        # wide: 16 machines, 4 partitions, 12 idle nodes
+        WorldSpec(
+            nparts=4,
+            speeds=tuple(SPEED_PALETTE[i % len(SPEED_PALETTE)] for i in range(16)),
+            backends=("sim",),
+        ),
+        # slow link + fire-and-forget writes
+        WorldSpec(
+            nparts=2,
+            network="wireless_80211b",
+            speeds=(400e6, 3.2e9),
+            async_writes=True,
+            backends=("sim",),
+        ),
+        # object granularity on a 3-way split
+        WorldSpec(
+            nparts=3,
+            granularity="object",
+            method="kl",
+            speeds=(1.0e9, 2.4e9, 800e6),
+            backends=("sim",),
+        ),
+    )

@@ -1,0 +1,67 @@
+"""The one seed knob for every randomized test, bench and fuzzer.
+
+``REPRO_TEST_SEED`` is the documented environment variable from which all
+randomness in the repository derives:
+
+* the pytest suite's global RNG seeding and hypothesis profile
+  (``tests/conftest.py``),
+* the reproduction benches' ``BENCH_SEED`` (``benchmarks/conftest.py``),
+* ``repro fuzz`` and the :mod:`repro.testing` generators.
+
+Consumers never use the base seed directly — they call :func:`derive_seed`
+with a label naming their stream, so two independent consumers do not
+share (or correlate) their random sequences.  Derivation is a SHA-256 of
+``(base, labels...)``: stable across processes, platforms and Python
+versions, unlike ``hash()``.
+
+On test failure the conftest prints the effective seed so any run can be
+reproduced with ``REPRO_TEST_SEED=<value> pytest ...``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+__all__ = ["ENV_VAR", "DEFAULT_SEED", "base_seed", "derive_seed", "describe"]
+
+#: the documented environment knob every randomized test derives from
+ENV_VAR = "REPRO_TEST_SEED"
+
+#: base seed when the knob is unset — fixed, so plain ``pytest`` runs are
+#: reproducible by default
+DEFAULT_SEED = 0
+
+
+def base_seed(default: int = DEFAULT_SEED) -> int:
+    """The effective base seed: ``$REPRO_TEST_SEED`` (decimal or ``0x``-hex;
+    arbitrary strings are hashed) or ``default`` when unset/empty."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw, 0)
+    except ValueError:
+        digest = hashlib.sha256(raw.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+
+def derive_seed(*labels: object, base: Optional[int] = None) -> int:
+    """A stable 63-bit stream seed for ``(base_seed, *labels)``.
+
+    Distinct label tuples give independent streams; the same tuple always
+    gives the same seed for a given base — so a failure report can name the
+    exact stream that produced it."""
+    if base is None:
+        base = base_seed()
+    h = hashlib.sha256(str(base).encode("utf-8"))
+    for label in labels:
+        h.update(b"\x00")
+        h.update(str(label).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+def describe(base: Optional[int] = None) -> str:
+    """Human-readable provenance line printed on failures."""
+    return f"{ENV_VAR}={base if base is not None else base_seed()}"

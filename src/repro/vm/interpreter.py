@@ -141,6 +141,14 @@ class Machine:
         #: cycle-reading natives (``Sys.time``) see exactly what the
         #: per-step path would have charged by that point
         self.inflight_cycles = 0
+        #: deliberate fast-path fault injection for conformance-oracle
+        #: self-tests: when the ``REPRO_VM_INJECT_OVERCHARGE`` environment
+        #: variable is a positive integer, every :meth:`run_block`
+        #: overcharges that many cycles — a bug the differential oracle
+        #: must catch.  Zero (the default) is free.
+        self.inject_overcharge = int(
+            os.environ.get("REPRO_VM_INJECT_OVERCHARGE", "0") or "0"
+        )
 
     # ------------------------------------------------------------------ calls
     def call_bmethod(
@@ -550,7 +558,7 @@ class Machine:
         oracle would have charged.
         """
         frames = self.frames
-        acc = 0
+        acc = self.inject_overcharge  # 0 unless a self-test injects a fault
         nsteps = 0
         frame = frames[-1]
         code = _threaded(frame.flat)

@@ -1,5 +1,9 @@
 """Adaptive repartitioning tests: measured weights beat static heuristics on
-recursion-heavy code, and refined plans still execute correctly."""
+recursion-heavy code, refined plans still execute correctly, and — on
+arbitrary generated scenarios — measured-weight repartitioning never
+predicts a worse makespan than its own baseline."""
+
+from hypothesis import given, settings, strategies as st
 
 from repro.adaptive import adaptive_repartition, profile_program
 from repro.bytecode import compile_program
@@ -86,6 +90,37 @@ def test_refined_plan_executes_correctly():
     )
     dist = DistributedExecutor(rewritten, result.refined_plan, cluster).run()
     assert dist.stdout == seq.stdout
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_classes=st.integers(min_value=1, max_value=3),
+    heterogeneous=st.booleans(),
+)
+def test_refined_plan_never_predicts_worse_makespan(seed, n_classes,
+                                                    heterogeneous):
+    """Property: on generated multi-class scenarios, the measured-weight
+    replan's predicted makespan is never worse than what it predicts for
+    the static plan's placement under the same measured weights — the
+    initial placement always rides along as a candidate."""
+    from repro.testing.genprog import GenConfig, generate_source
+
+    source = generate_source(
+        GenConfig(seed=seed, n_classes=n_classes, allow_io=False)
+    )
+    ast = parse_program(source)
+    bp = compile_program(ast, analyze(ast))
+    tpwgts = [0.68, 0.32] if heterogeneous else None
+    result = adaptive_repartition(bp, 2, tpwgts=tpwgts, pin_main_to=1)
+    assert result.refined_cost <= result.initial_cost_measured + 1e-6, (
+        f"seed={seed}: refined plan predicts {result.refined_cost}, "
+        f"baseline placement predicts {result.initial_cost_measured}"
+    )
+    assert result.predicted_improvement >= -1e-9
+    # and the bookkeeping the property rests on is present
+    assert result.initial_plan.parts is not None
+    assert result.refined_plan.est_cost == result.refined_cost
 
 
 def test_adaptive_on_search_workload():

@@ -196,3 +196,67 @@ def test_parser_lists_all_workloads():
     help_text = parser.format_help()
     assert "distribute" in help_text and "analyze" in help_text
     assert "bench" in help_text
+    assert "fuzz" in help_text
+
+
+# ------------------------------------------------------------------ fuzz
+def test_fuzz_small_budget_clean(capsys):
+    assert main(["fuzz", "--seed", "0", "--budget", "4"]) == 0
+    captured = capsys.readouterr()
+    assert "0 failures" in captured.out
+    assert "seed=0" in captured.err  # the seed is always announced
+
+
+def test_fuzz_json_report(capsys):
+    assert main(["fuzz", "--seed", "2", "--budget", "3", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["scenarios"] == 3
+    assert report["seed"] == 2
+    assert report["failures"] == []
+
+
+def test_fuzz_replay_committed_corpus(capsys):
+    import pathlib
+
+    corpus = pathlib.Path(__file__).parent / "corpus"
+    assert main(["fuzz", "--replay", str(corpus)]) == 0
+    err = capsys.readouterr().err
+    assert "replayed" in err and "0 divergences" in err
+
+
+def test_fuzz_replay_missing_path_is_clean_error(capsys):
+    assert main(["fuzz", "--replay", "does/not/exist"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_fuzz_save_corpus_and_replay_round_trip(tmp_path, capsys):
+    corpus_dir = tmp_path / "corpus"
+    assert main(["fuzz", "--seed", "5", "--budget", "3",
+                 "--save-corpus", str(corpus_dir)]) == 0
+    capsys.readouterr()
+    saved = list(corpus_dir.glob("*.json"))
+    assert saved, "passing scenarios must be saved as golden entries"
+    assert main(["fuzz", "--replay", str(corpus_dir)]) == 0
+
+
+def test_fuzz_injected_fault_fails_with_counterexample(
+    tmp_path, capsys, monkeypatch
+):
+    """The acceptance criterion, end to end through the CLI: an injected VM
+    fault makes `repro fuzz` exit 1 and write a minimized, replayable
+    counterexample."""
+    monkeypatch.setenv("REPRO_VM_INJECT_OVERCHARGE", "1")
+    fail_dir = tmp_path / "failures"
+    assert main(["fuzz", "--seed", "0", "--budget", "2",
+                 "--failures-dir", str(fail_dir)]) == 1
+    captured = capsys.readouterr()
+    assert "vm.cycles" in captured.out
+    saved = list(fail_dir.glob("*.json"))
+    assert saved, "minimized counterexample must be written"
+    # the saved entry replays: still failing while the fault is in...
+    assert main(["fuzz", "--replay", str(saved[0])]) == 1
+    capsys.readouterr()
+    # ...and clean once the fault is fixed
+    monkeypatch.delenv("REPRO_VM_INJECT_OVERCHARGE")
+    assert main(["fuzz", "--replay", str(saved[0])]) == 0

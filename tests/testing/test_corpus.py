@@ -1,0 +1,90 @@
+"""repro.testing.corpus: entry round-trips, the committed corpus replays
+clean, and golden drift is detected."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.testing import (
+    CorpusEntry,
+    GenConfig,
+    Scenario,
+    WorldSpec,
+    check_scenario,
+    entry_from_outcome,
+    generate_program,
+    load_corpus,
+    replay_entry,
+)
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "corpus"
+
+
+def _passing_entry(seed=4):
+    spec = generate_program(GenConfig(seed=seed, n_classes=1))
+    scenario = Scenario(
+        name=f"corpus-t-{seed}", source=spec.render(), world=WorldSpec(),
+        spec=spec,
+    )
+    outcome = check_scenario(scenario)
+    assert outcome.ok
+    return entry_from_outcome(scenario, outcome, meta={"seed": seed})
+
+
+def test_entry_json_round_trip(tmp_path):
+    entry = _passing_entry()
+    path = entry.save(tmp_path)
+    again = CorpusEntry.from_json(path.read_text())
+    assert again.name == entry.name
+    assert again.source == entry.source
+    assert again.expected == entry.expected
+    assert again.world == entry.world
+
+
+def test_replay_fresh_entry_passes():
+    entry = _passing_entry()
+    assert replay_entry(entry) == []
+
+
+def test_replay_detects_golden_drift():
+    entry = _passing_entry()
+    entry.expected["cycles"] += 1  # simulate a cost-model drift
+    divs = replay_entry(entry)
+    assert any(d.check == "corpus.cycles" for d in divs)
+
+
+def test_replay_detects_stdout_drift():
+    entry = _passing_entry()
+    entry.expected["stdout"] = list(entry.expected["stdout"]) + ["extra"]
+    divs = replay_entry(entry)
+    assert any(d.check == "corpus.stdout" for d in divs)
+
+
+def test_load_corpus_rejects_missing_and_garbage(tmp_path):
+    with pytest.raises(ReproError):
+        load_corpus(tmp_path / "nope")
+    (tmp_path / "bad.json").write_text("{not json")
+    with pytest.raises(ReproError):
+        load_corpus(tmp_path)
+
+
+def test_committed_corpus_loads_and_has_both_shapes():
+    entries = load_corpus(CORPUS_DIR)
+    assert len(entries) >= 5
+    kinds = {e.kind for _, e in entries}
+    assert "golden" in kinds
+    for _, entry in entries:
+        assert entry.source.strip()
+        assert entry.expected["stdout"], entry.name
+        WorldSpec.from_dict(entry.world)  # world must round-trip
+
+
+def test_committed_corpus_replays_clean():
+    """The CI regression gate, in-process: every committed golden trace
+    still reproduces and still conforms."""
+    for path, entry in load_corpus(CORPUS_DIR):
+        divs = replay_entry(entry)
+        assert divs == [], (
+            f"{path.name}: {[d.to_dict() for d in divs]}"
+        )

@@ -1,0 +1,128 @@
+"""repro.testing.genprog: determinism, well-typedness, richness, shrinking."""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj
+
+from repro.errors import VMError
+from repro.testing.genprog import (
+    ARRAY_LEN,
+    GenConfig,
+    generate_program,
+    generate_source,
+    shrink_program,
+)
+from repro.vm.interpreter import Machine, run_sync
+
+
+def _run(source):
+    loaded = compile_mj(source)
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    machine.call_bmethod(loaded.main_method(), None, [None])
+    run_sync(machine)
+    return machine
+
+
+def test_same_config_same_source():
+    cfg = GenConfig(seed=1234, n_classes=3)
+    assert generate_source(cfg) == generate_source(cfg)
+
+
+def test_different_seeds_differ():
+    sources = {generate_source(GenConfig(seed=s)) for s in range(10)}
+    assert len(sources) == 10
+
+
+@pytest.mark.parametrize("n_classes", (0, 1, 2, 4))
+def test_guarded_programs_compile_and_terminate(n_classes):
+    """With allow_faults=False every generated program is total: it must
+    compile, run to completion and print its digest."""
+    for seed in range(8):
+        cfg = GenConfig(seed=seed, n_classes=n_classes, allow_faults=False)
+        machine = _run(generate_source(cfg))
+        assert machine.stdout, f"seed {seed}: no output"
+        assert machine.stdout[-1].startswith("digest:")
+        assert machine.cycles > 0
+
+
+def test_faulting_programs_compile():
+    """allow_faults may produce runtime faults but never compile errors."""
+    ran = faulted = 0
+    for seed in range(20):
+        source = generate_source(GenConfig(seed=seed, allow_faults=True))
+        loaded = compile_mj(source)  # must always compile
+        machine = Machine(loaded)
+        machine.statics = loaded.fresh_statics()
+        machine.call_bmethod(loaded.main_method(), None, [None])
+        try:
+            run_sync(machine)
+            ran += 1
+        except VMError:
+            faulted += 1
+    assert ran + faulted == 20
+    assert ran > 0  # the guard helpers keep most programs total
+
+
+def test_programs_exercise_cross_class_state():
+    """Rich programs must really be multi-class: helper classes, a peer
+    chain, arrays and the check() digest of every class."""
+    source = generate_source(GenConfig(seed=5, n_classes=3))
+    assert "class Helper0" in source
+    assert "class Helper2" in source
+    assert "Helper1 peer;" in source
+    assert f"new int[{ARRAY_LEN}]" in source
+    assert "h2.check()" in source
+    # two renders of structurally equal specs agree
+    spec = generate_program(GenConfig(seed=5, n_classes=3))
+    assert spec.render() == source
+
+
+def test_num_statements_counts_nested():
+    spec = generate_program(GenConfig(seed=3, n_classes=2))
+    assert spec.num_statements() > 0
+
+
+def test_shrink_preserves_predicate_and_reduces():
+    """Shrinking a program against "still prints a digest with helper 0's
+    check" must keep that property while removing statements."""
+    spec = generate_program(GenConfig(seed=11, n_classes=2, max_stmts=6))
+    original = spec.num_statements()
+
+    def still_runs(candidate):
+        machine = _run(candidate.render())
+        return bool(machine.stdout) and machine.stdout[-1].startswith("digest:")
+
+    shrunk, evals = shrink_program(spec, still_runs, max_evals=150)
+    assert evals > 0
+    assert shrunk.num_statements() <= original
+    # the minimized program still satisfies the predicate and re-renders
+    # deterministically
+    assert still_runs(shrunk)
+    assert shrunk.render() == shrunk.render()
+    # greedy statement removal should reach (near-)empty main for a
+    # predicate this weak
+    assert shrunk.num_statements() < original
+
+
+def test_shrink_rejects_non_compiling_candidates():
+    """A predicate that raises on broken candidates must be treated as
+    'does not reproduce' — shrinking never crashes on them."""
+    spec = generate_program(GenConfig(seed=2, n_classes=2))
+
+    def strict(candidate):
+        machine = _run(candidate.render())  # raises if candidate is broken
+        return len(machine.stdout) >= 1
+
+    shrunk, _ = shrink_program(spec, strict, max_evals=60)
+    assert _run(shrunk.render()).stdout
+
+
+def test_config_round_trip():
+    cfg = GenConfig(seed=9, n_classes=3, allow_faults=True, loop_bound=4)
+    assert GenConfig.from_dict(cfg.to_dict()) == cfg

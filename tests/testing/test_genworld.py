@@ -1,0 +1,99 @@
+"""repro.testing.genworld: validity, determinism, config round-trips."""
+
+import random
+
+import pytest
+
+from repro.api.config import ClusterConfig, ConfigError, ExperimentConfig
+from repro.testing.genworld import (
+    SPEED_PALETTE,
+    WorldSpec,
+    degenerate_worlds,
+    generate_world,
+)
+
+
+def test_generate_world_is_deterministic():
+    a = generate_world(random.Random(42))
+    b = generate_world(random.Random(42))
+    assert a == b
+
+
+def test_generated_worlds_are_valid_configs():
+    """Every sampled world must materialize into a validated
+    ExperimentConfig whose cluster can host its plan."""
+    for seed in range(40):
+        world = generate_world(random.Random(seed), include_thread=True)
+        cfg = world.experiment_config("bank")
+        assert isinstance(cfg, ExperimentConfig)
+        assert cfg.cluster.size == world.nnodes
+        assert world.nnodes >= world.nparts
+        cluster = cfg.cluster.build(world.nparts)
+        assert cluster.size == world.nnodes
+        for spec, hz in zip(cluster.nodes, world.speeds):
+            assert spec.cpu_hz == hz
+        for backend in world.backends:
+            assert backend in ("sim", "thread", "process")
+
+
+def test_world_round_trip():
+    for seed in range(10):
+        world = generate_world(random.Random(seed))
+        assert WorldSpec.from_dict(world.to_dict()) == world
+
+
+def test_degenerate_worlds_cover_corners():
+    worlds = degenerate_worlds()
+    sizes = {w.nnodes for w in worlds}
+    assert 1 in sizes, "must include the 1-node degenerate topology"
+    assert 16 in sizes, "must include the wide 16-node topology"
+    assert any(w.granularity == "object" for w in worlds)
+    assert any(w.async_writes for w in worlds)
+    for w in worlds:
+        w.experiment_config("bank")  # all must validate
+
+
+def test_cluster_config_speeds_build():
+    cfg = ClusterConfig(speeds=(1.7e9, 800e6, 2.4e9), mem_mb=128)
+    assert cfg.size == 3
+    cluster = cfg.build(2)
+    assert [n.cpu_hz for n in cluster.nodes] == [1.7e9, 800e6, 2.4e9]
+    assert all(n.mem_bytes == 128 << 20 for n in cluster.nodes)
+
+
+def test_cluster_config_mem_applies_without_speeds():
+    """mem_mb bounds every node's memory on every cluster shape, not just
+    explicit-speeds ones."""
+    for nodes in (2, 4):  # paper-testbed shape and homogeneous shape
+        cluster = ClusterConfig(nodes=nodes, mem_mb=64).build(nodes)
+        assert all(n.mem_bytes == 64 << 20 for n in cluster.nodes)
+
+
+def test_cluster_config_speeds_round_trip():
+    cfg = ClusterConfig(speeds=(1.0e9, 3.2e9), network="ethernet_1g")
+    again = ClusterConfig.from_json(cfg.to_json())
+    assert again == cfg
+    assert isinstance(again.speeds, tuple)
+
+
+def test_cluster_config_speeds_validation():
+    with pytest.raises(ConfigError):
+        ClusterConfig(speeds=())
+    with pytest.raises(ConfigError):
+        ClusterConfig(speeds=(0.0,))
+    with pytest.raises(ConfigError):
+        ClusterConfig(nodes=3, speeds=(1e9, 1e9))
+    with pytest.raises(ConfigError):
+        ClusterConfig(speeds=(1e9,), mem_mb=0)
+
+
+def test_experiment_config_uses_effective_cluster_size():
+    world = WorldSpec(nparts=3, speeds=(1e9, 1e9, 1e9))
+    world.experiment_config("bank")  # 3 speeds host 3 parts: fine
+    with pytest.raises(ConfigError):
+        WorldSpec(nparts=3, speeds=(1e9, 1e9)).experiment_config("bank")
+
+
+def test_speed_palette_sane():
+    assert all(s > 0 for s in SPEED_PALETTE)
+    assert max(SPEED_PALETTE) / min(SPEED_PALETTE) >= 4  # real heterogeneity

@@ -224,67 +224,40 @@ def test_baseline_profiler_charges_nothing():
 
 
 # ------------------------------------------------------------------ hypothesis
-_INT_OPS = ("+", "-", "*", "/", "%", "&", "|", "^")
+# Random-program generation lives in repro.testing.genprog (one generator
+# to maintain — the fuzz CLI, the conformance oracle and this suite share
+# it); hypothesis drives its seed/size space and shrinks over it.
+from repro.testing.genprog import GenConfig, generate_source
 
 
-@st.composite
-def _expressions(draw, depth=0):
-    if depth >= 3 or draw(st.booleans()):
-        return draw(
-            st.one_of(
-                st.integers(min_value=-100, max_value=100).map(str),
-                st.sampled_from(("x", "y", "z")),
-            )
-        )
-    a = draw(_expressions(depth=depth + 1))
-    b = draw(_expressions(depth=depth + 1))
-    op_ = draw(st.sampled_from(_INT_OPS))
-    return f"({a} {op_} {b})"
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    max_stmts=st.integers(min_value=1, max_value=6),
+)
+def test_random_flat_programs_fast_equals_slow(seed, max_stmts):
+    """Property (the old flat-fuzzer shape): for generated single-class int
+    programs — arithmetic including faulting division/modulo, branches,
+    nested bounded loops — the fast path and the per-step oracle agree on
+    cycles, steps, result, stdout, and on the error text when the program
+    faults."""
+    source = generate_source(
+        GenConfig(seed=seed, n_classes=0, max_stmts=max_stmts,
+                  allow_faults=True)
+    )
+    assert_paths_agree(source)
 
 
-@st.composite
-def _statements(draw, depth=0):
-    kind = draw(st.sampled_from(
-        ("assign", "if", "loop") if depth < 2 else ("assign",)
-    ))
-    var = draw(st.sampled_from(("x", "y", "z")))
-    if kind == "assign":
-        return f"{var} = {draw(_expressions())};"
-    if kind == "if":
-        cond = draw(st.sampled_from(("<", "<=", ">", ">=", "==", "!=")))
-        then = draw(_statements(depth=depth + 1))
-        other = draw(_statements(depth=depth + 1))
-        return (
-            f"if ({var} {cond} {draw(_expressions())}) "
-            f"{{ {then} }} else {{ {other} }}"
-        )
-    body = draw(_statements(depth=depth + 1))
-    bound = draw(st.integers(min_value=0, max_value=8))
-    return f"for (int i{depth} = 0; i{depth} < {bound}; i{depth}++) {{ {body} }}"
-
-
-@st.composite
-def _programs(draw):
-    stmts = draw(st.lists(_statements(), min_size=1, max_size=6))
-    body = "\n            ".join(stmts)
-    return f"""
-    class M {{
-        static void main(String[] args) {{
-            int x = {draw(st.integers(-50, 50))};
-            int y = {draw(st.integers(-50, 50))};
-            int z = {draw(st.integers(-50, 50))};
-            {body}
-            Sys.println(x + "," + y + "," + z);
-        }}
-    }}
-    """
-
-
-@settings(max_examples=60, deadline=None)
-@given(_programs())
-def test_random_programs_fast_equals_slow(source):
-    """Property: for arbitrary generated int programs (arithmetic including
-    faulting division, branches, nested bounded loops), the fast path and
-    the per-step oracle agree on cycles, steps, result, stdout — and on the
-    error text when the program faults."""
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_classes=st.integers(min_value=1, max_value=3),
+)
+def test_random_rich_programs_fast_equals_slow(seed, n_classes):
+    """Property, multi-class: generated programs with cross-class
+    field/method access, arrays, bounded recursion and possible faults
+    observe identical behavior on both VM engines."""
+    source = generate_source(
+        GenConfig(seed=seed, n_classes=n_classes, allow_faults=(seed % 2 == 0))
+    )
     assert_paths_agree(source)
