@@ -107,6 +107,9 @@ class PartitionConfig(_Config):
     granularity: str = "class"
     #: pin ``main`` to the slowest machine (the paper's "computation node")
     pin_main: bool = True
+    #: copies per replication-safe dependent object (1 = no replication;
+    #: >= 2 enables the quorum protocol of repro.distgen.quorum)
+    replication: int = 1
 
     def __post_init__(self) -> None:
         from repro.partition.api import PARTITIONERS
@@ -118,6 +121,10 @@ class PartitionConfig(_Config):
             raise ConfigError(
                 f"unknown granularity {self.granularity!r}; "
                 f"pick one of {GRANULARITIES}"
+            )
+        if self.replication < 1:
+            raise ConfigError(
+                f"replication must be >= 1, got {self.replication}"
             )
 
 
@@ -142,11 +149,22 @@ class ClusterConfig(_Config):
     speeds: Optional[tuple] = None
     #: per-node memory bound in MB (None = the NodeSpec default)
     mem_mb: Optional[int] = None
+    #: seeded fault plan injected at runtime (None = fault-free); accepts a
+    #: FaultPlan or its dict form and normalizes to the typed plan
+    faults: Optional[Any] = None
 
     def __post_init__(self) -> None:
         from repro.runtime.cluster import NETWORKS
+        from repro.runtime.faults import FaultPlan
 
         NETWORKS.get(self.network)
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            if not isinstance(self.faults, dict):
+                raise ConfigError(
+                    "ClusterConfig.faults must be a FaultPlan or dict, "
+                    f"got {type(self.faults).__name__}"
+                )
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
         if self.speeds is not None:
             # normalize the JSON round-trip (lists) to the hashable tuple
             object.__setattr__(
@@ -165,6 +183,12 @@ class ClusterConfig(_Config):
             raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
         if self.mem_mb is not None and self.mem_mb < 1:
             raise ConfigError(f"mem_mb must be >= 1, got {self.mem_mb}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        if self.faults is not None:
+            d["faults"] = self.faults.to_dict()
+        return d
 
     @property
     def size(self) -> Optional[int]:
@@ -283,6 +307,8 @@ class ExperimentConfig(_Config):
         nodes: Optional[int] = None,
         pin_main: bool = True,
         async_writes: bool = False,
+        faults: Optional[Any] = None,
+        replication: int = 1,
     ) -> "ExperimentConfig":
         """Flat-kwargs convenience constructor — the shape the CLI and the
         sweep grid speak."""
@@ -290,9 +316,9 @@ class ExperimentConfig(_Config):
             workload=WorkloadSpec(name=workload, size=size),
             partition=PartitionConfig(
                 method=method, nparts=nparts, granularity=granularity,
-                pin_main=pin_main,
+                pin_main=pin_main, replication=replication,
             ),
-            cluster=ClusterConfig(nodes=nodes, network=network),
+            cluster=ClusterConfig(nodes=nodes, network=network, faults=faults),
             backend=BackendConfig(name=backend, async_writes=async_writes),
         )
 

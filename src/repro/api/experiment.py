@@ -556,6 +556,24 @@ class Experiment:
             lambda: self.cache.get_or_build_info(*_sequential_entry(work, node)),
         )
 
+    def replicas(self) -> Optional[Dict[str, tuple]]:
+        """The quorum replica map for this experiment (class -> node tuple,
+        primary first), or None when replication is off or nothing is safe
+        to replicate.  Derived deterministically from the plan + rewritten
+        program, so it needs no stage cache of its own."""
+        factor = self.config.partition.replication
+        if factor <= 1:
+            return None
+        from repro.distgen.quorum import plan_replication
+
+        rmap = plan_replication(
+            self.plan(),
+            self.rewrite().program,
+            self.cluster().size,
+            factor,
+        )
+        return rmap or None
+
     def run(self) -> ExperimentResult:
         """The full chain: baseline, plan, rewrite, distributed execution,
         output-equivalence check, speedup — one typed result + report."""
@@ -568,10 +586,13 @@ class Experiment:
         rewritten = self.rewrite()
         backend = self.config.backend
 
+        replicas = self.replicas()
+
         def execute() -> DistributedResult:
             return DistributedExecutor(
                 rewritten.program, plan, cluster,
                 async_writes=backend.async_writes, backend=backend.name,
+                faults=self.config.cluster.faults, replicas=replicas,
             ).run(max_events=backend.max_events)
 
         if backend.is_virtual:
@@ -592,7 +613,13 @@ class Experiment:
         else:
             dist = self._stage("execute", lambda: (execute(), False))
 
-        if dist.stdout and seq.stdout and dist.stdout[-1] != seq.stdout[-1]:
+        if (
+            not dist.degraded
+            and dist.stdout and seq.stdout
+            and dist.stdout[-1] != seq.stdout[-1]
+        ):
+            # a degraded run legitimately produced partial output — the
+            # divergence check only applies to fault-free completions
             raise ExperimentError(
                 f"{self.config.label()}: distributed output diverged: "
                 f"{seq.stdout[-1]!r} vs {dist.stdout[-1]!r}"
@@ -610,7 +637,7 @@ class Experiment:
             rewrite_stats=rewritten.stats,
             sequential_s=seq_s,
             distributed_s=dist.makespan_s,
-            speedup_pct=100.0 * seq_s / dist.makespan_s,
+            speedup_pct=100.0 * seq_s / max(dist.makespan_s, 1e-9),
             report=self.report(),
         )
         return self._result
@@ -659,6 +686,7 @@ class Experiment:
             }
         seq = self._artifacts.get("sequential")
         dist = self._artifacts.get("execute")
+        report.replication = self.config.partition.replication
         if seq is not None and dist is not None:
             seq_s = (
                 seq.exec_time_s
@@ -667,10 +695,18 @@ class Experiment:
             )
             report.sequential_s = seq_s
             report.distributed_s = dist.makespan_s
-            report.speedup_pct = 100.0 * seq_s / dist.makespan_s
+            report.speedup_pct = 100.0 * seq_s / max(dist.makespan_s, 1e-9)
             report.messages = dist.total_messages
             report.bytes = dist.total_bytes
             report.node_stats = [asdict(ns) for ns in dist.node_stats]
+            report.faults = [
+                f if isinstance(f, dict) else f.to_dict() for f in dist.faults
+            ]
+            report.degraded = dist.degraded
+            if self.config.partition.replication > 1:
+                from repro.distgen.quorum import plan_availability
+
+                report.availability = plan_availability(self.replicas() or {})
         elif seq is not None:
             report.sequential_s = seq.exec_time_s
             report.node_stats = [asdict(ns) for ns in seq.node_stats]

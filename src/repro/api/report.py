@@ -58,6 +58,16 @@ class Report:
     #: stage-cache counters accumulated over this experiment's stages
     cache_hits: int = 0
     cache_misses: int = 0
+    #: structured fault evidence (FaultRecord dicts); None until a run,
+    #: empty list for a clean run
+    faults: Optional[List[Dict[str, Any]]] = None
+    #: True when the distributed run survived one or more faults
+    degraded: bool = False
+    #: replication factor of the run (1 = unreplicated)
+    replication: int = 1
+    #: modeled availability of the replica arrangement (see
+    #: repro.distgen.quorum.plan_availability); None when not computed
+    availability: Optional[float] = None
 
     # -------------------------------------------------------------- views
     def stage_timings_ms(self) -> Dict[str, float]:
@@ -86,6 +96,10 @@ class Report:
             "rewrites": self.rewrites,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "faults": self.faults,
+            "degraded": self.degraded,
+            "replication": self.replication,
+            "availability": self.availability,
         }
 
     def to_json(self, **dumps_kwargs: Any) -> str:

@@ -44,11 +44,19 @@ from repro.workloads import WORKLOADS
 def _experiment(args: argparse.Namespace, backend: str):
     from repro.api import Experiment
 
+    replication = getattr(args, "replication", 1)
     return Experiment.from_options(
         args.workload,
         size=args.size,
         nparts=getattr(args, "nodes", 2),
         backend=backend,
+        replication=replication,
+        # replicas need somewhere to live: give each extra copy its own
+        # (otherwise idle) machine beyond the nparts the plan uses
+        nodes=(
+            getattr(args, "nodes", 2) + replication - 1
+            if replication > 1 else None
+        ),
     )
 
 
@@ -134,6 +142,9 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
     print(f"rewrites   : {res.rewrite_stats.total}  "
           f"(plan edgecut {res.plan.edgecut:.0f})")
     print(f"speedup    : {res.speedup_pct:.1f}%  (paper range: 79.2%..175.2%)")
+    if res.report.replication > 1 and res.report.availability is not None:
+        print(f"replication: {res.report.replication} copies/safe class, "
+              f"modeled availability {res.report.availability:.3f}")
     return 0
 
 
@@ -252,6 +263,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         budget=args.budget,
         include_thread=not args.no_thread,
         include_process=args.include_process,
+        include_faults=args.faults,
         deep=args.deep,
         shrink_budget=args.max_shrink,
         collect_golden=bool(args.save_corpus),
@@ -332,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=2)
     p.add_argument("--backend", default="sim", metavar="NAME",
                    help="runtime backend (sim, thread, process)")
+    p.add_argument(
+        "--replication", type=int, default=1, metavar="N",
+        help="quorum-replicate safe remote classes over N copies "
+        "(adds N-1 extra nodes to host them; default 1 = off)",
+    )
     p.add_argument("--json", action="store_true",
                    help="emit the structured Report as JSON on stdout")
     p.set_defaults(fn=_cmd_distribute)
@@ -442,6 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--include-process", action="store_true",
         help="let worlds include the multiprocessing backend (slow)",
+    )
+    p.add_argument(
+        "--faults", action="store_true",
+        help="let worlds carry seeded FaultPlans (message loss, node "
+        "crashes) and quorum replication; crashes must degrade to "
+        "structured fault reports, transient loss must be masked",
     )
     p.add_argument(
         "--max-shrink", type=int, default=120,

@@ -1,0 +1,141 @@
+"""Quorum replication planning (MCS-style majority quorums).
+
+The runtime can hold several copies of a hot dependent object and keep them
+consistent with static majority quorums: a read needs ⌈n/2⌉ agreeing
+replicas, a write needs a strict majority (⌊n/2⌋ + 1), so any read quorum
+intersects any write quorum and a minority of crashed replicas never loses
+data or serves stale values.
+
+This module is the *offline* half of that story: which classes are safe to
+replicate at all, where their copies should live, and what availability the
+arrangement buys (the binomial model of the MCS exemplar).  The online half
+— the REPLICA_NEW / REPLICA_DEP protocol — lives in
+:mod:`repro.runtime.services`.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, Set, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.model import BProgram
+
+__all__ = [
+    "read_quorum",
+    "write_quorum",
+    "quorum_availability",
+    "replication_safe_classes",
+    "plan_replication",
+    "plan_availability",
+]
+
+
+# ---------------------------------------------------------------- quorum math
+def read_quorum(n: int) -> int:
+    """⌈n/2⌉ — the smallest set guaranteed to intersect every write
+    quorum."""
+    return (n + 1) // 2
+
+
+def write_quorum(n: int) -> int:
+    """⌊n/2⌋ + 1 — a strict majority, so two writes always share a
+    replica."""
+    return n // 2 + 1
+
+
+def quorum_availability(n: int, p: float, k: int) -> float:
+    """Probability that at least ``k`` of ``n`` replicas are up when each is
+    independently up with probability ``p`` (the MCS binomial model)."""
+    if n <= 0:
+        return 0.0
+    return sum(
+        comb(n, i) * p ** i * (1.0 - p) ** (n - i) for i in range(k, n + 1)
+    )
+
+
+# -------------------------------------------------------------- safety scan
+#: instruction families whose presence makes a method unsafe to mirror
+_STATE_OPS = frozenset({op.GETSTATIC, op.PUTSTATIC})
+_ALLOC_OPS = frozenset({op.NEW, op.NEWARRAY})
+
+
+def _method_safe(cls_name: str, method) -> bool:
+    for ins in method.code:
+        if ins.op in _ALLOC_OPS or ins.op in _STATE_OPS:
+            return False
+        if ins.op in op.INVOKES and ins.a != cls_name:
+            # any cross-class call (including Sys printing natives) could
+            # touch state the replicas cannot keep in sync
+            return False
+        if ins.op in (op.GETFIELD, op.PUTFIELD) and ins.a != cls_name:
+            return False
+    return True
+
+
+def replication_safe_classes(program: BProgram) -> Set[str]:
+    """Classes whose state is fully self-contained: only primitive instance
+    fields, no statics, and methods that never allocate, never touch other
+    classes' state and never call out of the class.  Mirroring the same
+    constructor arguments and the same operation stream on every replica of
+    such a class is guaranteed to keep the copies bit-identical."""
+    safe: Set[str] = set()
+    for name, bc in program.classes.items():
+        if name == program.main_class:
+            continue
+        if bc.static_fields():
+            continue
+        if any(not f.ty.is_primitive() for f in bc.instance_fields()):
+            continue
+        if all(_method_safe(name, m) for m in bc.methods.values()):
+            safe.add(name)
+    return safe
+
+
+# ----------------------------------------------------------------- planning
+def plan_replication(
+    plan,
+    program: BProgram,
+    cluster_size: int,
+    factor: int,
+) -> Dict[str, Tuple[int, ...]]:
+    """Choose replica sets: for every replication-safe dependent class,
+    ``factor`` copies led by the class's home partition.  Extra copies
+    prefer nodes the distribution plan left idle (they add availability for
+    free), then wrap round-robin over the cluster."""
+    if factor <= 1 or cluster_size <= 1:
+        return {}
+    safe = replication_safe_classes(program)
+    candidates = sorted(plan.rewritten_classes() & safe)
+    if not candidates:
+        return {}
+    # idle nodes (>= nparts) first, then busy ones, both in id order
+    ranked = sorted(range(cluster_size), key=lambda n: (n < plan.nparts, n))
+    replicas: Dict[str, Tuple[int, ...]] = {}
+    for idx, cls in enumerate(candidates):
+        home = plan.class_home.get(cls, plan.main_partition)
+        extras = []
+        for off in range(cluster_size):
+            node = ranked[(idx + off) % cluster_size]
+            if node != home and node not in extras:
+                extras.append(node)
+            if len(extras) >= min(factor, cluster_size) - 1:
+                break
+        replicas[cls] = (home, *extras)
+    return replicas
+
+
+def plan_availability(
+    replicas: Dict[str, Tuple[int, ...]],
+    node_up_p: float = 0.9,
+) -> float:
+    """The availability the replica arrangement buys: the worst (minimum)
+    per-class probability that a write quorum is reachable.  With no
+    replication every object needs its single home node up, so the figure
+    degenerates to ``node_up_p``."""
+    if not replicas:
+        return node_up_p
+    return min(
+        quorum_availability(len(rset), node_up_p, write_quorum(len(rset)))
+        for rset in replicas.values()
+    )

@@ -75,7 +75,7 @@ def bench_simulator(workload: str, size: str, *, slow: bool) -> Dict[str, float]
     simulator; returns scheduler event count, events/sec and virtual
     makespan.  Executes the backend directly (no ``execute``-stage cache)."""
     from repro.harness.pipeline import Pipeline
-    from repro.runtime.backend import create_backend
+    from repro.runtime.backend import RunPolicy, create_backend
     from repro.runtime.cluster import paper_testbed
     from repro.vm.loader import load_program
 
@@ -88,7 +88,7 @@ def bench_simulator(workload: str, size: str, *, slow: bool) -> Dict[str, float]
         backend = create_backend("sim", cluster)
         t0 = time.perf_counter()
         run = backend.execute(
-            rewritten, loaded, plan.main_partition, False, 200_000_000
+            rewritten, loaded, RunPolicy(main_partition=plan.main_partition)
         )
         wall = max(time.perf_counter() - t0, 1e-9)
     return {

@@ -130,20 +130,64 @@ class SweepRecord:
     elapsed_s: float = 0.0
     #: the structured per-run record the --json CLI flag serializes
     report: Optional[Report] = None
+    #: why this grid point produced no measurements (None = it ran clean);
+    #: a failing config yields an error record, never aborts the sweep
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def aggregate(self) -> Dict[str, float]:
         return aggregate_node_stats(self.node_stats)
 
 
+def error_record(
+    cfg: SweepConfig,
+    error: str,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    elapsed_s: float = 0.0,
+) -> SweepRecord:
+    """The zero-measurement record a failed grid point contributes."""
+    return SweepRecord(
+        config=cfg,
+        sequential_s=0.0,
+        distributed_s=0.0,
+        speedup_pct=0.0,
+        messages=0,
+        bytes=0,
+        edgecut=0.0,
+        rewrites=0,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        elapsed_s=elapsed_s,
+        error=error,
+    )
+
+
 def run_config(cfg: SweepConfig, cache: Optional[StageCache] = None) -> SweepRecord:
     """One grid point end to end — a thin consumer of
-    :class:`repro.api.Experiment`, every stage through ``cache``."""
+    :class:`repro.api.Experiment`, every stage through ``cache``.  An
+    infrastructure failure (a diverged run, a backend fault) becomes an
+    error record with real cache/elapsed telemetry, so one poisoned config
+    cannot take down the rest of the grid."""
     cache = cache if cache is not None else default_cache()
     hits0, misses0 = cache.counts()
     t0 = time.perf_counter()
 
-    res = Experiment(cfg.experiment_config(), cache=cache).run()
+    try:
+        res = Experiment(cfg.experiment_config(), cache=cache).run()
+    except ReproError as exc:
+        hits1, misses1 = cache.counts()
+        return error_record(
+            cfg,
+            f"{type(exc).__name__}: {exc}",
+            cache_hits=hits1 - hits0,
+            cache_misses=misses1 - misses0,
+            elapsed_s=time.perf_counter() - t0,
+        )
 
     hits1, misses1 = cache.counts()
     return SweepRecord(
@@ -198,7 +242,7 @@ class SweepResult:
 
         rows = []
         for r in self.records:
-            agg = r.aggregate
+            agg = r.aggregate if r.ok else {"busy_frac": 0.0}
             rows.append(
                 [
                     r.config.workload,
@@ -214,24 +258,27 @@ class SweepResult:
                     f"{r.edgecut:.0f}",
                     r.rewrites,
                     f"{100.0 * agg['busy_frac']:.1f}",
+                    "ok" if r.ok else "ERROR",
                 ]
             )
         return _fmt_table(
             [
                 "workload", "method", "k", "network", "backend", "seq ms",
                 "dist ms", "speedup %", "msgs", "bytes", "edgecut",
-                "rewrites", "busy %",
+                "rewrites", "busy %", "status",
             ],
             rows,
         )
 
     def summary(self) -> str:
         calls = self.cache_hits + self.cache_misses
+        failed = sum(1 for r in self.records if not r.ok)
+        suffix = f"; {failed} config(s) FAILED" if failed else ""
         return (
             f"{len(self.records)} configs in {self.elapsed_s:.2f} s wall-clock "
             f"({self.workers or 1} worker(s)); stage cache: "
             f"{self.cache_hits}/{calls} hits "
-            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)"
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate){suffix}"
         )
 
     def to_dict(self) -> dict:
@@ -242,6 +289,11 @@ class SweepResult:
             "records": [
                 r.report.to_dict() if r.report is not None else None
                 for r in self.records
+            ],
+            "errors": [
+                {"config": r.config.key(), "error": r.error}
+                for r in self.records
+                if r.error is not None
             ],
             "elapsed_s": self.elapsed_s,
             "workers": self.workers,
@@ -283,8 +335,23 @@ class SweepRunner:
     def run(self) -> SweepResult:
         t0 = time.perf_counter()
         if self.workers > 1:
+            # one future per config (not pool.map): a config whose worker
+            # dies — or a BrokenProcessPool taking the survivors with it —
+            # yields an error record for that grid point instead of
+            # aborting the whole sweep
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                records = list(pool.map(_run_config_in_worker, self.configs))
+                futures = [
+                    pool.submit(_run_config_in_worker, cfg)
+                    for cfg in self.configs
+                ]
+                records = []
+                for cfg, fut in zip(self.configs, futures):
+                    try:
+                        records.append(fut.result())
+                    except Exception as exc:  # BrokenProcessPool et al.
+                        records.append(
+                            error_record(cfg, f"{type(exc).__name__}: {exc}")
+                        )
         else:
             records = [run_config(cfg, self.cache) for cfg in self.configs]
         return SweepResult(

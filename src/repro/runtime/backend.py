@@ -28,12 +28,32 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Dict, List, Optional, Type
+from typing import Callable, ClassVar, Dict, List, Optional, Set, Tuple, Type
 
 from repro.api.registry import Registry
 from repro.errors import RuntimeServiceError
 from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultRecord
 from repro.runtime.message import Message
+
+
+# ------------------------------------------------------------------- policy
+@dataclass
+class RunPolicy:
+    """Everything a backend needs to know about *how* to run a rewritten
+    program — one bag instead of a growing positional argument list.
+
+    ``faults`` is the seeded :class:`~repro.runtime.faults.FaultPlan` to
+    inject (None = fault-free).  ``replicas`` maps a dependent class name to
+    the ordered tuple of node ids holding its copies (primary first); the
+    message exchange routes creates/accesses of those classes through the
+    quorum protocol."""
+
+    main_partition: int = 0
+    async_writes: bool = False
+    max_events: int = 200_000_000
+    faults: Optional[FaultPlan] = None
+    replicas: Optional[Dict[str, Tuple[int, ...]]] = None
 
 
 # ---------------------------------------------------------------------- stats
@@ -50,6 +70,8 @@ class NodeStats:
     heap_objects: int
     heap_bytes: int
     stdout: List[str] = field(default_factory=list)
+    #: structured fault evidence (FaultRecord dicts) — empty on clean runs
+    faults: List[dict] = field(default_factory=list)
 
 
 def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
@@ -79,6 +101,7 @@ def snapshot_machine(
     messages_sent: int = 0,
     bytes_sent: int = 0,
     requests_served: int = 0,
+    faults: Optional[List[dict]] = None,
 ) -> NodeStats:
     """The single stats code path: turn a finished VM machine (plus the
     caller's transport counters) into a :class:`NodeStats` record.  Both
@@ -95,6 +118,7 @@ def snapshot_machine(
         heap_objects=heap.allocated_objects,
         heap_bytes=heap.allocated_bytes,
         stdout=list(machine.stdout),
+        faults=list(faults) if faults else [],
     )
 
 
@@ -140,6 +164,14 @@ class BackendNode:
         #: integer so ``busy_s`` is one exact division — byte-identical
         #: whether the VM charged per instruction or per batched block.
         self.charged_cycles = 0
+        # fault tolerance (see repro.runtime.faults)
+        self.injector: Optional[FaultInjector] = None
+        self.main_partition = 0
+        self.dead_peers: Set[int] = set()
+        self.faults: List[FaultRecord] = []
+        #: (primary_node, primary_oid) -> local oid of this node's replica
+        self.replica_dir: Dict[Tuple[int, int], int] = {}
+        self._seen_frames: Set[Tuple[int, int, int]] = set()
 
     @property
     def busy_s(self) -> float:
@@ -166,6 +198,32 @@ class BackendNode:
         """Non-blocking arrival check."""
         raise NotImplementedError
 
+    def accept_frame(self, msg: Message) -> bool:
+        """Receiver-side dedup for injected duplication: uniquely-identified
+        frames (``req_id > 0`` — requests and their replies) are accepted
+        once; control frames (SHUTDOWN, fault notices, fire-and-forget
+        posts) are idempotent and always pass."""
+        if msg.req_id <= 0:
+            return True
+        key = (msg.src, msg.kind.value, msg.req_id)
+        if key in self._seen_frames:
+            return False
+        self._seen_frames.add(key)
+        return True
+
+    def record_fault(self, exc, kind: Optional[str] = None) -> FaultRecord:
+        """Convert a fault-family exception into this node's structured
+        evidence."""
+        rec = FaultRecord(
+            node=self.node_id,
+            kind=kind if kind is not None else getattr(exc, "kind", "fault"),
+            detail=str(exc),
+            at_cycle=self.charged_cycles,
+            time_s=self.clock,
+        )
+        self.faults.append(rec)
+        return rec
+
     def snapshot_stats(self) -> NodeStats:
         return snapshot_machine(
             self.spec.name,
@@ -177,6 +235,7 @@ class BackendNode:
             requests_served=(
                 self.exchange.requests_served if self.exchange is not None else 0
             ),
+            faults=[f.to_dict() for f in self.faults],
         )
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -197,6 +256,11 @@ class BackendRun:
     total_bytes: int
     node_stats: List[NodeStats]
     stdout: List[str] = field(default_factory=list)
+    #: structured fault evidence across all nodes (empty on clean runs)
+    faults: List[FaultRecord] = field(default_factory=list)
+    #: True when the run survived one or more faults — results may be
+    #: partial (e.g. the main program completed but a replica died)
+    degraded: bool = False
 
 
 class RuntimeBackend(ABC):
@@ -213,28 +277,23 @@ class RuntimeBackend(ABC):
         return self.spec.size
 
     @abstractmethod
-    def execute(
-        self,
-        program,
-        loaded,
-        main_partition: int,
-        async_writes: bool,
-        max_events: int,
-    ) -> BackendRun:
-        """Run ``program`` (already communication-rewritten) with ``main``
-        started on ``main_partition`` and service loops everywhere else;
-        drive all nodes to completion and report the run.  ``loaded`` is the
-        in-process loaded image (out-of-process backends reload from
-        ``program`` instead).  ``max_events`` bounds scheduler/driver events
-        (globally for the simulator, per node for wall-clock backends)."""
+    def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
+        """Run ``program`` (already communication-rewritten) under
+        ``policy``: ``main`` starts on ``policy.main_partition`` with
+        service loops everywhere else; drive all nodes to completion and
+        report the run.  ``loaded`` is the in-process loaded image
+        (out-of-process backends reload from ``program`` instead).
+        ``policy.max_events`` bounds scheduler/driver events (globally for
+        the simulator, per node for wall-clock backends)."""
 
 
 # --------------------------------------------------------------- provisioning
 def provision_node(node: BackendNode, transport: Transport, loaded,
-                   is_main: bool, async_writes: bool):
+                   policy: RunPolicy):
     """Wire one node: fresh VM machine (own heap, own statics — per-JVM
     semantics), MPI service, MessageExchange and the DependentObject
-    syscall; install the node's process generator.  Returns the
+    syscall; install the node's process generator and (when the policy
+    carries a fault plan) the node's :class:`FaultInjector`.  Returns the
     :class:`~repro.runtime.services.ExecutionStarter` for the main node,
     ``None`` otherwise."""
     from repro.runtime.mpi import MPIService
@@ -249,10 +308,17 @@ def provision_node(node: BackendNode, transport: Transport, loaded,
     machine = Machine(loaded, heap=Heap(), node_id=node.node_id)
     machine.statics = loaded.fresh_statics()
     node.machine = machine
+    node.main_partition = policy.main_partition
+    if policy.faults is not None:
+        node.injector = FaultInjector(policy.faults, node.node_id)
     node.mpi = MPIService(node, transport)
     node.exchange = MessageExchange(node)
-    machine.syscall = make_node_syscall(node, async_writes=async_writes)
-    if is_main:
+    machine.syscall = make_node_syscall(
+        node,
+        async_writes=policy.async_writes,
+        replicas=policy.replicas,
+    )
+    if node.node_id == policy.main_partition:
         starter = ExecutionStarter(node, loaded.main_method())
         node.gen = starter.run()
         return starter
@@ -260,19 +326,17 @@ def provision_node(node: BackendNode, transport: Transport, loaded,
     return None
 
 
-def provision(backend, loaded, main_partition: int, async_writes: bool):
+def provision(backend, loaded, policy: RunPolicy):
     """Provision every node of an in-process backend (one that is also its
     own :class:`Transport`); returns the main node's starter."""
     starter = None
     for node in backend.nodes:
-        s = provision_node(
-            node, backend, loaded, node.node_id == main_partition, async_writes
-        )
+        s = provision_node(node, backend, loaded, policy)
         if s is not None:
             starter = s
     if starter is None:
         raise RuntimeServiceError(
-            f"main partition {main_partition} has no node"
+            f"main partition {policy.main_partition} has no node"
         )
     return starter
 

@@ -23,12 +23,14 @@ from repro.distgen.plan import DistributionPlan
 from repro.errors import RuntimeServiceError
 from repro.runtime.backend import (  # noqa: F401  (re-exported for consumers)
     NodeStats,
+    RunPolicy,
     aggregate_node_stats,
     backend_names,
     create_backend,
     snapshot_machine,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
+from repro.runtime.faults import FaultPlan, FaultRecord
 from repro.vm.interpreter import Machine, run_sync
 from repro.vm.loader import LoadedProgram, load_program
 
@@ -43,6 +45,11 @@ class DistributedResult:
     total_bytes: int
     node_stats: List[NodeStats]
     stdout: List[str] = field(default_factory=list)
+    #: structured fault evidence (see repro.runtime.faults); empty when the
+    #: run was clean
+    faults: List[FaultRecord] = field(default_factory=list)
+    #: True when the run survived one or more faults
+    degraded: bool = False
 
     @property
     def exec_time_s(self) -> float:
@@ -73,6 +80,8 @@ class DistributedExecutor:
         loaded: Optional[LoadedProgram] = None,
         async_writes: bool = False,
         backend: str = "sim",
+        faults: Optional[FaultPlan] = None,
+        replicas: Optional[Dict[str, tuple]] = None,
     ) -> None:
         if plan.nparts > cluster_spec.size:
             raise RuntimeServiceError(
@@ -87,19 +96,24 @@ class DistributedExecutor:
         self.async_writes = async_writes
         #: registry name of the runtime backend to execute on
         self.backend = backend
+        #: seeded fault plan to inject, or None for a fault-free run
+        self.faults = faults
+        #: class -> replica node tuple (primary first) for quorum replication
+        self.replicas = replicas
 
     def run(self, max_events: int = 200_000_000) -> DistributedResult:
         backend = create_backend(self.backend, self.cluster_spec)
         main_partition = self.plan.main_partition
         if not 0 <= main_partition < self.cluster_spec.size:
             main_partition = 0
-        run = backend.execute(
-            self.program,
-            self.loaded,
-            main_partition,
-            self.async_writes,
-            max_events,
+        policy = RunPolicy(
+            main_partition=main_partition,
+            async_writes=self.async_writes,
+            max_events=max_events,
+            faults=self.faults,
+            replicas=self.replicas,
         )
+        run = backend.execute(self.program, self.loaded, policy)
         return DistributedResult(
             result=run.result,
             makespan_s=run.makespan_s,
@@ -107,6 +121,8 @@ class DistributedExecutor:
             total_bytes=run.total_bytes,
             node_stats=run.node_stats,
             stdout=run.stdout,
+            faults=run.faults,
+            degraded=run.degraded,
         )
 
 

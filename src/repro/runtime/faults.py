@@ -1,0 +1,260 @@
+"""Seeded fault injection: the typed failure axis of the runtime.
+
+The paper's runtime targets pervasive clusters whose nodes can disappear
+mid-run, yet every backend used to assume all peers survive.  This module
+makes failure a first-class, *reproducible* input:
+
+* :class:`FaultPlan` — a frozen, hashable description of what goes wrong:
+  node crashes at a given cycle count, independent per-message drop /
+  duplication / delay, and permanently partitioned links.  It round-trips
+  through dicts/JSON like every other typed config, so it can ride inside
+  :class:`~repro.api.config.ClusterConfig` and key the stage cache.
+* :class:`FaultInjector` — the per-node decision engine.  Every decision is
+  a pure function of ``(plan.seed, src, dst, per-pair send counter)``, so
+  the deterministic simulator replays the exact same fault schedule run
+  after run, and the wall-clock backends inject the same *decisions* even
+  though their timing varies.
+* :class:`FaultRecord` — the structured evidence a degraded run reports
+  instead of hanging or raising: one record per observed fault, attached to
+  ``NodeStats`` / ``BackendRun`` / ``Report``.
+* the fault exception family (:class:`NodeCrashed`, :class:`PeerLost`,
+  :class:`RetriesExhausted`, :class:`QuorumLost`) — what the runtime raises
+  internally; backends convert these into records, never into hangs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError, RuntimeServiceError
+
+__all__ = [
+    "FaultPlan",
+    "FaultRecord",
+    "FaultInjector",
+    "SendVerdict",
+    "FaultError",
+    "NodeCrashed",
+    "PeerLost",
+    "RetriesExhausted",
+    "QuorumLost",
+]
+
+
+# ---------------------------------------------------------------------------
+# the fault exception family
+# ---------------------------------------------------------------------------
+class FaultError(RuntimeServiceError):
+    """Base of the injected-fault family.  Backends catch this (and only
+    this) to degrade gracefully: the node is marked dead, a structured
+    :class:`FaultRecord` is emitted, peers are notified — the run still
+    returns.  Everything else keeps today's raise behavior."""
+
+    #: short machine-readable tag recorded in :class:`FaultRecord.kind`
+    kind = "fault"
+
+
+class NodeCrashed(FaultError):
+    """An injected node crash (``FaultPlan.crashes``) fired."""
+
+    kind = "crash"
+
+
+class PeerLost(FaultError):
+    """A request was addressed to (or awaited from) a node known to be
+    dead."""
+
+    kind = "peer_lost"
+
+
+class RetriesExhausted(FaultError):
+    """A send was dropped more times than ``FaultPlan.max_retries``
+    allows (or the link is partitioned)."""
+
+    kind = "retries_exhausted"
+
+
+class QuorumLost(FaultError):
+    """A replicated-object operation could not reach its read/write
+    quorum, or the read quorum disagreed."""
+
+    kind = "quorum_lost"
+
+
+# ---------------------------------------------------------------------------
+# the typed plan
+# ---------------------------------------------------------------------------
+def _pair_tuple(value) -> Tuple[Tuple[int, int], ...]:
+    return tuple(tuple(int(x) for x in pair) for pair in value)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, described up front and seeded.
+
+    ``crashes`` lists ``(node, at_cycle)`` pairs: the node dies the first
+    time its charged cycle total reaches ``at_cycle``.  ``drop_pct`` /
+    ``dup_pct`` are independent per-message probabilities; ``delay_s``
+    bounds a uniform extra sender-side stall per message.  ``partitions``
+    lists ``(src, dst)`` links that never deliver.  Transient loss is
+    masked by bounded retry: up to ``max_retries`` resends with exponential
+    backoff starting at ``backoff_cycles``.
+    """
+
+    crashes: Tuple[Tuple[int, int], ...] = ()
+    drop_pct: float = 0.0
+    dup_pct: float = 0.0
+    delay_s: float = 0.0
+    partitions: Tuple[Tuple[int, int], ...] = ()
+    seed: int = 0
+    max_retries: int = 8
+    backoff_cycles: int = 2_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", _pair_tuple(self.crashes))
+        object.__setattr__(self, "partitions", _pair_tuple(self.partitions))
+        for name in ("drop_pct", "dup_pct"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"FaultPlan.{name} must be in [0, 1], got {v}")
+        if self.delay_s < 0.0:
+            raise ConfigError(f"FaultPlan.delay_s must be >= 0, got {self.delay_s}")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"FaultPlan.max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_cycles < 1:
+            raise ConfigError(
+                f"FaultPlan.backoff_cycles must be >= 1, got {self.backoff_cycles}"
+            )
+        for node, cycle in self.crashes:
+            if node < 0 or cycle < 0:
+                raise ConfigError(f"bad crash entry ({node}, {cycle})")
+
+    @property
+    def transient_only(self) -> bool:
+        """True when every configured fault is maskable by retry (no
+        crashes, no partitioned links) — such a plan must not change what
+        the program computes, only what it costs."""
+        return not self.crashes and not self.partitions
+
+    def crash_cycle(self, node_id: int) -> Optional[int]:
+        """The cycle count at which ``node_id`` dies, or None."""
+        hits = [c for n, c in self.crashes if n == node_id]
+        return min(hits) if hits else None
+
+    # ----------------------------------------------------------- round trip
+    def to_dict(self) -> Dict[str, Any]:
+        d = asdict(self)
+        d["crashes"] = [list(c) for c in self.crashes]
+        d["partitions"] = [list(p) for p in self.partitions]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"FaultPlan.from_dict needs a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown FaultPlan field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# structured fault evidence
+# ---------------------------------------------------------------------------
+@dataclass
+class FaultRecord:
+    """One observed fault — the structured report a degraded run carries
+    instead of a hang or a bare traceback."""
+
+    node: int
+    kind: str           # FaultError.kind, or "worker_lost" for vanished procs
+    detail: str
+    at_cycle: int = 0
+    time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultRecord":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# the decision engine
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SendVerdict:
+    """What the injector decided for one send attempt."""
+
+    deliver: bool
+    copies: int = 1
+    delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Per-node fault decisions, deterministic per (seed, src, dst, attempt).
+
+    One injector per node: the per-destination attempt counters are only
+    ever touched by that node's own driver (thread/process safe without
+    locks), and the decision stream for a (src, dst) pair is identical
+    across backends and across fast/reference VM engines."""
+
+    def __init__(self, plan: FaultPlan, node_id: int) -> None:
+        self.plan = plan
+        self.node_id = node_id
+        self._attempts: Dict[int, int] = {}
+        self._partitioned = frozenset(plan.partitions)
+        self._crash_cycle = plan.crash_cycle(node_id)
+        self._crashed = False
+
+    # -------------------------------------------------------------- crashes
+    def crash_due(self, charged_cycles: int) -> bool:
+        """True exactly once: the first time this node's cycle total
+        reaches its planned crash point."""
+        if self._crashed or self._crash_cycle is None:
+            return False
+        if charged_cycles >= self._crash_cycle:
+            self._crashed = True
+            return True
+        return False
+
+    # ---------------------------------------------------------------- sends
+    def on_send(self, dst: int, req_id: int) -> SendVerdict:
+        """Decide one send attempt from this node to ``dst``.  Duplication
+        only applies to uniquely-identified frames (``req_id > 0``), which
+        receivers can dedup; fire-and-forget posts and control frames are
+        never duplicated."""
+        attempt = self._attempts.get(dst, 0)
+        self._attempts[dst] = attempt + 1
+        plan = self.plan
+        if (self.node_id, dst) in self._partitioned:
+            return SendVerdict(deliver=False)
+        if plan.drop_pct == 0.0 and plan.dup_pct == 0.0 and plan.delay_s == 0.0:
+            return SendVerdict(deliver=True)
+        rng = random.Random(
+            (plan.seed * 1_000_003) ^ (self.node_id * 8_191) ^ (dst * 131)
+            ^ attempt
+        )
+        if plan.drop_pct and rng.random() < plan.drop_pct:
+            return SendVerdict(deliver=False)
+        copies = 1
+        if plan.dup_pct and req_id > 0 and rng.random() < plan.dup_pct:
+            copies = 2
+        delay = rng.uniform(0.0, plan.delay_s) if plan.delay_s else 0.0
+        return SendVerdict(deliver=True, copies=copies, delay_s=delay)
+
+    def backoff(self, attempt: int) -> int:
+        """Cycles to stall before resend ``attempt`` (1-based), capped
+        exponential."""
+        return self.plan.backoff_cycles << min(attempt - 1, 10)

@@ -3,7 +3,15 @@
 "We currently identify two types of messages: NEW and DEPENDENCE for object
 instantiation and data dependence."  REPLY carries responses back (the
 paper's receive half of each send/receive pair) and SHUTDOWN ends the
-per-node service loops after ``main`` returns.
+per-node service loops after ``main`` returns.  REPLICA_NEW / REPLICA_DEP
+carry quorum-replication traffic: a replica creation (aliased to the
+primary copy's identity) and an access addressed to a replica by that
+alias.
+
+A SHUTDOWN frame whose ``req_id`` is :data:`FAULT_NOTICE` is an emergency
+notice that ``src`` died: receivers mark the peer dead and — unless the
+dead node was the main partition — keep serving, so replicated runs
+survive minority replica loss.
 """
 
 from __future__ import annotations
@@ -32,6 +40,13 @@ class MessageKind(Enum):
     DEPENDENCE = 2
     REPLY = 3
     SHUTDOWN = 4
+    REPLICA_NEW = 5
+    REPLICA_DEP = 6
+
+
+#: req_id of an emergency SHUTDOWN frame announcing that ``src`` died (the
+#: wire req_id field is a signed int64, so -1 travels unchanged)
+FAULT_NOTICE = -1
 
 
 @dataclass

@@ -18,6 +18,7 @@ from itertools import count
 from typing import Callable, Iterator, Optional
 
 from repro.runtime.backend import BackendNode, Transport
+from repro.runtime.faults import RetriesExhausted
 from repro.runtime.message import Message, MessageKind
 
 #: marshalling cost model (abstract cycles)
@@ -60,10 +61,37 @@ class MPIService:
 
     # ------------------------------------------------------------------ send
     def send(self, msg: Message) -> Iterator:
-        """Generator: charge marshalling cost, then post to the network."""
+        """Generator: charge marshalling cost, then post to the network.
+
+        When the node carries a :class:`~repro.runtime.faults.FaultInjector`
+        each post is a seeded decision: dropped sends are masked by bounded
+        retry with exponential backoff (charged as cycles, so the cost model
+        sees the loss); injected delay is an extra sender-side stall; a
+        duplicated frame is simply posted twice (receivers dedup by req id).
+        A link that never delivers (partition, or more consecutive drops
+        than ``max_retries``) raises :class:`RetriesExhausted`."""
         yield ("cost", SEND_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload))
-        self.transport.post(self.node.node_id, msg.dst, msg)
-        return None
+        inj = self.node.injector
+        if inj is None:
+            self.transport.post(self.node.node_id, msg.dst, msg)
+            return None
+        attempt = 0
+        while True:
+            verdict = inj.on_send(msg.dst, msg.req_id)
+            if verdict.deliver:
+                if verdict.delay_s:
+                    yield ("cost", int(verdict.delay_s * self.node.spec.cpu_hz))
+                for _ in range(verdict.copies):
+                    self.transport.post(self.node.node_id, msg.dst, msg)
+                return None
+            attempt += 1
+            if attempt > inj.plan.max_retries:
+                raise RetriesExhausted(
+                    f"send {self.node.node_id}->{msg.dst} "
+                    f"({msg.kind.name} req={msg.req_id}) lost after "
+                    f"{attempt} attempts"
+                )
+            yield ("cost", inj.backoff(attempt))
 
     def isend(self, msg: Message) -> Iterator:
         """Fire-and-forget send (the asynchronous point-to-point style the

@@ -28,16 +28,22 @@ from repro.runtime.backend import (
     BackendNode,
     BackendRun,
     NodeStats,
+    RunPolicy,
     RuntimeBackend,
     Transport,
     provision_node,
     register_backend,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.message import Message, MessageKind
+from repro.runtime.faults import FaultError, FaultRecord, NodeCrashed, PeerLost
+from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
 
 #: safety net for protocol bugs; real waits return on frame arrival
 WAIT_TIMEOUT_S = 60.0
+
+#: the parent's control pipe appears in a worker's receive map under this
+#: pseudo source id (no node has a negative id)
+PARENT_CTRL = -1
 
 
 def _mp_context():
@@ -70,7 +76,12 @@ class ProcNode(BackendNode):
                         s: c for s, c in self._conns.items() if c is not conn
                     }
                     break
-                self._queue.append(Message.deserialize(frame))
+                msg = Message.deserialize(frame)
+                # injected duplicates are dropped at intake so the
+                # request/reply protocol sees each frame once
+                if self.injector is not None and not self.accept_frame(msg):
+                    continue
+                self._queue.append(msg)
 
     def take_matching(
         self, match: Callable[[Message], bool]
@@ -118,9 +129,27 @@ class _WorkerTransport(Transport):
         conn = self._send.get(dst)
         if conn is None:
             raise RuntimeServiceError(f"message to unknown node {dst}")
-        conn.send_bytes(msg.serialize())
+        try:
+            conn.send_bytes(msg.serialize())
+        except OSError as exc:
+            # the peer's read end is gone: it died.  Surface that as a
+            # fault-family error so the caller degrades instead of crashing.
+            raise PeerLost(
+                f"node {dst} unreachable from node {src} (pipe closed)"
+            ) from exc
         self._node.msgs_sent += 1
         self._node.bytes_sent += msg.size
+
+
+def _broadcast(send_conns: Dict[int, object], node_id: int, req_id: int) -> None:
+    """Best-effort SHUTDOWN (plain or fault-notice) to every peer."""
+    for dst, conn in send_conns.items():
+        try:
+            conn.send_bytes(
+                Message(MessageKind.SHUTDOWN, node_id, dst, req_id).serialize()
+            )
+        except (OSError, ValueError):
+            pass
 
 
 def _worker_main(
@@ -128,9 +157,7 @@ def _worker_main(
     node_spec: NodeSpec,
     nnodes: int,
     program,
-    main_partition: int,
-    async_writes: bool,
-    max_events: int,
+    policy: RunPolicy,
     recv_conns: Dict[int, object],
     send_conns: Dict[int, object],
     all_conns,
@@ -151,41 +178,46 @@ def _worker_main(
             except OSError:  # pragma: no cover
                 pass
 
-    report = {"node_id": node_id, "name": node_spec.name, "error": None}
+    report = {"node_id": node_id, "name": node_spec.name, "error": None,
+              "faults": []}
     node = ProcNode(node_id, node_spec, recv_conns)
     try:
         transport = _WorkerTransport(nnodes, node, send_conns)
         loaded = load_program(program)
-        starter = provision_node(
-            node, transport, loaded, node_id == main_partition, async_writes
-        )
+        starter = provision_node(node, transport, loaded, policy)
         t0 = time.perf_counter()
         events = 0
         try:
             for event in node.gen:
                 events += 1
-                if events > max_events:
+                if events > policy.max_events:
                     raise RuntimeServiceError("execution exceeded event budget")
                 kind = event[0]
                 if kind == "cost":
                     node.charge(event[1])
+                    if node.injector is not None and (
+                        node.injector.crash_due(node.charged_cycles)
+                    ):
+                        raise NodeCrashed(
+                            f"node {node_id} crashed at cycle "
+                            f"{node.charged_cycles} (planned)"
+                        )
                 elif kind == "wait":
                     node.wait_for_message(WAIT_TIMEOUT_S)
                 else:  # pragma: no cover
                     raise RuntimeServiceError(f"unknown event {event!r}")
+        except FaultError as exc:
+            # injected/fault-family failure: degrade — structured record,
+            # prompt notice to live peers, no error (the run continues)
+            node.record_fault(exc)
+            _broadcast(send_conns, node_id, FAULT_NOTICE)
         except BaseException as exc:
             report["error"] = {"type": type(exc).__name__, "message": str(exc)}
-            for dst, conn in send_conns.items():
-                try:
-                    conn.send_bytes(
-                        Message(MessageKind.SHUTDOWN, node_id, dst, 0).serialize()
-                    )
-                except (OSError, ValueError):
-                    pass
+            _broadcast(send_conns, node_id, 0)
         node.clock = time.perf_counter() - t0
         stats = node.snapshot_stats()
         result_payload = None
-        if starter is not None and report["error"] is None:
+        if starter is not None and report["error"] is None and not node.faults:
             try:
                 result_payload = encode_value(
                     starter.result, node_id, node.machine.heap
@@ -201,17 +233,12 @@ def _worker_main(
             heap_objects=stats.heap_objects,
             heap_bytes=stats.heap_bytes,
             stdout=stats.stdout,
+            faults=stats.faults,
             result=result_payload,
         )
     except BaseException as exc:  # provisioning/load failure
         report["error"] = {"type": type(exc).__name__, "message": str(exc)}
-        for dst, conn in send_conns.items():
-            try:
-                conn.send_bytes(
-                    Message(MessageKind.SHUTDOWN, node_id, dst, 0).serialize()
-                )
-            except (OSError, ValueError):
-                pass
+        _broadcast(send_conns, node_id, 0)
     results.put(report)
 
 
@@ -226,14 +253,27 @@ class ProcessBackend(RuntimeBackend):
             "process backend routes messages inside its workers"
         )
 
-    def execute(
-        self,
-        program,
-        loaded,
-        main_partition: int,
-        async_writes: bool,
-        max_events: int,
-    ) -> BackendRun:
+    @staticmethod
+    def _lost_report(node_id: int, name: str, exitcode) -> dict:
+        """Synthetic report for a worker that vanished before reporting
+        (killed, OOM, segfault): zero stats plus a structured fault."""
+        rec = FaultRecord(
+            node=node_id,
+            kind="worker_lost",
+            detail=(
+                f"worker process for node {node_id} exited with code "
+                f"{exitcode} before reporting"
+            ),
+        )
+        return {
+            "node_id": node_id, "name": name, "error": None,
+            "faults": [rec.to_dict()],
+            "clock_s": 0.0, "busy_s": 0.0, "messages_sent": 0,
+            "bytes_sent": 0, "requests_served": 0, "heap_objects": 0,
+            "heap_bytes": 0, "stdout": [], "result": None,
+        }
+
+    def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
         from repro.runtime.serial import decode_value
 
         ctx = _mp_context()
@@ -247,20 +287,30 @@ class ProcessBackend(RuntimeBackend):
                 r, w = ctx.Pipe(duplex=False)
                 recv_conns[dst][src] = r
                 send_conns[src][dst] = w
+        # one parent->worker control pipe each: when a worker vanishes
+        # without reporting, the parent injects fault-notice frames here so
+        # survivors fail fast instead of riding out the full wait timeout
+        ctrl_writers: Dict[int, object] = {}
+        for i in range(n):
+            r, w = ctx.Pipe(duplex=False)
+            recv_conns[i][PARENT_CTRL] = r
+            ctrl_writers[i] = w
 
         all_conns = [
             conn
             for i in range(n)
             for conn in (*recv_conns[i].values(), *send_conns[i].values())
         ]
+        # workers must close inherited control write ends too (the parent
+        # keeps its own copies)
+        worker_visible = all_conns + list(ctrl_writers.values())
         results = ctx.Queue()
         procs = [
             ctx.Process(
                 target=_worker_main,
                 args=(
-                    i, self.spec.nodes[i], n, program, main_partition,
-                    async_writes, max_events, recv_conns[i], send_conns[i],
-                    all_conns, results,
+                    i, self.spec.nodes[i], n, program, policy,
+                    recv_conns[i], send_conns[i], worker_visible, results,
                 ),
                 name=f"repro-node-{i}",
                 daemon=True,
@@ -271,16 +321,18 @@ class ProcessBackend(RuntimeBackend):
         try:
             for p in procs:
                 p.start()
-            # the workers own the pipe ends now
+            # the workers own these pipe ends now (the parent keeps only
+            # the control write ends)
             for conn in all_conns:
                 conn.close()
             # progress-aware collection: wait as long as workers are alive
-            # (blocking points inside them time out on their own); only a
-            # worker that vanished without reporting is fatal
+            # (blocking points inside them time out on their own); a worker
+            # that vanished without reporting becomes a structured fault,
+            # not a hang and not an exception
             pending = set(range(n))
             while pending:
                 try:
-                    rep = results.get(timeout=1.0)
+                    rep = results.get(timeout=0.25)
                 except _queue.Empty:
                     dead = [
                         i for i in pending if procs[i].exitcode is not None
@@ -289,12 +341,24 @@ class ProcessBackend(RuntimeBackend):
                         continue
                     # grace period: the report may still be in the queue
                     try:
-                        rep = results.get(timeout=2.0)
+                        rep = results.get(timeout=0.5)
                     except _queue.Empty:
-                        raise RuntimeServiceError(
-                            f"process backend: worker(s) {dead} exited "
-                            "without reporting (killed or crashed)"
-                        ) from None
+                        for i in dead:
+                            pending.discard(i)
+                            reports[i] = self._lost_report(
+                                i, self.spec.nodes[i].name, procs[i].exitcode
+                            )
+                            for j in pending:
+                                try:
+                                    ctrl_writers[j].send_bytes(
+                                        Message(
+                                            MessageKind.SHUTDOWN, i, j,
+                                            FAULT_NOTICE,
+                                        ).serialize()
+                                    )
+                                except (OSError, ValueError):
+                                    pass
+                        continue
                 reports[rep["node_id"]] = rep
                 pending.discard(rep["node_id"])
         finally:
@@ -305,6 +369,11 @@ class ProcessBackend(RuntimeBackend):
                 if p.is_alive():
                     p.terminate()
                     p.join(5.0)
+            for w in ctrl_writers.values():
+                try:
+                    w.close()
+                except OSError:  # pragma: no cover
+                    pass
 
         failed = {i: rep["error"] for i, rep in reports.items() if rep["error"]}
         if failed:
@@ -332,12 +401,18 @@ class ProcessBackend(RuntimeBackend):
                 heap_objects=rep["heap_objects"],
                 heap_bytes=rep["heap_bytes"],
                 stdout=list(rep["stdout"]),
+                faults=list(rep.get("faults") or []),
             )
             for rep in ordered
         ]
-        main_rep = reports[main_partition]
+        faults = [
+            FaultRecord.from_dict(d)
+            for rep in ordered
+            for d in (rep.get("faults") or [])
+        ]
+        main_rep = reports[policy.main_partition]
         result = (
-            decode_value(main_rep["result"], main_partition)
+            decode_value(main_rep["result"], policy.main_partition)
             if main_rep["result"] is not None
             else None
         )
@@ -348,4 +423,6 @@ class ProcessBackend(RuntimeBackend):
             total_bytes=sum(s.bytes_sent for s in stats),
             node_stats=stats,
             stdout=[line for s in stats for line in s.stdout],
+            faults=faults,
+            degraded=bool(faults),
         )

@@ -11,18 +11,27 @@ remote calls may call back into the requester):
 
 * ``NEW  [class_name, ctor_args]``          → reply ``[status, ref]``
 * ``DEPENDENCE [oid, access_type, member, args]`` → reply ``[status, value]``
+* ``REPLICA_NEW [class_name, ctor_args, primary_node, primary_oid]`` →
+  reply ``[status, True]`` — create a replica copy aliased to the primary
+  object's identity
+* ``REPLICA_DEP [primary_node, primary_oid, access_type, member, args]`` →
+  reply ``[status, value]`` — a dependence access addressed to whichever
+  local copy aliases that identity
 * ``REPLY [status, value]`` — status 0 = ok, 1 = remote error (message text)
-* ``SHUTDOWN`` — ends a node's serve loop.
+* ``SHUTDOWN`` — ends a node's serve loop; with ``req_id == FAULT_NOTICE``
+  it is instead an emergency notice that ``src`` died (receivers mark the
+  peer dead and keep serving unless the dead node ran ``main``).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.errors import RuntimeServiceError, VMError
+from repro.runtime.faults import FaultError, PeerLost, QuorumLost, RetriesExhausted
 from repro.runtime.invoke import call_and_run
 from repro.runtime.local import access_local, create_local
-from repro.runtime.message import Message, MessageKind
+from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
 from repro.runtime.backend import BackendNode
 from repro.runtime.serial import decode_value, encode_value
 from repro.vm.values import DependentRef, Ref
@@ -52,12 +61,17 @@ class MessageExchange:
         node = self.node
         if dst == node.node_id:
             raise RuntimeServiceError("request addressed to self")
+        if dst in node.dead_peers:
+            raise PeerLost(
+                f"node {node.node_id} requested {kind.name} from node {dst}, "
+                f"which already failed"
+            )
         req_id = node.mpi.next_req_id()
         payload = encode_value(payload_obj, node.node_id, node.machine.heap)
         msg = Message(kind, node.node_id, dst, req_id, payload)
         self.requests_sent += 1
         yield from node.mpi.send(msg)
-        return (yield from self._await_reply(req_id))
+        return (yield from self._await_reply(req_id, dst))
 
     def post(self, dst: int, kind: MessageKind, payload_obj) -> Iterator:
         """Fire-and-forget request (the asynchronous point-to-point style
@@ -73,18 +87,17 @@ class MessageExchange:
         yield from node.mpi.isend(msg)
         return None
 
-    def _await_reply(self, req_id: int) -> Iterator:
+    def _await_reply(self, req_id: int, dst: Optional[int] = None) -> Iterator:
         node = self.node
 
         def match(m: Message) -> bool:
+            # take our reply; serve any other request kind while waiting;
+            # SHUTDOWN while a reply is pending is a peer's teardown or a
+            # fault notice — accept it so the requester fails fast instead
+            # of stalling out its wait timeout
             if m.kind is MessageKind.REPLY:
                 return m.req_id == req_id
-            # SHUTDOWN while a reply is pending can only be a peer's
-            # emergency teardown — accept it so the requester fails fast
-            # instead of stalling out its wait timeout
-            return m.kind in (
-                MessageKind.NEW, MessageKind.DEPENDENCE, MessageKind.SHUTDOWN
-            )
+            return True
 
         while True:
             msg = yield from node.mpi.recv(match)
@@ -94,6 +107,14 @@ class MessageExchange:
                     raise VMError(f"remote error from node {msg.src}: {value}")
                 return value
             if msg.kind is MessageKind.SHUTDOWN:
+                if msg.req_id == FAULT_NOTICE:
+                    node.dead_peers.add(msg.src)
+                    if msg.src == dst or msg.src == node.main_partition:
+                        raise PeerLost(
+                            f"node {msg.src} died while node {node.node_id} "
+                            f"awaited a reply from node {dst}"
+                        )
+                    continue  # someone else died — keep waiting
                 raise RuntimeServiceError(
                     f"node {msg.src} shut down while node {node.node_id} "
                     f"awaited a reply (peer failure)"
@@ -119,6 +140,26 @@ class MessageExchange:
                     machine, recv, access_type, member, args or []
                 )
                 result = [OK, value]
+            elif msg.kind is MessageKind.REPLICA_NEW:
+                class_name, ctor_args, pnode, poid = body
+                ref = yield from create_local(machine, class_name, ctor_args or [])
+                node.replica_dir[(pnode, poid)] = ref.oid
+                result = [OK, True]
+            elif msg.kind is MessageKind.REPLICA_DEP:
+                pnode, poid, access_type, member, args = body
+                if pnode == node.node_id:
+                    oid = poid
+                else:
+                    oid = node.replica_dir.get((pnode, poid))
+                    if oid is None:
+                        raise VMError(
+                            f"node {node.node_id} holds no replica of "
+                            f"object n{pnode}#{poid}"
+                        )
+                value = yield from access_local(
+                    machine, Ref(oid), access_type, member, args or []
+                )
+                result = [OK, value]
             else:
                 raise RuntimeServiceError(f"unexpected request {msg!r}")
         except VMError as exc:
@@ -130,29 +171,176 @@ class MessageExchange:
 
     def serve_forever(self) -> Iterator:
         """The service loop for non-initiating nodes: handle requests until
-        SHUTDOWN."""
+        SHUTDOWN.  A fault notice about a non-main peer is recorded and
+        served *through* — that is what lets a replicated run outlive a
+        minority of its replicas."""
         node = self.node
         while True:
             msg = yield from node.mpi.recv_any()
             if msg.kind is MessageKind.SHUTDOWN:
+                if msg.req_id == FAULT_NOTICE:
+                    node.dead_peers.add(msg.src)
+                    if msg.src == node.main_partition:
+                        return None  # the initiator died: nothing left to serve
+                    continue
                 return None
             yield from self.handle_request(msg)
 
 
-def make_node_syscall(node: BackendNode, async_writes: bool = False):
+def make_node_syscall(node: BackendNode, async_writes: bool = False,
+                      replicas=None):
     """The DependentObject dispatcher for a cluster node: resolves create/
     access locally when possible, otherwise exchanges NEW / DEPENDENCE
     messages with the object's home node.
 
     ``async_writes`` enables the communication optimization of paper §4.2:
     remote field/array *writes* go fire-and-forget instead of waiting for a
-    reply (FIFO links keep read-after-write consistent)."""
-    from repro.lang.symbols import ARRAY_SET, FIELD_SET
+    reply (FIFO links keep read-after-write consistent).
+
+    ``replicas`` maps class names to the ordered node tuple holding their
+    copies (primary first).  Creates of a replicated class allocate on every
+    replica (aliased to the primary copy's identity) and must reach a write
+    majority; reads need ⌈n/2⌉ agreeing replicas; writes and invocations go
+    to every live replica and must reach a write majority — the MCS quorum
+    discipline, so any read quorum intersects any write quorum."""
+    from repro.distgen.quorum import read_quorum, write_quorum
+    from repro.lang.symbols import (
+        ARRAY_GET,
+        ARRAY_LEN,
+        ARRAY_SET,
+        FIELD_GET,
+        FIELD_SET,
+    )
+
+    replicas = dict(replicas or {})
+    read_types = (FIELD_GET, ARRAY_GET, ARRAY_LEN)
+
+    def _local_replica_oid(pnode: int, poid: int):
+        """This node's local oid for a replicated identity, or None."""
+        if pnode == node.node_id:
+            return poid
+        return node.replica_dir.get((pnode, poid))
+
+    def _create_replicated(class_name: str, ctor_args, rset) -> Iterator:
+        """Allocate on every replica; the primary copy's (node, oid) is the
+        object's identity, the others alias it via REPLICA_NEW."""
+        machine = node.machine
+        primary = rset[0]
+        try:
+            if primary == node.node_id:
+                ref = yield from create_local(machine, class_name, ctor_args)
+                primary_oid = ref.oid
+            else:
+                ref = yield from node.exchange.request(
+                    primary, MessageKind.NEW, [class_name, ctor_args]
+                )
+                primary_oid = ref.oid
+        except FaultError as exc:
+            raise QuorumLost(
+                f"primary replica (node {primary}) of {class_name} "
+                f"unreachable: {exc}"
+            ) from exc
+        acks = 1
+        for replica in rset[1:]:
+            try:
+                if replica == node.node_id:
+                    local = yield from create_local(machine, class_name, ctor_args)
+                    node.replica_dir[(primary, primary_oid)] = local.oid
+                else:
+                    yield from node.exchange.request(
+                        replica,
+                        MessageKind.REPLICA_NEW,
+                        [class_name, ctor_args, primary, primary_oid],
+                    )
+                acks += 1
+            except (PeerLost, RetriesExhausted, VMError):
+                continue  # a minority of replicas may be gone
+        if acks < write_quorum(len(rset)):
+            raise QuorumLost(
+                f"created only {acks}/{len(rset)} replicas of {class_name} "
+                f"(write quorum {write_quorum(len(rset))})"
+            )
+        # always a DependentRef — even when the primary is local — so every
+        # later access routes back through this dispatcher's quorum path
+        return DependentRef(primary, primary_oid, class_name)
+
+    def _access_replicated(recv: DependentRef, access_type: int, member: str,
+                           call_args) -> Iterator:
+        rset = replicas[recv.class_name]
+        machine = node.machine
+        n = len(rset)
+        if access_type in read_types:
+            needed, values = read_quorum(n), []
+            for replica in rset:
+                if len(values) >= needed:
+                    break
+                try:
+                    if replica == node.node_id:
+                        oid = _local_replica_oid(recv.node, recv.oid)
+                        if oid is None:
+                            continue
+                        value = yield from access_local(
+                            machine, Ref(oid), access_type, member, call_args
+                        )
+                    else:
+                        value = yield from node.exchange.request(
+                            replica,
+                            MessageKind.REPLICA_DEP,
+                            [recv.node, recv.oid, access_type, member, call_args],
+                        )
+                    values.append(value)
+                except (PeerLost, RetriesExhausted, VMError):
+                    continue
+            if len(values) < needed:
+                raise QuorumLost(
+                    f"read quorum on {recv!r}.{member}: {len(values)}/{needed} "
+                    f"replicas reachable"
+                )
+            if any(v != values[0] for v in values[1:]):
+                raise QuorumLost(
+                    f"read quorum on {recv!r}.{member} disagreed: {values!r}"
+                )
+            return values[0]
+        # writes and invocations: apply on every live replica, majority must
+        # succeed; the primary's result (or the first success) is returned
+        acks, result, have_result = 0, None, False
+        for replica in rset:
+            try:
+                if replica == node.node_id:
+                    oid = _local_replica_oid(recv.node, recv.oid)
+                    if oid is None:
+                        continue
+                    value = yield from access_local(
+                        machine, Ref(oid), access_type, member, call_args
+                    )
+                else:
+                    value = yield from node.exchange.request(
+                        replica,
+                        MessageKind.REPLICA_DEP,
+                        [recv.node, recv.oid, access_type, member, call_args],
+                    )
+                acks += 1
+                if not have_result or replica == recv.node:
+                    result, have_result = value, True
+            except (PeerLost, RetriesExhausted, VMError):
+                continue
+        if acks < write_quorum(n):
+            raise QuorumLost(
+                f"write quorum on {recv!r}.{member}: {acks}/{n} replicas "
+                f"acknowledged (need {write_quorum(n)})"
+            )
+        return result
 
     def syscall(kind: str, recv, args) -> Iterator:
         machine = node.machine
         if kind == "create":
             ctor_args, location, class_name = args
+            rset = replicas.get(class_name)
+            if rset is not None and len(rset) > 1:
+                result = yield from _create_replicated(
+                    class_name, ctor_args or [], rset
+                )
+                return result
             if location == node.node_id:
                 result = yield from create_local(machine, class_name, ctor_args or [])
                 return result
@@ -163,6 +351,12 @@ def make_node_syscall(node: BackendNode, async_writes: bool = False):
         if kind == "access":
             call_args, access_type, member = args
             if isinstance(recv, DependentRef):
+                rset = replicas.get(recv.class_name)
+                if rset is not None and len(rset) > 1:
+                    result = yield from _access_replicated(
+                        recv, access_type, member, call_args or []
+                    )
+                    return result
                 if recv.node == node.node_id:
                     recv = Ref(recv.oid)
                 elif async_writes and access_type in (FIELD_SET, ARRAY_SET):
@@ -206,11 +400,16 @@ class ExecutionStarter:
         self.result = yield from call_and_run(
             node.machine, self.main_method, None, [None]
         )
-        # application finished: stop every other node's service loop
+        # application finished: stop every other node's service loop.  Dead
+        # peers are skipped, and a fault on the farewell itself must not
+        # turn a completed run into a failed one.
         for other in range(node.mpi.size):
-            if other == node.node_id:
+            if other == node.node_id or other in node.dead_peers:
                 continue
-            yield from node.mpi.send(
-                Message(MessageKind.SHUTDOWN, node.node_id, other, 0)
-            )
+            try:
+                yield from node.mpi.send(
+                    Message(MessageKind.SHUTDOWN, node.node_id, other, 0)
+                )
+            except FaultError:
+                continue
         return self.result

@@ -38,13 +38,15 @@ from repro.errors import RuntimeServiceError
 from repro.runtime.backend import (
     BackendNode,
     BackendRun,
+    RunPolicy,
     RuntimeBackend,
     Transport,
     provision,
     register_backend,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.message import Message
+from repro.runtime.faults import FaultError, NodeCrashed
+from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
 
 
 class SimNode(BackendNode):
@@ -143,12 +145,17 @@ class SimCluster(Transport):
         arrival = depart + msg.size / link.bandwidth_Bps
         self._link_busy[key] = arrival
         receiver = self.nodes[dst]
-        heapq.heappush(receiver.inbox, (arrival, next(self._seq), msg))
-        receiver.parked = False
         sender.msgs_sent += 1
         sender.bytes_sent += msg.size
         self.total_messages += 1
         self.total_bytes += msg.size
+        # injected duplicates occupy the link and the counters above but are
+        # discarded at intake — the request/reply protocol must see each
+        # uniquely-identified frame once
+        if receiver.injector is not None and not receiver.accept_frame(msg):
+            return
+        heapq.heappush(receiver.inbox, (arrival, next(self._seq), msg))
+        receiver.parked = False
 
     # ------------------------------------------------------------------ scheduler
     def run(self, max_events: int = 200_000_000) -> None:
@@ -195,9 +202,22 @@ class SimCluster(Transport):
                 except StopIteration:
                     node.done = True
                     continue
+                except FaultError as exc:
+                    self._fault_stop(node, exc)
+                    continue
                 kind = event[0]
                 if kind == "cost":
                     node.charge(event[1])
+                    if node.injector is not None and node.injector.crash_due(
+                        node.charged_cycles
+                    ):
+                        self._fault_stop(
+                            node,
+                            NodeCrashed(
+                                f"node {node.node_id} crashed at cycle "
+                                f"{node.charged_cycles} (planned)"
+                            ),
+                        )
                 elif kind == "wait":
                     # the node just failed to find a matching message among
                     # the arrivals <= clock; only a *future* arrival can
@@ -212,6 +232,29 @@ class SimCluster(Transport):
         finally:
             self.events_processed = events
 
+    def _fault_stop(self, node: SimNode, exc: FaultError) -> None:
+        """Degrade instead of raising: record the fault, retire the node and
+        tell every live peer (an emergency SHUTDOWN with the FAULT_NOTICE
+        req id) so nobody waits forever on a reply that cannot come."""
+        node.record_fault(exc)
+        node.done = True
+        node.parked = False
+        if node.gen is not None:
+            node.gen.close()
+        for peer in self.nodes:
+            if peer.node_id == node.node_id or peer.done:
+                continue
+            self.post(
+                node.node_id,
+                peer.node_id,
+                Message(
+                    MessageKind.SHUTDOWN,
+                    node.node_id,
+                    peer.node_id,
+                    FAULT_NOTICE,
+                ),
+            )
+
     @property
     def makespan(self) -> float:
         return max(n.clock for n in self.nodes)
@@ -224,18 +267,12 @@ class SimBackend(SimCluster, RuntimeBackend):
 
     name = "sim"
 
-    def execute(
-        self,
-        program,
-        loaded,
-        main_partition: int,
-        async_writes: bool,
-        max_events: int,
-    ) -> BackendRun:
-        starter = provision(self, loaded, main_partition, async_writes)
-        self.run(max_events=max_events)
+    def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
+        starter = provision(self, loaded, policy)
+        self.run(max_events=policy.max_events)
         stats = [n.snapshot_stats() for n in self.nodes]
         stdout = [line for s in stats for line in s.stdout]
+        faults = [f for n in self.nodes for f in n.faults]
         return BackendRun(
             result=starter.result,
             makespan_s=self.makespan,
@@ -243,4 +280,6 @@ class SimBackend(SimCluster, RuntimeBackend):
             total_bytes=self.total_bytes,
             node_stats=stats,
             stdout=stdout,
+            faults=faults,
+            degraded=bool(faults),
         )

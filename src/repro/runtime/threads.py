@@ -22,13 +22,15 @@ from repro.errors import RuntimeServiceError, VMError
 from repro.runtime.backend import (
     BackendNode,
     BackendRun,
+    RunPolicy,
     RuntimeBackend,
     Transport,
     provision,
     register_backend,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.message import Message, MessageKind
+from repro.runtime.faults import FaultError, NodeCrashed
+from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
 
 
 class ThreadNode(BackendNode):
@@ -104,18 +106,16 @@ class ThreadBackend(RuntimeBackend, Transport):
         with self._totals_lock:
             self.total_messages += 1
             self.total_bytes += msg.size
-        self.nodes[dst].deliver(msg)
+        receiver = self.nodes[dst]
+        # injected duplicates are counted (they were sent) but dropped at
+        # intake so the request/reply protocol sees each frame once
+        if receiver.injector is not None and not receiver.accept_frame(msg):
+            return
+        receiver.deliver(msg)
 
     # ---------------------------------------------------------------- execution
-    def execute(
-        self,
-        program,
-        loaded,
-        main_partition: int,
-        async_writes: bool,
-        max_events: int,
-    ) -> BackendRun:
-        starter = provision(self, loaded, main_partition, async_writes)
+    def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
+        starter = provision(self, loaded, policy)
         errors: List[BaseException] = []
         t0 = time.perf_counter()
 
@@ -124,17 +124,29 @@ class ThreadBackend(RuntimeBackend, Transport):
             try:
                 for event in node.gen:
                     events += 1
-                    if events > max_events:
+                    if events > policy.max_events:
                         raise RuntimeServiceError(
                             "execution exceeded event budget"
                         )
                     kind = event[0]
                     if kind == "cost":
                         node.charge(event[1])
+                        if node.injector is not None and (
+                            node.injector.crash_due(node.charged_cycles)
+                        ):
+                            raise NodeCrashed(
+                                f"node {node.node_id} crashed at cycle "
+                                f"{node.charged_cycles} (planned)"
+                            )
                     elif kind == "wait":
                         node.wait_for_message(self.WAIT_TIMEOUT_S)
                     else:  # pragma: no cover
                         raise RuntimeServiceError(f"unknown event {event!r}")
+            except FaultError as exc:
+                # injected/fault-family failure: degrade, do not abort the
+                # run — record the evidence and tell live peers promptly
+                node.record_fault(exc)
+                self._fault_notice(node.node_id)
             except BaseException as exc:
                 errors.append(exc)
                 self._emergency_shutdown(node.node_id)
@@ -166,6 +178,7 @@ class ThreadBackend(RuntimeBackend, Transport):
         makespan = time.perf_counter() - t0
         stats = [n.snapshot_stats() for n in self.nodes]
         stdout = [line for s in stats for line in s.stdout]
+        faults = [f for n in self.nodes for f in n.faults]
         return BackendRun(
             result=starter.result,
             makespan_s=makespan,
@@ -173,7 +186,20 @@ class ThreadBackend(RuntimeBackend, Transport):
             total_bytes=self.total_bytes,
             node_stats=stats,
             stdout=stdout,
+            faults=faults,
+            degraded=bool(faults),
         )
+
+    def _fault_notice(self, src: int) -> None:
+        """Node ``src`` died of an injected fault: notify every live peer
+        with an emergency SHUTDOWN carrying the FAULT_NOTICE req id, so
+        replicated runs can keep serving while direct requesters fail
+        fast."""
+        for node in self.nodes:
+            if node.node_id != src and not node.done:
+                node.deliver(
+                    Message(MessageKind.SHUTDOWN, src, node.node_id, FAULT_NOTICE)
+                )
 
     def _emergency_shutdown(self, src: int) -> None:
         """A node died with an exception: release every peer's service loop

@@ -24,6 +24,8 @@ import random
 from dataclasses import asdict, dataclass, fields
 from typing import Optional, Tuple
 
+from repro.runtime.faults import FaultPlan
+
 __all__ = [
     "WorldSpec",
     "generate_world",
@@ -50,19 +52,30 @@ class WorldSpec:
     #: runtime backends the oracle must agree across
     backends: Tuple[str, ...] = ("sim",)
     async_writes: bool = False
+    #: seeded fault plan injected at runtime (None = fault-free world)
+    faults: Optional[FaultPlan] = None
+    #: quorum replication factor (1 = unreplicated)
+    replication: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
         object.__setattr__(self, "backends", tuple(self.backends))
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
 
     @property
     def nnodes(self) -> int:
         return len(self.speeds)
 
     def label(self) -> str:
+        tags = ""
+        if self.faults is not None:
+            tags += "/faulty" if not self.faults.transient_only else "/lossy"
+        if self.replication > 1:
+            tags += f"/r{self.replication}"
         return (
             f"k{self.nparts}/{self.method}/{self.granularity}"
-            f"/{self.network}/n{self.nnodes}/{'+'.join(self.backends)}"
+            f"/{self.network}/n{self.nnodes}/{'+'.join(self.backends)}{tags}"
         )
 
     # ----------------------------------------------------------- round trip
@@ -70,6 +83,8 @@ class WorldSpec:
         d = asdict(self)
         d["speeds"] = list(self.speeds)
         d["backends"] = list(self.backends)
+        if self.faults is not None:
+            d["faults"] = self.faults.to_dict()
         return d
 
     @classmethod
@@ -80,6 +95,8 @@ class WorldSpec:
             kwargs["speeds"] = tuple(kwargs["speeds"])
         if "backends" in kwargs:
             kwargs["backends"] = tuple(kwargs["backends"])
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------- configs
@@ -102,11 +119,13 @@ class WorldSpec:
                 method=self.method,
                 nparts=self.nparts,
                 granularity=self.granularity,
+                replication=self.replication,
             ),
             cluster=ClusterConfig(
                 network=self.network,
                 speeds=self.speeds,
                 mem_mb=self.mem_mb,
+                faults=self.faults,
             ),
             backend=BackendConfig(
                 name=backend if backend is not None else self.backends[0],
@@ -126,10 +145,19 @@ def generate_world(
     include_thread: bool = True,
     include_process: bool = False,
     max_nodes: int = 16,
+    include_faults: bool = False,
 ) -> WorldSpec:
     """Sample one world.  Distribution is deliberately corner-heavy: about
     one scenario in five runs a degenerate topology (1 node, or a wide
-    cluster with idle machines)."""
+    cluster with idle machines).
+
+    With ``include_faults`` the world may additionally carry a seeded
+    :class:`~repro.runtime.faults.FaultPlan` — transient loss (drop /
+    duplication / delay, maskable by retry so outputs must stay identical)
+    or a planned node crash (the run must degrade to a structured fault
+    report, never hang) — and multi-node worlds may enable quorum
+    replication.  Fault-free sampling is untouched, so existing corpora
+    replay identically."""
     from repro.partition.api import PARTITIONERS
     from repro.runtime.cluster import NETWORKS
 
@@ -157,6 +185,27 @@ def generate_world(
         backends.append("thread")
     if include_process and nnodes <= 4 and rng.random() < 0.25:
         backends.append("process")
+    faults = None
+    replication = 1
+    if include_faults and nnodes > 1:
+        roll = rng.random()
+        if roll < 0.25:
+            # transient-only: maskable by retry, outputs must not change
+            faults = FaultPlan(
+                drop_pct=rng.choice((0.02, 0.05, 0.10)),
+                dup_pct=rng.choice((0.0, 0.02, 0.05)),
+                delay_s=rng.choice((0.0, 1e-5, 1e-4)),
+                seed=rng.randrange(1 << 30),
+            )
+        elif roll < 0.45:
+            # a planned crash: the run must degrade, not hang
+            victim = rng.randrange(nnodes)
+            faults = FaultPlan(
+                crashes=((victim, rng.choice((2_000, 20_000, 200_000))),),
+                seed=rng.randrange(1 << 30),
+            )
+        if nnodes > nparts and rng.random() < 0.4:
+            replication = min(rng.choice((2, 3)), nnodes)
     return WorldSpec(
         nparts=nparts,
         method=rng.choice(PARTITIONERS.names()),
@@ -166,6 +215,8 @@ def generate_world(
         mem_mb=rng.choice((64, 128, 256, 512)),
         backends=tuple(backends),
         async_writes=rng.random() < 0.3,
+        faults=faults,
+        replication=replication,
     )
 
 

@@ -282,9 +282,21 @@ def _vm_differential(outcome: ConformanceOutcome, loaded) -> bool:
 # checks
 # ---------------------------------------------------------------------------
 def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int]:
-    """Distributed-vs-baseline checks for one Experiment (one backend)."""
+    """Distributed-vs-baseline checks for one Experiment (one backend).
+
+    Fault-bearing worlds weaken the contract in exactly one way: a world
+    whose :class:`~repro.runtime.faults.FaultPlan` plans crashes or
+    partitions (``not transient_only``) may *degrade* — then the run must
+    still return (never hang or raise), must carry structured fault
+    evidence, and must report stats for every node, but its outputs are
+    not comparable to the baseline.  Transient-only plans (drop /
+    duplication / delay) are maskable by retry, so every equality check
+    stays in force for them — and for replicated worlds, crash or not,
+    whenever the run completes undegraded."""
     divs: List[Divergence] = []
     checks = 0
+    plan_faults = exp.config.cluster.faults
+    crashy = plan_faults is not None and not plan_faults.transient_only
     try:
         res = exp.run()
     except ReproError as exc:
@@ -293,6 +305,29 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
                         f"{type(exc).__name__}: {exc}")],
             1,
         )
+    if crashy and res.distributed.degraded:
+        checks += 1
+        if not res.distributed.faults:
+            divs.append(
+                Divergence(
+                    f"dist.faults[{backend}]",
+                    "degraded run must carry structured fault records",
+                    actual=res.distributed.faults,
+                )
+            )
+        checks += 1
+        cluster = exp.cluster()
+        stats = res.distributed.node_stats
+        if len(stats) != cluster.size:
+            divs.append(
+                Divergence(
+                    f"dist.nodestats[{backend}]",
+                    f"degraded run must still report {cluster.size} node stats",
+                    expected=cluster.size,
+                    actual=len(stats),
+                )
+            )
+        return divs, checks
     seq = exp.baseline()
     checks += 1
     if list(res.stdout) != list(seq.stdout):
@@ -350,6 +385,8 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
                     exp.rewrite().program, exp.plan(), cluster,
                     async_writes=exp.config.backend.async_writes,
                     backend="sim",
+                    faults=plan_faults,
+                    replicas=exp.replicas(),
                 ).run()
 
         fast_run = cluster_run(False)
@@ -500,6 +537,7 @@ def run_fuzz(
     budget: int,
     include_thread: bool = True,
     include_process: bool = False,
+    include_faults: bool = False,
     deep: bool = False,
     shrink_budget: int = 120,
     max_failures: int = 5,
@@ -526,6 +564,7 @@ def run_fuzz(
             random.Random(derive_seed("genworld", seed, i)),
             include_thread=include_thread,
             include_process=include_process,
+            include_faults=include_faults,
         )
         scenario = Scenario(
             name=f"fuzz-{seed}-{i}",

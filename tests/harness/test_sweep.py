@@ -166,3 +166,82 @@ def test_process_pool_matches_serial():
     pooled = SweepRunner(grid, workers=2).run()
     assert pooled.table() == serial.table()
     assert [r.config for r in pooled.records] == [r.config for r in serial.records]
+
+
+# ------------------------------------------------------------- fault isolation
+def _poison(monkeypatch, bad_workload, action="raise"):
+    """Make Experiment.run fail for one workload.  Patched on the sweep
+    module, so (fork-started) pool workers inherit it too."""
+    import os
+
+    from repro.harness import sweep as sweep_mod
+
+    real = sweep_mod.Experiment
+
+    class PoisonedExperiment(real):
+        def run(self):
+            if self.config.workload.name == bad_workload:
+                if action == "die":  # vanish like an OOM-killed worker
+                    os._exit(17)
+                raise ReproError("poisoned config")
+            return super().run()
+
+    monkeypatch.setattr(sweep_mod, "Experiment", PoisonedExperiment)
+
+
+def test_serial_sweep_survives_poisoned_config(monkeypatch):
+    _poison(monkeypatch, "method")
+    grid = sweep_grid(workloads=["bank", "method", "crypt"])
+    result = SweepRunner(grid, cache=StageCache()).run()
+    assert [r.config.workload for r in result.records] == [
+        "bank", "method", "crypt"
+    ]  # grid order survives the failure
+    bad = result.records[1]
+    assert not bad.ok and "poisoned config" in bad.error
+    assert bad.distributed_s == 0.0 and bad.node_stats == []
+    good = [result.records[0], result.records[2]]
+    assert all(r.ok and r.distributed_s > 0 for r in good)
+    assert "1 config(s) FAILED" in result.summary()
+    assert result.table().count("ERROR") == 1
+    errs = result.to_dict()["errors"]
+    assert len(errs) == 1 and errs[0]["config"]["workload"] == "method"
+
+
+def test_pooled_sweep_survives_poisoned_config(monkeypatch):
+    _poison(monkeypatch, "method")
+    grid = sweep_grid(workloads=["bank", "method", "crypt"])
+    result = SweepRunner(grid, workers=2).run()
+    assert len(result.records) == len(grid)
+    statuses = {r.config.workload: r.ok for r in result.records}
+    assert statuses == {"bank": True, "method": False, "crypt": True}
+
+
+def test_pooled_sweep_survives_dead_worker(monkeypatch):
+    """A worker that vanishes mid-config (BrokenProcessPool) costs at most
+    the unfinished grid points — the sweep still returns one record per
+    config, with errors marked, instead of raising."""
+    _poison(monkeypatch, "method", action="die")
+    grid = sweep_grid(workloads=["bank", "method", "crypt"])
+    result = SweepRunner(grid, workers=2).run()
+    assert len(result.records) == len(grid)
+    assert [r.config for r in result.records] == list(grid)
+    bad = next(r for r in result.records if r.config.workload == "method")
+    assert not bad.ok
+    assert sum(1 for r in result.records if not r.ok) >= 1
+
+
+def test_pooled_sweep_carries_cache_counters_back():
+    """Regression guard: per-config cache hit/miss deltas measured inside
+    pool workers must ride back on the records (a pooled sweep whose
+    telemetry read 0 hits would hide the warm-cache effect entirely)."""
+    grid = sweep_grid(
+        workloads=["bank"],
+        methods=("multilevel", "kl", "roundrobin"),
+        networks=("ethernet_100m", "ethernet_1g"),
+    )
+    assert len(grid) == 6
+    result = SweepRunner(grid, workers=2).run()
+    assert all(r.ok for r in result.records)
+    assert result.cache_misses > 0       # cold caches did real work
+    assert result.cache_hits > 0         # later configs hit the warm shard
+    assert "hit rate" in result.summary()

@@ -25,7 +25,9 @@ def test_message_kinds_match_paper():
     # "We currently identify two types of messages: NEW and DEPENDENCE"
     assert MessageKind.NEW.value == 1
     assert MessageKind.DEPENDENCE.value == 2
-    assert {k.name for k in MessageKind} == {"NEW", "DEPENDENCE", "REPLY", "SHUTDOWN"}
+    assert {k.name for k in MessageKind} == {
+        "NEW", "DEPENDENCE", "REPLY", "SHUTDOWN", "REPLICA_NEW", "REPLICA_DEP"
+    }
 
 
 def test_paper_testbed_matches_section7():

@@ -1,0 +1,94 @@
+"""Process-backend worker-death tests: a worker killed before it can
+report (SIGKILL — simulating OOM-kill or a segfault) must surface as a
+structured ``worker_lost`` fault record promptly, never as a hang on the
+results queue or on peers blocked in recv.
+"""
+
+import os
+import signal
+import sys
+import pathlib
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.distgen import rewrite_program
+from repro.distgen.plan import DistributionPlan
+from repro.runtime import proc as proc_mod
+from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
+from repro.runtime.executor import DistributedExecutor
+
+SRC = """
+class Cell {
+    int v;
+    Cell(int v) { this.v = v; }
+    int get() { return v; }
+}
+
+class Main {
+    static void main(String[] args) {
+        Cell c = new Cell(41);
+        Sys.println("got:" + (c.get() + 1));
+    }
+}
+"""
+
+
+def _run_process(monkeypatch, victim):
+    """Run SRC on the process backend with node ``victim`` SIGKILLing
+    itself during provisioning (fork inherits the patch, the parent keeps
+    the real function)."""
+    real_provision = proc_mod.provision_node
+
+    def killing_provision(node, transport, loaded, policy):
+        if node.node_id == victim:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real_provision(node, transport, loaded, policy)
+
+    monkeypatch.setattr(proc_mod, "provision_node", killing_provision)
+    bp, _ = compile_mj_raw(SRC)
+    plan = DistributionPlan(
+        nparts=2,
+        granularity="class",
+        class_home={"Cell": 0, "Main": 1},
+        dependent_classes={"Cell", "Main"},
+        main_partition=1,
+    )
+    rewritten, _ = rewrite_program(bp, plan)
+    cluster = ClusterSpec(
+        nodes=[NodeSpec(f"n{i}", 1e9) for i in range(2)],
+        link=ethernet_100m(),
+    )
+    return DistributedExecutor(
+        rewritten, plan, cluster, backend="process"
+    ).run()
+
+
+@pytest.mark.parametrize("victim", (0, 1))
+def test_sigkilled_worker_becomes_structured_fault(monkeypatch, victim):
+    t0 = time.monotonic()
+    run = _run_process(monkeypatch, victim)
+    elapsed = time.monotonic() - t0
+    # promptly: dead-worker detection polls exit codes, it does not sit out
+    # the 60 s recv timeout the peers would otherwise block in
+    assert elapsed < 30.0
+    assert run.degraded
+    lost = [f for f in run.faults if f.kind == "worker_lost"]
+    assert len(lost) == 1
+    assert lost[0].node == victim
+    assert f"node {victim}" in lost[0].detail
+    # the survivor still reports; the dead node contributes zeroed stats
+    assert len(run.node_stats) == 2
+
+
+def test_unkilled_process_run_still_clean(monkeypatch):
+    """Guard against the harness itself: with no victim the same plumbing
+    reports a clean, undegraded run."""
+    run = _run_process(monkeypatch, victim=-1)
+    assert not run.degraded
+    assert run.faults == []
+    assert run.stdout == ["got:42"]

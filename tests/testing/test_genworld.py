@@ -97,3 +97,49 @@ def test_experiment_config_uses_effective_cluster_size():
 def test_speed_palette_sane():
     assert all(s > 0 for s in SPEED_PALETTE)
     assert max(SPEED_PALETTE) / min(SPEED_PALETTE) >= 4  # real heterogeneity
+
+
+# ------------------------------------------------------------------ faults
+def test_fault_free_sampling_unchanged_by_fault_axis_default():
+    """include_faults=False must reproduce the historical stream exactly —
+    existing corpora replay against the same worlds."""
+    for seed in range(25):
+        assert generate_world(random.Random(seed)) == generate_world(
+            random.Random(seed), include_faults=False
+        )
+
+
+def test_fault_worlds_sampled_and_round_trip():
+    from repro.runtime.faults import FaultPlan
+
+    lossy = crashy = replicated = 0
+    for seed in range(120):
+        w = generate_world(random.Random(seed), include_faults=True)
+        if w.faults is not None:
+            assert isinstance(w.faults, FaultPlan)
+            if w.faults.transient_only:
+                lossy += 1
+                assert "/lossy" in w.label()
+            else:
+                crashy += 1
+                assert "/faulty" in w.label()
+                (victim, cycle), = w.faults.crashes
+                assert 0 <= victim < w.nnodes and cycle > 0
+        if w.replication > 1:
+            replicated += 1
+            assert w.replication <= w.nnodes
+            assert f"/r{w.replication}" in w.label()
+        again = WorldSpec.from_dict(w.to_dict())
+        assert again == w
+        # the typed config carries both axes through
+        cfg = w.experiment_config("bank")
+        assert cfg.cluster.faults == w.faults
+        assert cfg.partition.replication == w.replication
+    assert lossy > 0 and crashy > 0 and replicated > 0
+
+
+def test_single_node_worlds_never_fault():
+    for seed in range(200):
+        w = generate_world(random.Random(seed), include_faults=True)
+        if w.nnodes == 1:
+            assert w.faults is None and w.replication == 1
