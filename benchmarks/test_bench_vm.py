@@ -11,6 +11,9 @@ acceptance criteria that are deterministic on any machine:
 * the threaded-code fast path is genuinely faster than the per-step
   reference oracle (a loose wall-clock floor, safe on noisy CI: the
   committed ``BENCH_vm.json`` records the precise >= 3x measurement);
+* the compiled tier (superinstructions + trace-compiled hot blocks) is
+  genuinely faster again than the fast path (same loose floor; the
+  committed baseline records the precise >= 3x compiled-vs-fast ratio);
 * the fresh run passes the committed baseline's regression gate.
 """
 
@@ -34,6 +37,10 @@ def test_bench_vm(benchmark, out_dir):
         it = w["interpreter"]
         assert it["speedup"] > 1.5, (
             f"{name}: fast path only {it['speedup']:.2f}x over the oracle"
+        )
+        assert it["compiled_vs_fast"] > 1.5, (
+            f"{name}: compiled tier only {it['compiled_vs_fast']:.2f}x "
+            f"over the fast path"
         )
 
     if BENCH_VM_PATH.exists():

@@ -244,13 +244,24 @@ class BackendConfig(_Config):
     #: scheduler/driver event bound (global for the simulator, per node for
     #: wall-clock backends)
     max_events: int = 200_000_000
+    #: VM execution tier for every node machine: ``"default"`` inherits the
+    #: ambient engine (``REPRO_VM_ENGINE``, normally the compiled tier), or
+    #: pin one of ``reference`` / ``fast`` / ``compiled`` explicitly — all
+    #: three are bit-identical in cycles, NodeStats and output
+    engine: str = "default"
 
     def __post_init__(self) -> None:
         from repro.runtime.backend import BACKENDS
+        from repro.vm.interpreter import ENGINES
 
         BACKENDS.get(self.name)
         if self.max_events < 1:
             raise ConfigError(f"max_events must be >= 1, got {self.max_events}")
+        if self.engine != "default" and self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown vm engine {self.engine!r}; pick one of "
+                f"{('default',) + ENGINES}"
+            )
 
     @property
     def is_virtual(self) -> bool:
@@ -309,6 +320,7 @@ class ExperimentConfig(_Config):
         async_writes: bool = False,
         faults: Optional[Any] = None,
         replication: int = 1,
+        engine: str = "default",
     ) -> "ExperimentConfig":
         """Flat-kwargs convenience constructor — the shape the CLI and the
         sweep grid speak."""
@@ -319,7 +331,9 @@ class ExperimentConfig(_Config):
                 pin_main=pin_main, replication=replication,
             ),
             cluster=ClusterConfig(nodes=nodes, network=network, faults=faults),
-            backend=BackendConfig(name=backend, async_writes=async_writes),
+            backend=BackendConfig(
+                name=backend, async_writes=async_writes, engine=engine
+            ),
         )
 
     def to_dict(self) -> Dict[str, Any]:

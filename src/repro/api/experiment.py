@@ -322,16 +322,22 @@ def rewrite_workload(
 
 
 def _sequential_entry(
-    work: CompiledWorkload, node: NodeSpec
+    work: CompiledWorkload, node: NodeSpec, engine: str = "default"
 ) -> Tuple[str, dict, Callable[[], Any]]:
     # the sequential VM is deterministic, so the centralized baseline is
     # a pure function of (program, node speed) — memoizable like any
-    # other stage; sweeps re-run it once per distinct baseline machine
+    # other stage; sweeps re-run it once per distinct baseline machine.
+    # Cycles are engine-invariant, but the jit counters riding on the
+    # result are not, so a forced engine gets its own cache entry.
     key = {"source_fp": work.source_fp, "cpu_hz": node.cpu_hz}
+    if engine != "default":
+        key["engine"] = engine
     return (
         "sequential",
         key,
-        lambda: run_sequential(work.bprogram, node, loaded=work.loaded),
+        lambda: run_sequential(
+            work.bprogram, node, loaded=work.loaded, engine=engine
+        ),
     )
 
 
@@ -551,9 +557,10 @@ class Experiment:
         """Centralized baseline on the slowest cluster machine."""
         work = self.compile()
         node = min(self.cluster().nodes, key=lambda n: n.cpu_hz)
+        entry = _sequential_entry(work, node, self.config.backend.engine)
         return self._stage(
             "sequential",
-            lambda: self.cache.get_or_build_info(*_sequential_entry(work, node)),
+            lambda: self.cache.get_or_build_info(*entry),
         )
 
     def replicas(self) -> Optional[Dict[str, tuple]]:
@@ -593,6 +600,7 @@ class Experiment:
                 rewritten.program, plan, cluster,
                 async_writes=backend.async_writes, backend=backend.name,
                 faults=self.config.cluster.faults, replicas=replicas,
+                engine=backend.engine,
             ).run(max_events=backend.max_events)
 
         if backend.is_virtual:
@@ -687,6 +695,13 @@ class Experiment:
         seq = self._artifacts.get("sequential")
         dist = self._artifacts.get("execute")
         report.replication = self.config.partition.replication
+        report.vm_engine = self.config.backend.engine
+        jit: Dict[str, int] = {}
+        for res in (seq, dist):
+            for key, value in (getattr(res, "jit", None) or {}).items():
+                jit[key] = jit.get(key, 0) + value
+        if seq is not None or dist is not None:
+            report.jit = jit
         if seq is not None and dist is not None:
             seq_s = (
                 seq.exec_time_s

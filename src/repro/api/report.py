@@ -68,6 +68,12 @@ class Report:
     #: modeled availability of the replica arrangement (see
     #: repro.distgen.quorum.plan_availability); None when not computed
     availability: Optional[float] = None
+    #: VM execution tier the run was forced to ("default" = ambient
+    #: REPRO_VM_ENGINE); mirrors BackendConfig.engine
+    vm_engine: str = "default"
+    #: cluster-wide JIT counters (see Machine.jit_stats) merged across the
+    #: distributed nodes and the sequential baseline; None until a run
+    jit: Optional[Dict[str, int]] = None
 
     # -------------------------------------------------------------- views
     def stage_timings_ms(self) -> Dict[str, float]:
@@ -100,6 +106,8 @@ class Report:
             "degraded": self.degraded,
             "replication": self.replication,
             "availability": self.availability,
+            "vm_engine": self.vm_engine,
+            "jit": self.jit,
         }
 
     def to_json(self, **dumps_kwargs: Any) -> str:

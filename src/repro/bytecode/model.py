@@ -88,7 +88,7 @@ def basic_block_leaders(instrs: List[Instr]) -> Tuple[int, ...]:
 class FlatCode:
     """Executable form: label-free instruction list with integer targets."""
 
-    __slots__ = ("instrs", "label_index", "_block_starts", "threaded")
+    __slots__ = ("instrs", "label_index", "_block_starts", "threaded", "fused")
 
     def __init__(self, instrs: List[Instr], label_index: Dict[Label, int]) -> None:
         self.instrs = instrs
@@ -98,6 +98,9 @@ class FlatCode:
         #: fast path on first execution (the bytecode layer stays ignorant
         #: of the handler table)
         self.threaded = None
+        #: compiled-tier plan built lazily by :mod:`repro.vm.jit`: per-index
+        #: either a fused Run (at run starts) or the plain threaded pair
+        self.fused = None
 
     @property
     def block_starts(self) -> Tuple[int, ...]:

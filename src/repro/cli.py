@@ -51,6 +51,7 @@ def _experiment(args: argparse.Namespace, backend: str):
         nparts=getattr(args, "nodes", 2),
         backend=backend,
         replication=replication,
+        engine=getattr(args, "vm_engine", "default"),
         # replicas need somewhere to live: give each extra copy its own
         # (otherwise idle) machine beyond the nparts the plan uses
         nodes=(
@@ -67,7 +68,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # the centralized baseline always runs on the paper's 800 MHz
         # machine (the slowest paper-testbed node); --nodes only shapes
         # distributed runs
-        exp = Experiment.from_options(args.workload, size=args.size)
+        exp = Experiment.from_options(
+            args.workload, size=args.size,
+            engine=getattr(args, "vm_engine", "default"),
+        )
         seq = exp.baseline()
         if args.json:
             print(exp.report().to_json(indent=2))
@@ -209,7 +213,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # `repro bench --quick --check BENCH_vm.json`) overwrites it
     committed = load_bench(args.check) if args.check else None
     workloads = args.workloads.split(",") if args.workloads else None
-    doc = run_bench(workloads, quick=args.quick)
+    engines = None if args.engine == "all" else [args.engine]
+    doc = run_bench(workloads, quick=args.quick, engines=engines)
     print(render_bench(doc))
     if args.out:
         out = pathlib.Path(args.out)
@@ -327,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--nodes", type=int, default=2,
                    help="partitions for non-seq backends")
+    p.add_argument("--vm-engine", default="default", metavar="TIER",
+                   choices=("default", "reference", "fast", "compiled"),
+                   help="force the VM execution tier on every machine "
+                   "(default = ambient REPRO_VM_ENGINE)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured Report as JSON on stdout "
                    "(seq runs report distributed_s: null)")
@@ -349,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="quorum-replicate safe remote classes over N copies "
         "(adds N-1 extra nodes to host them; default 1 = off)",
     )
+    p.add_argument("--vm-engine", default="default", metavar="TIER",
+                   choices=("default", "reference", "fast", "compiled"),
+                   help="force the VM execution tier on every machine "
+                   "(default = ambient REPRO_VM_ENGINE)")
     p.add_argument("--json", action="store_true",
                    help="emit the structured Report as JSON on stdout")
     p.set_defaults(fn=_cmd_distribute)
@@ -403,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="small 'test' workload size — the CI smoke configuration",
+    )
+    p.add_argument(
+        "--engine", default="all",
+        choices=("reference", "fast", "compiled", "all"),
+        help="execution tier(s) to measure (default: all three, with "
+        "bit-identity asserted across them)",
     )
     p.add_argument(
         "--out", default="BENCH_vm.json",

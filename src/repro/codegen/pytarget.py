@@ -1,0 +1,202 @@
+"""BURS rules lowering operator trees to Python expressions.
+
+This is the target the trace compiler (:mod:`repro.vm.jit`) reduces hot
+basic blocks against: the generic BURS engine (:mod:`repro.codegen.burs`)
+labels each :class:`~repro.codegen.tree.TreeNode` with the cheapest
+derivation, and the emitters here produce Python *expression strings* that
+``exec``-compiled block closures evaluate directly on frame locals.
+
+Two nonterminals:
+
+* ``imm`` — a compile-time constant (the raw Python value).  Constant
+  leaves reduce to ``imm``, and folding rules (cost 0) reduce whole
+  constant subtrees to ``imm`` using the exact wrap-around semantics of
+  :mod:`repro.vm.values`, so folded results feed further folds.
+* ``py`` — a Python expression string.  The ``imm -> py`` chain rule
+  reprs the constant; operator rules parenthesize operands, so emitted
+  expressions compose safely.
+
+Rule costs make the labeler prefer folded constants and immediate-shift
+forms (the shift mask is applied at compile time) over the generic
+runtime forms — the same minimum-cost-traversal scheme the paper's JBurg
+stage uses for its real target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.burs import BURS, Rule
+from repro.codegen.tree import TreeNode
+from repro.vm.values import i32, i64, idiv, irem, iushr
+
+__all__ = ["PY_RULES", "PY_BURS", "lower_py", "fold_const"]
+
+
+def _paren(e: object) -> str:
+    return f"({e})"
+
+
+def _rules() -> List[Rule]:
+    rules: List[Rule] = []
+    add = rules.append
+
+    # ---- constant leaves -> imm; imm -> py via repr
+    for leaf in ("ICONST", "LCONST", "FCONST", "SCONST", "NULL"):
+        add(Rule("imm", (leaf,), 0, lambda ctx, n, k: n.value, name=f"imm.{leaf}"))
+    add(Rule("py", "imm", 1, lambda ctx, n, k: repr(k[0]), name="py.imm"))
+
+    # ---- value leaves
+    add(Rule("py", ("LOCAL",), 1, lambda ctx, n, k: f"L[{n.value}]", name="py.local"))
+    add(Rule("py", ("TEMP",), 0, lambda ctx, n, k: str(n.value), name="py.temp"))
+
+    # ---- wrapped integer arithmetic (32/64-bit), with constant folding
+    for suffix, wrap, wname in (("I", i32, "i32"), ("L", i64, "i64")):
+        for opname, sym in (
+            ("ADD", "+"), ("SUB", "-"), ("MUL", "*"),
+            ("AND", "&"), ("OR", "|"), ("XOR", "^"),
+        ):
+            root = f"{opname}_{suffix}"
+            add(Rule(
+                "py", (root, "py", "py"), 2,
+                (lambda wn, s: lambda ctx, n, k: f"{wn}({_paren(k[0])} {s} {_paren(k[1])})")(wname, sym),
+                name=f"py.{root}",
+            ))
+            add(Rule(
+                "imm", (root, "imm", "imm"), 0,
+                (lambda w, s: lambda ctx, n, k: w(_FOLD_BIN[s](k[0], k[1])))(wrap, sym),
+                name=f"fold.{root}",
+            ))
+        bits = 31 if suffix == "I" else 63
+        for opname, sym in (("SHL", "<<"), ("SHR", ">>")):
+            root = f"{opname}_{suffix}"
+            add(Rule(
+                "py", (root, "py", "imm"), 1,
+                (lambda wn, s, b: lambda ctx, n, k: f"{wn}({_paren(k[0])} {s} {int(k[1]) & b})")(wname, sym, bits),
+                name=f"py.{root}.imm",
+            ))
+            add(Rule(
+                "py", (root, "py", "py"), 2,
+                (lambda wn, s, b: lambda ctx, n, k: f"{wn}({_paren(k[0])} {s} ({_paren(k[1])} & {b}))")(wname, sym, bits),
+                name=f"py.{root}",
+            ))
+            add(Rule(
+                "imm", (root, "imm", "imm"), 0,
+                (lambda w, s, b: lambda ctx, n, k: w(_FOLD_BIN[s](k[0], int(k[1]) & b)))(wrap, sym, bits),
+                name=f"fold.{root}",
+            ))
+        nbits = 32 if suffix == "I" else 64
+        root = f"USHR_{suffix}"
+        add(Rule(
+            "py", (root, "py", "py"), 2,
+            (lambda nb: lambda ctx, n, k: f"iushr({_paren(k[0])}, {_paren(k[1])}, {nb})")(nbits),
+            name=f"py.{root}",
+        ))
+        add(Rule(
+            "imm", (root, "imm", "imm"), 0,
+            (lambda nb: lambda ctx, n, k: iushr(k[0], k[1], nb))(nbits),
+            name=f"fold.{root}",
+        ))
+        # division / remainder: operands are runtime-guarded against zero by
+        # the trace compiler before these trees are built, so the emitted
+        # expression never faults
+        wn = wname
+        add(Rule(
+            "py", (f"DIV_{suffix}", "py", "py"), 3,
+            (lambda wn: lambda ctx, n, k: f"{wn}(idiv({_paren(k[0])}, {_paren(k[1])}))")(wn),
+            name=f"py.DIV_{suffix}",
+        ))
+        add(Rule(
+            "py", (f"REM_{suffix}", "py", "py"), 3,
+            (lambda wn: lambda ctx, n, k: f"{wn}(irem({_paren(k[0])}, {_paren(k[1])}))")(wn),
+            name=f"py.REM_{suffix}",
+        ))
+        add(Rule(
+            "py", (f"NEG_{suffix}", "py"), 1,
+            (lambda wn: lambda ctx, n, k: f"{wn}(-{_paren(k[0])})")(wn),
+            name=f"py.NEG_{suffix}",
+        ))
+        add(Rule(
+            "imm", (f"NEG_{suffix}", "imm"), 0,
+            (lambda w: lambda ctx, n, k: w(-k[0]))(wrap),
+            name=f"fold.NEG_{suffix}",
+        ))
+
+    # ---- float arithmetic (Python floats are the F domain; no wrapping)
+    for opname, sym in (("ADD", "+"), ("SUB", "-"), ("MUL", "*")):
+        root = f"{opname}_F"
+        add(Rule(
+            "py", (root, "py", "py"), 2,
+            (lambda s: lambda ctx, n, k: f"({_paren(k[0])} {s} {_paren(k[1])})")(sym),
+            name=f"py.{root}",
+        ))
+        add(Rule(
+            "imm", (root, "imm", "imm"), 0,
+            (lambda s: lambda ctx, n, k: _FOLD_BIN[s](k[0], k[1]))(sym),
+            name=f"fold.{root}",
+        ))
+    add(Rule("py", ("DIV_F", "py", "py"), 3,
+             lambda ctx, n, k: f"({_paren(k[0])} / {_paren(k[1])})", name="py.DIV_F"))
+    # Java-style float remainder: a - b * int(a / b); operands appear twice,
+    # so the trace compiler only feeds this rule pre-materialized temps
+    add(Rule("py", ("REM_F", "py", "py"), 3,
+             lambda ctx, n, k:
+             f"({_paren(k[0])} - {_paren(k[1])} * int({_paren(k[0])} / {_paren(k[1])}))",
+             name="py.REM_F"))
+    add(Rule("py", ("NEG_F", "py"), 1,
+             lambda ctx, n, k: f"(-{_paren(k[0])})", name="py.NEG_F"))
+    add(Rule("imm", ("NEG_F", "imm"), 0,
+             lambda ctx, n, k: -k[0], name="fold.NEG_F"))
+
+    # ---- conversions
+    for root, wn, fold in (
+        ("I2L", "i64", i64),
+        ("L2I", "i32", i32),
+        ("I2F", "float", float),
+        ("L2F", "float", float),
+    ):
+        add(Rule("py", (root, "py"), 1,
+                 (lambda wn: lambda ctx, n, k: f"{wn}({k[0]})")(wn),
+                 name=f"py.{root}"))
+        add(Rule("imm", (root, "imm"), 0,
+                 (lambda f: lambda ctx, n, k: f(k[0]))(fold),
+                 name=f"fold.{root}"))
+    for root, wn, fold in (("F2I", "i32", lambda v: i32(int(v))),
+                           ("F2L", "i64", lambda v: i64(int(v)))):
+        add(Rule("py", (root, "py"), 1,
+                 (lambda wn: lambda ctx, n, k: f"{wn}(int({k[0]}))")(wn),
+                 name=f"py.{root}"))
+        add(Rule("imm", (root, "imm"), 0,
+                 (lambda f: lambda ctx, n, k: f(k[0]))(fold),
+                 name=f"fold.{root}"))
+
+    return rules
+
+
+_FOLD_BIN = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+#: the rule set, and one shared engine instance (the engine is stateless
+#: between trees apart from per-node ``state`` scratch)
+PY_RULES = _rules()
+PY_BURS = BURS(PY_RULES)
+
+
+def lower_py(tree: TreeNode, ctx=None) -> str:
+    """Reduce ``tree`` to a Python expression string (goal ``py``)."""
+    return PY_BURS.generate(tree, "py", ctx)
+
+
+def fold_const(tree: TreeNode, ctx=None):
+    """Reduce ``tree`` all the way to a compile-time constant (goal
+    ``imm``); raises :class:`~repro.errors.CodegenError` if any leaf is
+    not a constant."""
+    return PY_BURS.generate(tree, "imm", ctx)

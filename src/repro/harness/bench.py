@@ -2,9 +2,11 @@
 
 Measures, per JGF workload:
 
-* **interpreter throughput** — instructions/sec of a full sequential run,
-  on both the cost-batched fast path and the per-step reference path (the
-  oracle), with their ratio as the hardware-independent ``speedup``;
+* **interpreter throughput** — instructions/sec of a full sequential run
+  on each execution tier (``reference`` per-step oracle, ``fast``
+  cost-batched threaded code, ``compiled`` superinstruction + trace-JIT),
+  with the hardware-independent ratios ``speedup`` (fast vs reference)
+  and ``compiled_vs_fast``;
 * **simulator event counts** — discrete-event scheduler events of a 2-node
   distributed run on both paths; cost batching must shrink this by an
   order of magnitude at *identical* virtual timing (asserted here).
@@ -12,8 +14,8 @@ Measures, per JGF workload:
 Results serialize to ``BENCH_vm.json`` — the recorded computing-time
 baseline future PRs measure themselves against.  Because absolute
 instructions/sec depend on the machine running the bench, the regression
-gate (:func:`check_regression`) compares the *relative* metrics (fast/slow
-speedup, event reduction), which transfer across hardware; absolute
+gate (:func:`check_regression`) compares the *relative* metrics (tier
+speedups, event reduction), which transfer across hardware; absolute
 throughput is recorded alongside for trajectory plots.
 """
 
@@ -25,13 +27,17 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ReproError
-from repro.vm.interpreter import forced_slow_path
+from repro.vm.interpreter import ENGINES, forced_engine, forced_slow_path
 
 #: format tag of the BENCH_vm.json document
-BENCH_SCHEMA = "repro.bench_vm/1"
+BENCH_SCHEMA = "repro.bench_vm/2"
 
 #: the acceptance workloads: JGF section-2 kernels with deep hot loops
 DEFAULT_WORKLOADS = ("heapsort", "crypt")
+
+#: engine name -> row key in the per-workload ``interpreter`` dict (the
+#: reference tier keeps its historical row name ``slow``)
+ENGINE_ROWS = {"reference": "slow", "fast": "fast", "compiled": "compiled"}
 
 
 def _run_sequential(workload: str, size: str):
@@ -52,12 +58,12 @@ def _run_sequential(workload: str, size: str):
 
 
 def bench_interpreter(
-    workload: str, size: str, *, slow: bool, repeats: int = 1
+    workload: str, size: str, *, engine: str = "fast", repeats: int = 1
 ) -> Dict[str, float]:
-    """Best-of-``repeats`` sequential throughput on one path."""
+    """Best-of-``repeats`` sequential throughput on one execution tier."""
     best = None
     machine = None
-    with forced_slow_path(slow):
+    with forced_engine(engine):
         for _ in range(max(1, repeats)):
             machine, wall = _run_sequential(workload, size)
             best = wall if best is None else min(best, wall)
@@ -67,6 +73,7 @@ def bench_interpreter(
         "cycles": machine.cycles,
         "wall_s": wall,
         "ips": machine.steps / wall,
+        "jit": machine.jit_stats(),
     }
 
 
@@ -136,33 +143,45 @@ def run_bench(
     *,
     quick: bool = False,
     repeats: Optional[int] = None,
+    engines: Optional[Iterable[str]] = None,
 ) -> Dict:
     """Run the full bench matrix and return the ``BENCH_vm.json`` document.
 
     ``quick`` uses the small ``test`` workload size (CI smoke); the default
     ``bench`` size matches the Figure 11 measurements.  Each workload is
-    measured on the fast path and the per-step reference path, and the two
+    measured on every requested execution tier (default: all three), all
+    tiers are asserted bit-identical on steps and cycles, and the two
     simulator runs are asserted to agree on virtual makespan and output —
-    the bench refuses to report numbers from a diverged fast path.
+    the bench refuses to report numbers from a diverged tier.
     """
     names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
     size = "test" if quick else "bench"
     if repeats is None:
         repeats = 3 if quick else 1
+    engine_list = list(engines) if engines else list(ENGINES)
+    for e in engine_list:
+        if e not in ENGINE_ROWS:
+            raise ReproError(
+                f"unknown engine {e!r} (choose from {', '.join(ENGINES)})"
+            )
     doc: Dict = {
         "schema": BENCH_SCHEMA,
         "size": size,
         "quick": quick,
+        "engines": engine_list,
         "python": platform.python_version(),
         "workloads": {},
     }
     for name in names:
-        fast = bench_interpreter(name, size, slow=False, repeats=repeats)
-        ref = bench_interpreter(name, size, slow=True, repeats=repeats)
-        if (fast["steps"], fast["cycles"]) != (ref["steps"], ref["cycles"]):
+        meas = {
+            e: bench_interpreter(name, size, engine=e, repeats=repeats)
+            for e in engine_list
+        }
+        sigs = {(v["steps"], v["cycles"]) for v in meas.values()}
+        if len(sigs) > 1:
             raise ReproError(
-                f"bench: {name} diverged between fast and reference paths "
-                f"(steps {fast['steps']} vs {ref['steps']})"
+                f"bench: {name} diverged between engines "
+                f"{sorted(meas)}: steps/cycles {sorted(sigs)}"
             )
         sim_fast = bench_simulator(name, size, slow=False)
         sim_ref = bench_simulator(name, size, slow=True)
@@ -174,15 +193,28 @@ def run_bench(
                 f"reference paths ({sim_fast['makespan_s']} vs "
                 f"{sim_ref['makespan_s']})"
             )
+        any_row = next(iter(meas.values()))
+        interp: Dict = {"steps": any_row["steps"], "cycles": any_row["cycles"]}
+        for e, row in meas.items():
+            interp[ENGINE_ROWS[e]] = {"wall_s": row["wall_s"], "ips": row["ips"]}
+        if "compiled" in meas:
+            interp["compiled"]["jit"] = meas["compiled"]["jit"]
+        if "fast" in meas and "reference" in meas:
+            ref_ips = meas["reference"]["ips"]
+            interp["speedup"] = meas["fast"]["ips"] / ref_ips if ref_ips else 0.0
+        if "compiled" in meas and "reference" in meas:
+            ref_ips = meas["reference"]["ips"]
+            interp["speedup_compiled"] = (
+                meas["compiled"]["ips"] / ref_ips if ref_ips else 0.0
+            )
+        if "compiled" in meas and "fast" in meas:
+            fast_ips = meas["fast"]["ips"]
+            interp["compiled_vs_fast"] = (
+                meas["compiled"]["ips"] / fast_ips if fast_ips else 0.0
+            )
         doc["workloads"][name] = {
             "static_blocks": static_block_stats(name, size),
-            "interpreter": {
-                "steps": fast["steps"],
-                "cycles": fast["cycles"],
-                "fast": {"wall_s": fast["wall_s"], "ips": fast["ips"]},
-                "slow": {"wall_s": ref["wall_s"], "ips": ref["ips"]},
-                "speedup": fast["ips"] / ref["ips"] if ref["ips"] else 0.0,
-            },
+            "interpreter": interp,
             "simulator": {
                 "makespan_s": sim_fast["makespan_s"],
                 "fast": {
@@ -202,15 +234,21 @@ def run_bench(
                 ),
             },
         }
-    per = doc["workloads"].values()
-    doc["summary"] = {
-        "ips_fast": _geomean([w["interpreter"]["fast"]["ips"] for w in per]),
-        "ips_slow": _geomean([w["interpreter"]["slow"]["ips"] for w in per]),
-        "speedup": _geomean([w["interpreter"]["speedup"] for w in per]),
+    per = list(doc["workloads"].values())
+    summary: Dict = {
         "event_reduction": _geomean(
             [w["simulator"]["event_reduction"] for w in per]
         ),
     }
+    for engine, row in ENGINE_ROWS.items():
+        if engine in engine_list:
+            summary[f"ips_{row}"] = _geomean(
+                [w["interpreter"][row]["ips"] for w in per]
+            )
+    for key in ("speedup", "speedup_compiled", "compiled_vs_fast"):
+        if all(key in w["interpreter"] for w in per) and per:
+            summary[key] = _geomean([w["interpreter"][key] for w in per])
+    doc["summary"] = summary
     return doc
 
 
@@ -218,20 +256,37 @@ def render_bench(doc: Dict) -> str:
     """Human-readable table of one bench document."""
     lines = [
         f"# VM throughput ({doc['size']} size, python {doc['python']})",
-        f"{'workload':10s} {'ins/s fast':>12s} {'ins/s slow':>12s} "
-        f"{'speedup':>8s} {'sim events':>11s} {'batched':>8s} {'shrink':>8s}",
+        f"{'workload':10s} {'ins/s ref':>12s} {'ins/s fast':>12s} "
+        f"{'ins/s comp':>12s} {'speedup':>8s} {'xfast':>7s} "
+        f"{'sim events':>11s} {'shrink':>8s}",
     ]
+
+    def _ips(it: Dict, row: str) -> str:
+        return f"{it[row]['ips']:12.0f}" if row in it else f"{'-':>12s}"
+
+    def _ratio(it_or_s: Dict, key: str, width: int) -> str:
+        if key in it_or_s:
+            return f"{it_or_s[key]:{width - 1}.2f}x"
+        return f"{'-':>{width}s}"
+
     for name, w in doc["workloads"].items():
         it, sim = w["interpreter"], w["simulator"]
         lines.append(
-            f"{name:10s} {it['fast']['ips']:12.0f} {it['slow']['ips']:12.0f} "
-            f"{it['speedup']:7.2f}x {sim['slow']['events']:11d} "
-            f"{sim['fast']['events']:8d} {sim['event_reduction']:7.1f}x"
+            f"{name:10s} {_ips(it, 'slow')} {_ips(it, 'fast')} "
+            f"{_ips(it, 'compiled')} {_ratio(it, 'speedup', 8)} "
+            f"{_ratio(it, 'compiled_vs_fast', 7)} "
+            f"{sim['slow']['events']:11d} {sim['event_reduction']:7.1f}x"
         )
     s = doc["summary"]
+
+    def _sips(key: str) -> str:
+        return f"{s[key]:12.0f}" if key in s else f"{'-':>12s}"
+
     lines.append(
-        f"{'geomean':10s} {s['ips_fast']:12.0f} {s['ips_slow']:12.0f} "
-        f"{s['speedup']:7.2f}x {'':11s} {'':8s} {s['event_reduction']:7.1f}x"
+        f"{'geomean':10s} {_sips('ips_slow')} {_sips('ips_fast')} "
+        f"{_sips('ips_compiled')} {_ratio(s, 'speedup', 8)} "
+        f"{_ratio(s, 'compiled_vs_fast', 7)} "
+        f"{'':11s} {s['event_reduction']:7.1f}x"
     )
     return "\n".join(lines)
 
@@ -243,10 +298,10 @@ def check_regression(
     of human-readable failures (empty = pass).
 
     Gates on the hardware-independent relative metrics: the fast-vs-slow
-    interpreter speedup and the simulator event reduction must not fall
-    more than ``tolerance`` below the committed values.  Absolute
-    instructions/sec vary with the host running CI, so they are reported
-    but never gated on.
+    interpreter speedup, the compiled-vs-fast tier speedup, and the
+    simulator event reduction must not fall more than ``tolerance`` below
+    the committed values.  Absolute instructions/sec vary with the host
+    running CI, so they are reported but never gated on.
     """
     failures: List[str] = []
     if doc.get("size") != committed.get("size"):
@@ -256,10 +311,13 @@ def check_regression(
             "reduction scales with workload size, so the gate only "
             "compares like-for-like runs"
         ]
-    for key, label in (
+    gates = [
         ("speedup", "interpreter speedup vs reference path"),
         ("event_reduction", "simulator event reduction"),
-    ):
+    ]
+    if "compiled_vs_fast" in committed.get("summary", {}):
+        gates.append(("compiled_vs_fast", "compiled tier speedup vs fast path"))
+    for key, label in gates:
         base = committed.get("summary", {}).get(key)
         got = doc.get("summary", {}).get(key)
         if base is None or got is None:

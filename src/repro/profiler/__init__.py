@@ -22,6 +22,7 @@ ones, hot-methods sampling is cheapest.
 
 from repro.profiler.base import BaselineProfiler, Profiler, attach, detach
 from repro.profiler.instrument import MethodDurationProfiler, MethodFrequencyProfiler
+from repro.profiler.jit import hot_blocks, jit_profile
 from repro.profiler.memory import MemoryProfiler
 from repro.profiler.report import ProfileReport, to_resource_inputs
 from repro.profiler.sampling import (
@@ -73,4 +74,6 @@ __all__ = [
     "detach",
     "make_profiler",
     "ALL_METRICS",
+    "hot_blocks",
+    "jit_profile",
 ]

@@ -31,7 +31,7 @@ from repro.runtime.backend import (  # noqa: F401  (re-exported for consumers)
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.faults import FaultPlan, FaultRecord
-from repro.vm.interpreter import Machine, run_sync
+from repro.vm.interpreter import Machine, forced_engine, run_sync
 from repro.vm.loader import LoadedProgram, load_program
 
 
@@ -50,6 +50,9 @@ class DistributedResult:
     faults: List[FaultRecord] = field(default_factory=list)
     #: True when the run survived one or more faults
     degraded: bool = False
+    #: cluster-wide JIT counters (see Machine.jit_stats); empty when the
+    #: backend exposes no machines
+    jit: Dict[str, int] = field(default_factory=dict)
 
     @property
     def exec_time_s(self) -> float:
@@ -69,6 +72,8 @@ class SequentialResult:
     #: measured wall time of the interpreter run — the commensurable
     #: baseline for wall-clock backends (exec_time_s is *virtual*)
     wall_time_s: float = 0.0
+    #: JIT counters of the baseline machine (see Machine.jit_stats)
+    jit: Dict[str, int] = field(default_factory=dict)
 
 
 class DistributedExecutor:
@@ -82,6 +87,7 @@ class DistributedExecutor:
         backend: str = "sim",
         faults: Optional[FaultPlan] = None,
         replicas: Optional[Dict[str, tuple]] = None,
+        engine: str = "default",
     ) -> None:
         if plan.nparts > cluster_spec.size:
             raise RuntimeServiceError(
@@ -100,6 +106,8 @@ class DistributedExecutor:
         self.faults = faults
         #: class -> replica node tuple (primary first) for quorum replication
         self.replicas = replicas
+        #: VM execution tier for every node machine ("default" = ambient)
+        self.engine = engine
 
     def run(self, max_events: int = 200_000_000) -> DistributedResult:
         backend = create_backend(self.backend, self.cluster_spec)
@@ -113,7 +121,18 @@ class DistributedExecutor:
             faults=self.faults,
             replicas=self.replicas,
         )
-        run = backend.execute(self.program, self.loaded, policy)
+        if self.engine != "default":
+            with forced_engine(self.engine):
+                run = backend.execute(self.program, self.loaded, policy)
+        else:
+            run = backend.execute(self.program, self.loaded, policy)
+        jit: Dict[str, int] = {}
+        for node in getattr(backend, "nodes", []) or []:
+            machine = getattr(node, "machine", None)
+            if machine is None:
+                continue
+            for key, value in machine.jit_stats().items():
+                jit[key] = jit.get(key, 0) + value
         return DistributedResult(
             result=run.result,
             makespan_s=run.makespan_s,
@@ -123,6 +142,7 @@ class DistributedExecutor:
             stdout=run.stdout,
             faults=run.faults,
             degraded=run.degraded,
+            jit=jit,
         )
 
 
@@ -130,6 +150,7 @@ def run_sequential(
     program: BProgram,
     node: NodeSpec,
     loaded: Optional[LoadedProgram] = None,
+    engine: str = "default",
 ) -> SequentialResult:
     """Centralized baseline: the original program on one machine.  Stats
     flow through the same :func:`snapshot_machine` path the backends use."""
@@ -140,7 +161,11 @@ def run_sequential(
     machine.statics = loaded.fresh_statics()
     machine.call_bmethod(loaded.main_method(), None, [None])
     t0 = time.perf_counter()
-    run_sync(machine)
+    if engine != "default":
+        with forced_engine(engine):
+            run_sync(machine)
+    else:
+        run_sync(machine)
     wall_time_s = time.perf_counter() - t0
     exec_time_s = machine.cycles / node.cpu_hz
     stats = snapshot_machine(
@@ -153,6 +178,7 @@ def run_sequential(
         stdout=stats.stdout,
         node_stats=[stats],
         wall_time_s=wall_time_s,
+        jit=machine.jit_stats(),
     )
 
 

@@ -56,6 +56,9 @@ class WorldSpec:
     faults: Optional[FaultPlan] = None
     #: quorum replication factor (1 = unreplicated)
     replication: int = 1
+    #: VM execution tier every machine in the world is forced to
+    #: ("default" = ambient REPRO_VM_ENGINE)
+    engine: str = "default"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
@@ -73,6 +76,8 @@ class WorldSpec:
             tags += "/faulty" if not self.faults.transient_only else "/lossy"
         if self.replication > 1:
             tags += f"/r{self.replication}"
+        if self.engine != "default":
+            tags += f"/{self.engine}"
         return (
             f"k{self.nparts}/{self.method}/{self.granularity}"
             f"/{self.network}/n{self.nnodes}/{'+'.join(self.backends)}{tags}"
@@ -130,6 +135,7 @@ class WorldSpec:
             backend=BackendConfig(
                 name=backend if backend is not None else self.backends[0],
                 async_writes=self.async_writes,
+                engine=self.engine,
             ),
         )
 
@@ -206,6 +212,12 @@ def generate_world(
             )
         if nnodes > nparts and rng.random() < 0.4:
             replication = min(rng.choice((2, 3)), nnodes)
+    # the VM execution tier is an explicit world axis: half the scenarios
+    # run the cluster on a forced tier so the distributed checks exercise
+    # the compiled/fast/reference engines, not just the ambient default
+    engine = rng.choice(
+        ("default", "default", "default", "compiled", "compiled", "fast")
+    )
     return WorldSpec(
         nparts=nparts,
         method=rng.choice(PARTITIONERS.names()),
@@ -217,6 +229,7 @@ def generate_world(
         async_writes=rng.random() < 0.3,
         faults=faults,
         replication=replication,
+        engine=engine,
     )
 
 
@@ -249,5 +262,12 @@ def degenerate_worlds() -> Tuple[WorldSpec, ...]:
             method="kl",
             speeds=(1.0e9, 2.4e9, 800e6),
             backends=("sim",),
+        ),
+        # the paper testbed forced onto the compiled tier end to end
+        WorldSpec(
+            nparts=2,
+            speeds=(1.7e9, 800e6),
+            backends=("sim",),
+            engine="compiled",
         ),
     )

@@ -224,17 +224,23 @@ def temp_workload(source: str, name: Optional[str] = None) -> Iterator[str]:
 # ---------------------------------------------------------------------------
 # observations
 # ---------------------------------------------------------------------------
-def observe_vm(loaded, slow: bool) -> Dict[str, Any]:
+def observe_vm(
+    loaded, slow: bool = False, engine: Optional[str] = None
+) -> Dict[str, Any]:
     """One full sequential run on the chosen engine; faults are recorded,
-    not raised (their text is part of the observation)."""
+    not raised (their text is part of the observation).  ``engine`` names
+    an execution tier explicitly ("reference", "fast", "compiled");
+    ``slow=True`` is the legacy spelling of ``engine="reference"``."""
     from repro.errors import VMError
-    from repro.vm.interpreter import Machine, forced_slow_path, run_sync
+    from repro.vm.interpreter import Machine, forced_engine, run_sync
 
+    if engine is None:
+        engine = "reference" if slow else "fast"
     machine = Machine(loaded)
     machine.statics = loaded.fresh_statics()
     machine.call_bmethod(loaded.main_method(), None, [None])
     error = None
-    with forced_slow_path(slow):
+    with forced_engine(engine):
         try:
             run_sync(machine)
         except VMError as exc:
@@ -248,29 +254,38 @@ def observe_vm(loaded, slow: bool) -> Dict[str, Any]:
     }
 
 
-def _compare_vm(fast: Dict[str, Any], ref: Dict[str, Any]) -> List[Divergence]:
+def _compare_vm(
+    actual: Dict[str, Any], ref: Dict[str, Any], prefix: str = "vm",
+    label: str = "fast path",
+) -> List[Divergence]:
     divs = []
     for key in ("error", "stdout", "result", "cycles", "steps"):
-        if fast[key] != ref[key]:
+        if actual[key] != ref[key]:
             divs.append(
                 Divergence(
-                    f"vm.{key}",
-                    f"fast path diverged from the per-step oracle on {key}",
+                    f"{prefix}.{key}",
+                    f"{label} diverged from the per-step oracle on {key}",
                     expected=ref[key],
-                    actual=fast[key],
+                    actual=actual[key],
                 )
             )
     return divs
 
 
 def _vm_differential(outcome: ConformanceOutcome, loaded) -> bool:
-    """The engine-equivalence half of every check: observe both VM paths,
-    record divergences and the reference observation on ``outcome``.
-    Returns True when the program faults (distributed checks don't apply)."""
-    fast = observe_vm(loaded, slow=False)
-    ref = observe_vm(loaded, slow=True)
-    outcome.checks_run += 5
+    """The engine-equivalence half of every check: observe all three VM
+    tiers against the per-step reference, record divergences and the
+    reference observation on ``outcome``.  Returns True when the program
+    faults (distributed checks don't apply)."""
+    fast = observe_vm(loaded, engine="fast")
+    compiled = observe_vm(loaded, engine="compiled")
+    ref = observe_vm(loaded, engine="reference")
+    outcome.checks_run += 10
     outcome.divergences.extend(_compare_vm(fast, ref))
+    outcome.divergences.extend(
+        _compare_vm(compiled, ref, prefix="vm.compiled",
+                    label="compiled tier")
+    )
     outcome.reference = ref
     if ref["error"] is not None:
         outcome.faulted = True
@@ -377,41 +392,38 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
         import dataclasses as _dc
 
         from repro.runtime.executor import DistributedExecutor
-        from repro.vm.interpreter import forced_slow_path
 
-        def cluster_run(slow: bool):
-            with forced_slow_path(slow):
-                return DistributedExecutor(
-                    exp.rewrite().program, exp.plan(), cluster,
-                    async_writes=exp.config.backend.async_writes,
-                    backend="sim",
-                    faults=plan_faults,
-                    replicas=exp.replicas(),
-                ).run()
-
-        fast_run = cluster_run(False)
-        ref_run = cluster_run(True)
-        checks += 1
-        fast_obs = (
-            fast_run.stdout, fast_run.result, fast_run.makespan_s,
-            fast_run.total_messages, fast_run.total_bytes,
-            [_dc.asdict(s) for s in fast_run.node_stats],
-        )
-        ref_obs = (
-            ref_run.stdout, ref_run.result, ref_run.makespan_s,
-            ref_run.total_messages, ref_run.total_bytes,
-            [_dc.asdict(s) for s in ref_run.node_stats],
-        )
-        if fast_obs != ref_obs:
-            divs.append(
-                Divergence(
-                    "sim.determinism",
-                    "fast-path cluster execution is not byte-identical to "
-                    "the reference path on the simulator",
-                    expected=ref_obs,
-                    actual=fast_obs,
-                )
+        def cluster_run(engine: str):
+            run = DistributedExecutor(
+                exp.rewrite().program, exp.plan(), cluster,
+                async_writes=exp.config.backend.async_writes,
+                backend="sim",
+                faults=plan_faults,
+                replicas=exp.replicas(),
+                engine=engine,
+            ).run()
+            return (
+                run.stdout, run.result, run.makespan_s,
+                run.total_messages, run.total_bytes,
+                [_dc.asdict(s) for s in run.node_stats],
             )
+
+        ref_obs = cluster_run("reference")
+        for engine in ("fast", "compiled"):
+            checks += 1
+            obs = cluster_run(engine)
+            if obs != ref_obs:
+                divs.append(
+                    Divergence(
+                        "sim.determinism"
+                        + ("" if engine == "fast" else f".{engine}"),
+                        f"{engine}-tier cluster execution is not "
+                        "byte-identical to the reference path on the "
+                        "simulator",
+                        expected=ref_obs,
+                        actual=obs,
+                    )
+                )
     return divs, checks
 
 

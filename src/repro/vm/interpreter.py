@@ -46,6 +46,40 @@ from repro.vm.values import DependentRef, Ref, i32, i64, idiv, irem, iushr
 #: block engine against its oracle
 FORCE_SLOW_PATH = os.environ.get("REPRO_VM_SLOW", "") not in ("", "0")
 
+#: the three execution tiers :meth:`Machine.drive` can select
+ENGINES = ("reference", "fast", "compiled")
+
+#: the tier used when nothing forces the per-step oracle: ``"reference"``
+#: (per-step if/elif chain), ``"fast"`` (threaded-code ``run_block``) or
+#: ``"compiled"`` (superinstruction fusion + trace-compiled hot blocks,
+#: :mod:`repro.vm.jit`).  Set via ``REPRO_VM_ENGINE`` or
+#: :func:`forced_engine`; an attached profiler or :data:`FORCE_SLOW_PATH`
+#: still win (per-step hooks need per-step control).
+VM_ENGINE = os.environ.get("REPRO_VM_ENGINE", "compiled") or "compiled"
+
+
+@contextmanager
+def forced_engine(name: str):
+    """Temporarily pin the execution tier — in this process *and*, via the
+    ``REPRO_VM_ENGINE`` environment variable, in any worker process spawned
+    inside the block (the process backend re-reads it at import under
+    spawn-style multiprocessing).  This is the axis the conformance oracle
+    and ``repro bench --engine`` differentially test."""
+    global VM_ENGINE
+    if name not in ENGINES:
+        raise ValueError(f"unknown VM engine {name!r} (choose from {ENGINES})")
+    prev, prev_env = VM_ENGINE, os.environ.get("REPRO_VM_ENGINE")
+    VM_ENGINE = name
+    os.environ["REPRO_VM_ENGINE"] = name
+    try:
+        yield
+    finally:
+        VM_ENGINE = prev
+        if prev_env is None:
+            os.environ.pop("REPRO_VM_ENGINE", None)
+        else:
+            os.environ["REPRO_VM_ENGINE"] = prev_env
+
 
 @contextmanager
 def forced_slow_path(slow: bool = True):
@@ -149,6 +183,28 @@ class Machine:
         self.inject_overcharge = int(
             os.environ.get("REPRO_VM_INJECT_OVERCHARGE", "0") or "0"
         )
+        #: compiled-tier accounting (repro.vm.jit): steps/cycles executed
+        #: through superinstructions and trace-compiled closures, guard
+        #: deopts, and runs promoted by this machine.  Observability only —
+        #: totals (``steps``/``cycles``/NodeStats) are engine-invariant.
+        self.jit_super_steps = 0
+        self.jit_super_cycles = 0
+        self.jit_compiled_steps = 0
+        self.jit_compiled_cycles = 0
+        self.jit_deopts = 0
+        self.jit_promotions = 0
+
+    def jit_stats(self) -> dict:
+        """Compiled-tier counters of this machine (all zero on the
+        reference/fast tiers)."""
+        return {
+            "super_steps": self.jit_super_steps,
+            "super_cycles": self.jit_super_cycles,
+            "compiled_steps": self.jit_compiled_steps,
+            "compiled_cycles": self.jit_compiled_cycles,
+            "deopts": self.jit_deopts,
+            "promotions": self.jit_promotions,
+        }
 
     # ------------------------------------------------------------------ calls
     def call_bmethod(
@@ -604,6 +660,14 @@ class Machine:
         self.steps += nsteps
         return (None, None, None, acc)
 
+    # ------------------------------------------------------------------ compiled tier
+    def run_block_compiled(self, stop_depth: int = 1):
+        """Compiled-tier engine (:mod:`repro.vm.jit`): same contract as
+        :meth:`run_block`, but run starts execute through fused
+        superinstructions / trace-compiled closures with guard-based deopt
+        back to the plain threaded handlers."""
+        return _run_block_compiled(self, stop_depth)
+
     # ------------------------------------------------------------------ driving
     def drive(self, stop_depth: int = 1):
         """Generator driving the machine until the frame depth drops below
@@ -611,19 +675,30 @@ class Machine:
         delegated syscall generators yield, e.g. ``('wait',)`` from the
         simulated MPI layer).
 
-        With no profiler attached this batches cost per
-        :meth:`run_block` — one event per syscall-to-syscall span of
-        computation.  Attaching a profiler (or setting
-        :data:`FORCE_SLOW_PATH`) transparently falls back to the per-step
+        With no profiler attached this batches cost per block-engine call
+        (:meth:`run_block` on the ``fast`` tier, :meth:`run_block_compiled`
+        on the ``compiled`` tier) — one event per syscall-to-syscall span
+        of computation.  Attaching a profiler, setting
+        :data:`FORCE_SLOW_PATH`, or selecting the ``reference`` tier
+        (:data:`VM_ENGINE`) transparently falls back to the per-step
         reference path, preserving per-instruction ``on_step`` semantics.
-        The two paths produce identical cycle/step totals and identical
+        All tiers produce identical cycle/step totals and identical
         machine state at every syscall boundary.
         """
         frames = self.frames
         while len(frames) >= stop_depth:
-            if self.profiler is None and not FORCE_SLOW_PATH:
+            if (
+                self.profiler is None
+                and not FORCE_SLOW_PATH
+                and VM_ENGINE != "reference"
+            ):
                 try:
-                    kind, gen, push, cost = self.run_block(stop_depth)
+                    if VM_ENGINE == "compiled":
+                        kind, gen, push, cost = _run_block_compiled(
+                            self, stop_depth
+                        )
+                    else:
+                        kind, gen, push, cost = self.run_block(stop_depth)
                 except BaseException:
                     charge = self.pending_block_cost
                     self.pending_block_cost = 0
@@ -674,3 +749,8 @@ def run_main(loaded, main_args=None) -> Machine:
     machine.call_bmethod(main, None, [main_args])
     run_sync(machine)
     return machine
+
+
+# imported last: the jit module builds on the dispatch/threaded machinery
+# above but never imports this module, keeping the layering acyclic
+from repro.vm.jit import run_block_compiled as _run_block_compiled  # noqa: E402

@@ -1,0 +1,1121 @@
+"""The compiled execution tier: superinstruction fusion + trace-compiled
+hot blocks.
+
+This is the third engine behind :meth:`Machine.drive` (the other two are
+the per-step reference path and the threaded-code ``run_block`` fast
+path).  It works at the granularity of **runs**: maximal stretches of
+fusible, syscall-free instructions inside one basic block of a method's
+:class:`~repro.bytecode.model.FlatCode`.
+
+Two levels, applied per run:
+
+* **Superinstructions** — every run is immediately replaced by a single
+  composite handler, ``exec``-generated from per-opcode templates and
+  cached globally keyed by the interned ``Instr.opx`` sequence, so two
+  methods containing the same opcode shape share one compiled function.
+  Operands are fetched from the run's instruction tuple at execution
+  time, which is what makes the sharing sound.
+* **Trace compilation** — each run counts its executions; past a hotness
+  threshold (``REPRO_VM_JIT_THRESHOLD``) the run is lowered through the
+  :mod:`repro.codegen.tree` / :mod:`repro.codegen.burs` machinery (the
+  paper's JBurg stage) against the Python expression target
+  (:mod:`repro.codegen.pytarget`) into a closure that collapses whole
+  expression chains — constants folded, operand stack virtualized away —
+  operating directly on frame locals.
+
+Both levels share one **deopt contract**: every faultable operation
+(division, heap access, array indexing, field lookup) is *guarded* — it
+checks its operands by peeking before mutating anything, and on guard
+failure the compiled function returns the index of the offending
+instruction with the stack and locals exactly as if all earlier
+instructions had run and the offender had not.  The engine then charges
+the completed prefix and re-executes that one instruction through its
+plain threaded-code handler, which raises the precise ``VMError`` (or
+performs the remote-object syscall) the reference path would.  Cycle
+accounting stays integer-exact: ``run.cost``/``run.prefix`` are sums of
+``Instr.cost``, so cycles, steps, NodeStats and fault text are
+bit-identical across all three tiers.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CodegenError, VMError
+from repro.bytecode import opcodes as op
+from repro.codegen.pytarget import lower_py
+from repro.codegen.tree import TreeNode
+from repro.lang.symbols import DEPENDENT_OBJECT
+from repro.lang.types import VOID
+from repro.vm.dispatch import FRAME_SWITCH, HANDLERS, INVOKE_HANDLER
+from repro.vm.heap import HeapArray, HeapObject
+from repro.vm.values import Ref, i32, i64, idiv, irem, iushr
+
+__all__ = [
+    "JIT_THRESHOLD",
+    "jit_threshold",
+    "Run",
+    "build_fused",
+    "run_block_compiled",
+    "plan_runs",
+]
+
+#: executions of a run before it is trace-compiled (``REPRO_VM_JIT_THRESHOLD``)
+JIT_THRESHOLD = int(os.environ.get("REPRO_VM_JIT_THRESHOLD", "16") or "16")
+
+
+@contextmanager
+def jit_threshold(n: int):
+    """Temporarily set the trace-compilation hotness threshold — in this
+    process and, via ``REPRO_VM_JIT_THRESHOLD``, in spawned workers.
+    Affects plans built inside the block (the threshold is baked into each
+    :class:`Run` when its method's plan is constructed)."""
+    global JIT_THRESHOLD
+    prev, prev_env = JIT_THRESHOLD, os.environ.get("REPRO_VM_JIT_THRESHOLD")
+    JIT_THRESHOLD = int(n)
+    os.environ["REPRO_VM_JIT_THRESHOLD"] = str(int(n))
+    try:
+        yield
+    finally:
+        JIT_THRESHOLD = prev
+        if prev_env is None:
+            os.environ.pop("REPRO_VM_JIT_THRESHOLD", None)
+        else:
+            os.environ["REPRO_VM_JIT_THRESHOLD"] = prev_env
+
+
+#: sentinel distinguishing "field absent" from a stored ``None``
+_MISS = object()
+
+
+class Run:
+    """One fused run: ``instrs[start:end]`` of a method's flat code.
+
+    ``fn(machine, frame, instrs)`` executes the whole run (the engine has
+    already set ``frame.pc = end``; a taken terminal branch overwrites it)
+    and returns ``None`` on completion or the relative index of the
+    instruction whose guard failed (deopt).  ``prefix[k]`` is the cycle
+    cost of the first ``k`` instructions, for exact deopt charging.
+    """
+
+    __slots__ = (
+        "start", "end", "instrs", "n", "cost", "prefix",
+        "fn", "count", "threshold", "promoted", "compiled", "region",
+    )
+
+    def __init__(self, start: int, end: int, instrs: Tuple, fn,
+                 threshold: int) -> None:
+        self.start = start
+        self.end = end
+        self.instrs = instrs
+        self.n = end - start
+        costs = [i.cost for i in instrs]
+        self.cost = sum(costs)
+        prefix, total = [], 0
+        for c in costs:
+            prefix.append(total)
+            total += c
+        self.prefix = tuple(prefix)
+        self.fn = fn
+        self.count = 0
+        self.threshold = threshold
+        self.promoted = False
+        self.compiled = False
+        #: promoted form is a loop-region closure: ``fn`` then returns
+        #: ``(exit_pc, steps, cycles, deopt)`` instead of the run protocol
+        self.region = False
+
+
+# --------------------------------------------------------------------------
+# fusibility + superinstruction templates
+# --------------------------------------------------------------------------
+
+_INT_BIN_SYM = {op.IADD: "+", op.ISUB: "-", op.IMUL: "*",
+                op.IAND: "&", op.IOR: "|", op.IXOR: "^"}
+_LONG_BIN_SYM = {op.LADD: "+", op.LSUB: "-", op.LMUL: "*",
+                 op.LAND: "&", op.LOR: "|", op.LXOR: "^"}
+_FLOAT_BIN_SYM = {op.FADD: "+", op.FSUB: "-", op.FMUL: "*"}
+
+_SIMPLE = (
+    frozenset({
+        op.LDC, op.ACONST_NULL, op.DUP, op.POP, op.SWAP,
+        op.GETSTATIC, op.PUTSTATIC,
+        op.INEG, op.LNEG, op.FNEG,
+        op.I2L, op.I2F, op.L2F, op.L2I, op.F2I, op.F2L,
+        op.ISHL, op.ISHR, op.IUSHR, op.LSHL, op.LSHR, op.LUSHR,
+    })
+    | op.LOADS | op.STORES
+    | frozenset(_INT_BIN_SYM) | frozenset(_LONG_BIN_SYM)
+    | frozenset(_FLOAT_BIN_SYM)
+)
+_GUARDED = frozenset({
+    op.IDIV, op.IREM, op.LDIV, op.LREM, op.FDIV, op.FREM,
+    op.GETFIELD, op.PUTFIELD, op.XALOAD, op.XASTORE, op.ARRAYLENGTH,
+})
+_PLAIN_BRANCHES = frozenset({op.GOTO, op.IFTRUE, op.IFFALSE})
+
+
+def _fusible(ins) -> bool:
+    o = ins.op
+    if o in _SIMPLE or o in _GUARDED or o in _PLAIN_BRANCHES:
+        return True
+    # compare-branches fuse only once their condition callable is resolved
+    # (an unresolved condition must keep raising through the plain handler)
+    return o in op.CMP_BRANCHES and ins.cfn is not None
+
+
+def _super_lines(name: str, k: int) -> List[str]:
+    """Template body for one opcode at run-relative index ``k``.  Guarded
+    opcodes peek operands, ``return k`` on guard failure (stack/locals
+    untouched by this instruction), and only then mutate."""
+    if name == op.LDC:
+        return [f"s.append(I[{k}].a)"]
+    if name == op.ACONST_NULL:
+        return ["s.append(None)"]
+    if name in op.LOADS:
+        return [f"s.append(L[I[{k}].a])"]
+    if name in op.STORES:
+        return [f"L[I[{k}].a] = s.pop()"]
+    if name == op.DUP:
+        return ["s.append(s[-1])"]
+    if name == op.POP:
+        return ["del s[-1]"]
+    if name == op.SWAP:
+        return ["s[-1], s[-2] = s[-2], s[-1]"]
+    if name in _INT_BIN_SYM:
+        return ["b = s.pop()", f"s[-1] = i32(s[-1] {_INT_BIN_SYM[name]} b)"]
+    if name in _LONG_BIN_SYM:
+        return ["b = s.pop()", f"s[-1] = i64(s[-1] {_LONG_BIN_SYM[name]} b)"]
+    if name in _FLOAT_BIN_SYM:
+        return ["b = s.pop()", f"s[-1] = s[-1] {_FLOAT_BIN_SYM[name]} b"]
+    if name == op.ISHL:
+        return ["b = s.pop()", "s[-1] = i32(s[-1] << (b & 31))"]
+    if name == op.ISHR:
+        return ["b = s.pop()", "s[-1] = i32(s[-1] >> (b & 31))"]
+    if name == op.IUSHR:
+        return ["b = s.pop()", "s[-1] = iushr(s[-1], b, 32)"]
+    if name == op.LSHL:
+        return ["b = s.pop()", "s[-1] = i64(s[-1] << (b & 63))"]
+    if name == op.LSHR:
+        return ["b = s.pop()", "s[-1] = i64(s[-1] >> (b & 63))"]
+    if name == op.LUSHR:
+        return ["b = s.pop()", "s[-1] = iushr(s[-1], b, 64)"]
+    if name == op.IDIV or name == op.IREM:
+        fn = "idiv" if name == op.IDIV else "irem"
+        return ["b = s[-1]", "if b == 0:", f"    return {k}",
+                "del s[-1]", f"s[-1] = i32({fn}(s[-1], b))"]
+    if name == op.LDIV or name == op.LREM:
+        fn = "idiv" if name == op.LDIV else "irem"
+        return ["b = s[-1]", "if b == 0:", f"    return {k}",
+                "del s[-1]", f"s[-1] = i64({fn}(s[-1], b))"]
+    if name == op.FDIV:
+        return ["b = s[-1]", "if b == 0.0:", f"    return {k}",
+                "del s[-1]", "s[-1] = s[-1] / b"]
+    if name == op.FREM:
+        return ["b = s[-1]", "if b == 0.0:", f"    return {k}",
+                "del s[-1]", "a = s[-1]", "s[-1] = a - b * int(a / b)"]
+    if name == op.INEG:
+        return ["s[-1] = i32(-s[-1])"]
+    if name == op.LNEG:
+        return ["s[-1] = i64(-s[-1])"]
+    if name == op.FNEG:
+        return ["s[-1] = -s[-1]"]
+    if name == op.I2L:
+        return ["s[-1] = i64(s[-1])"]
+    if name == op.I2F or name == op.L2F:
+        return ["s[-1] = float(s[-1])"]
+    if name == op.L2I:
+        return ["s[-1] = i32(s[-1])"]
+    if name == op.F2I:
+        return ["s[-1] = i32(int(s[-1]))"]
+    if name == op.F2L:
+        return ["s[-1] = i64(int(s[-1]))"]
+    if name == op.GETSTATIC:
+        return [f"s.append(S.get((I[{k}].a, I[{k}].b)))"]
+    if name == op.PUTSTATIC:
+        return [f"S[(I[{k}].a, I[{k}].b)] = s.pop()"]
+    if name == op.GETFIELD:
+        return [
+            "r = s[-1]",
+            "if r.__class__ is not Ref:", f"    return {k}",
+            "o = H.get(r.oid)",
+            "if o.__class__ is not HeapObject:", f"    return {k}",
+            f"v = o.fields.get(I[{k}].b, _MISS)",
+            "if v is _MISS:", f"    return {k}",
+            "s[-1] = v",
+        ]
+    if name == op.PUTFIELD:
+        return [
+            "r = s[-2]",
+            "if r.__class__ is not Ref:", f"    return {k}",
+            "o = H.get(r.oid)",
+            "if o.__class__ is not HeapObject:", f"    return {k}",
+            f"if I[{k}].b not in o.fields:", f"    return {k}",
+            f"o.fields[I[{k}].b] = s[-1]",
+            "del s[-2:]",
+        ]
+    if name == op.ARRAYLENGTH:
+        return [
+            "r = s[-1]",
+            "if r.__class__ is not Ref:", f"    return {k}",
+            "o = H.get(r.oid)",
+            "if o.__class__ is not HeapArray:", f"    return {k}",
+            "s[-1] = len(o.data)",
+        ]
+    if name == op.XALOAD:
+        return [
+            "r = s[-2]",
+            "if r.__class__ is not Ref:", f"    return {k}",
+            "o = H.get(r.oid)",
+            "if o.__class__ is not HeapArray:", f"    return {k}",
+            "d = o.data",
+            "x = s[-1]",
+            "if not 0 <= x < len(d):", f"    return {k}",
+            "del s[-1]",
+            "s[-1] = d[x]",
+        ]
+    if name == op.XASTORE:
+        return [
+            "r = s[-3]",
+            "if r.__class__ is not Ref:", f"    return {k}",
+            "o = H.get(r.oid)",
+            "if o.__class__ is not HeapArray:", f"    return {k}",
+            "d = o.data",
+            "x = s[-2]",
+            "if not 0 <= x < len(d):", f"    return {k}",
+            "d[x] = s[-1]",
+            "del s[-3:]",
+        ]
+    if name == op.GOTO:
+        return [f"f.pc = I[{k}].a"]
+    if name in op.CMP_BRANCHES:
+        return ["b = s.pop()", "a = s.pop()",
+                f"if I[{k}].cfn(a, b):", f"    f.pc = I[{k}].b"]
+    if name == op.IFTRUE:
+        return ["if s.pop():", f"    f.pc = I[{k}].a"]
+    if name == op.IFFALSE:
+        return ["if not s.pop():", f"    f.pc = I[{k}].a"]
+    raise CodegenError(f"no superinstruction template for {name}")
+
+
+def _needs(names) -> Tuple[bool, bool]:
+    heap = any(n in (op.GETFIELD, op.PUTFIELD, op.XALOAD, op.XASTORE,
+                     op.ARRAYLENGTH) for n in names)
+    statics = any(n in (op.GETSTATIC, op.PUTSTATIC) for n in names)
+    return heap, statics
+
+
+_EXEC_GLOBALS = {
+    "i32": i32, "i64": i64, "idiv": idiv, "irem": irem, "iushr": iushr,
+    "Ref": Ref, "HeapObject": HeapObject, "HeapArray": HeapArray,
+    "_MISS": _MISS, "_aeq": op.ACMP_FUNCS["EQ"],
+    "len": len, "int": int, "float": float,
+}
+
+#: superinstruction cache: interned opcode sequence -> compiled handler
+_SUPER_CACHE: Dict[Tuple[int, ...], object] = {}
+
+
+def super_cache_size() -> int:
+    return len(_SUPER_CACHE)
+
+
+def _assemble(fname: str, body: List[str], tag: str):
+    src = f"def {fname}(m, f, I):\n" + "\n".join("    " + ln for ln in body)
+    g = dict(_EXEC_GLOBALS)
+    exec(compile(src, f"<repro-jit:{tag}>", "exec"), g)
+    fn = g[fname]
+    fn.__doc__ = src  # keep the source inspectable for tests / debugging
+    return fn
+
+
+def _compile_super(instrs: Tuple):
+    names = [i.op for i in instrs]
+    heap, statics = _needs(names)
+    body = ["s = f.stack", "L = f.locals"]
+    if heap:
+        body.append("H = m.heap._store")
+    if statics:
+        body.append("S = m.statics")
+    for k, name in enumerate(names):
+        body.extend(_super_lines(name, k))
+    return _assemble("_super", body, "+".join(names))
+
+
+# --------------------------------------------------------------------------
+# plan construction
+# --------------------------------------------------------------------------
+
+def build_fused(flat):
+    """Build (and cache on ``flat.fused``) the compiled-tier execution plan:
+    one entry per instruction — a :class:`Run` at each run start, the plain
+    ``(handler, instr)`` pair everywhere else.  Interior positions stay
+    individually executable because deopt resumes there."""
+    thr = flat.threaded
+    if thr is None:
+        thr = flat.threaded = [(HANDLERS[i.opx], i) for i in flat.instrs]
+    plan = list(thr)
+    instrs = flat.instrs
+    threshold = JIT_THRESHOLD
+    for a, b in flat.basic_blocks():
+        j = a
+        while j < b:
+            if not _fusible(instrs[j]):
+                j += 1
+                continue
+            start = j
+            while j < b and _fusible(instrs[j]):
+                j += 1
+            if j - start >= 2:
+                seq = tuple(instrs[start:j])
+                key = tuple(i.opx for i in seq)
+                fn = _SUPER_CACHE.get(key)
+                if fn is None:
+                    fn = _SUPER_CACHE[key] = _compile_super(seq)
+                plan[start] = Run(start, j, seq, fn, threshold)
+    flat.fused = plan
+    return plan
+
+
+def plan_runs(flat) -> List[Run]:
+    """The fused runs of one method's plan (building it if necessary) —
+    the per-block observability hook behind the jit profiler surface."""
+    plan = flat.fused
+    if plan is None:
+        plan = build_fused(flat)
+    return [e for e in plan if e.__class__ is Run]
+
+
+# --------------------------------------------------------------------------
+# trace compiler: run -> exec-compiled closure via tree/BURS lowering
+# --------------------------------------------------------------------------
+
+_TREE_BIN = {
+    op.IADD: "ADD_I", op.ISUB: "SUB_I", op.IMUL: "MUL_I",
+    op.IAND: "AND_I", op.IOR: "OR_I", op.IXOR: "XOR_I",
+    op.ISHL: "SHL_I", op.ISHR: "SHR_I", op.IUSHR: "USHR_I",
+    op.LADD: "ADD_L", op.LSUB: "SUB_L", op.LMUL: "MUL_L",
+    op.LAND: "AND_L", op.LOR: "OR_L", op.LXOR: "XOR_L",
+    op.LSHL: "SHL_L", op.LSHR: "SHR_L", op.LUSHR: "USHR_L",
+    op.FADD: "ADD_F", op.FSUB: "SUB_F", op.FMUL: "MUL_F",
+}
+_TREE_DIV = {
+    op.IDIV: ("DIV_I", "0"), op.IREM: ("REM_I", "0"),
+    op.LDIV: ("DIV_L", "0"), op.LREM: ("REM_L", "0"),
+    op.FDIV: ("DIV_F", "0.0"), op.FREM: ("REM_F", "0.0"),
+}
+_TREE_NEG = {op.INEG: "NEG_I", op.LNEG: "NEG_L", op.FNEG: "NEG_F"}
+_TREE_CONV = frozenset({op.I2L, op.I2F, op.L2F, op.L2I, op.F2I, op.F2L})
+_CONST_FOR = {"I": "ICONST", "J": "LCONST", "F": "FCONST", "S": "SCONST",
+              "N": "NULL"}
+_CMP_SYM = {"EQ": "==", "NE": "!=", "LT": "<", "LE": "<=",
+            "GT": ">", "GE": ">="}
+_CONSTABLE = (int, float, str, bool, type(None))
+
+#: materialize pure subtrees past this node count (bounds expression size)
+_MAX_TREE = 24
+
+
+def _tree_size(nd: TreeNode) -> int:
+    return 1 + sum(_tree_size(k) for k in nd.kids)
+
+
+def _local_slots(nd: TreeNode, out: set) -> set:
+    if nd.op == "LOCAL":
+        out.add(nd.value)
+    for k in nd.kids:
+        _local_slots(k, out)
+    return out
+
+
+class _TraceCompiler:
+    """Symbolic re-execution of one run: the operand stack is virtualized
+    into a stack of operator trees (``vstack``); pure computation defers as
+    trees (lowered through BURS on demand), effectful or guarded operations
+    materialize in program order.  At any deopt point the real operand
+    stack is reconstructed exactly — remaining virtual entries first, then
+    the peeked operands of the failing instruction."""
+
+    def __init__(self, run: Optional[Run] = None) -> None:
+        self.run = run
+        self.lines: List[str] = []
+        self.vstack: List[TreeNode] = []
+        self.ntemp = 0
+        self.needs_heap = False
+        self.needs_statics = False
+        #: lines emitted (indented under the failing guard) to leave the
+        #: compiled code at relative instruction index ``k``; the run form
+        #: returns the deopt index, the region form a full exit tuple
+        self.deopt_tail = lambda k: [f"return {k}"]
+        #: inlined-callee mode: ``ilocals`` maps callee local slots to
+        #: write-once temps, ``inline_pushback`` restores the receiver and
+        #: argument operands of the call on deopt (the callee is pure, so
+        #: its partial work is simply dropped and the plain ``INVOKE``
+        #: re-executes it from scratch)
+        self.ilocals: Optional[List[str]] = None
+        self.inline_pushback: Optional[List[str]] = None
+
+    # ------------------------------------------------------------- helpers
+    def temp(self) -> str:
+        self.ntemp += 1
+        return f"t{self.ntemp}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def _materialized(self, nd: TreeNode) -> TreeNode:
+        if nd.op == "TEMP":
+            return nd
+        t = self.temp()
+        self.emit(f"{t} = {lower_py(nd)}")
+        return TreeNode("TEMP", value=t)
+
+    def need(self, k: int) -> None:
+        # pull real-stack values under the virtual entries (deepest last,
+        # inserted at the bottom so combined order is preserved)
+        while len(self.vstack) < k:
+            t = self.temp()
+            self.emit(f"{t} = s.pop()")
+            self.vstack.insert(0, TreeNode("TEMP", value=t))
+
+    def pop(self) -> TreeNode:
+        self.need(1)
+        return self.vstack.pop()
+
+    def pop_temp(self) -> str:
+        return self._materialized(self.pop()).value
+
+    def push(self, nd: TreeNode) -> None:
+        if _tree_size(nd) > _MAX_TREE:
+            nd = self._materialized(nd)
+        self.vstack.append(nd)
+
+    def guard(self, cond: str, k: int, operands: List[str]) -> None:
+        """Emit ``if cond: <rebuild stack>; <deopt>``.  In inlined-callee
+        mode the callee's virtual stack is dropped (the callee is pure)
+        and the call's own operands are restored instead."""
+        self.emit(f"if {cond}:")
+        if self.inline_pushback is not None:
+            for ln in self.inline_pushback:
+                self.emit("    " + ln)
+        else:
+            for nd in self.vstack:
+                self.emit(f"    s.append({lower_py(nd)})")
+            for t in operands:
+                self.emit(f"    s.append({t})")
+        for ln in self.deopt_tail(k):
+            self.emit("    " + ln)
+
+    def flush(self) -> None:
+        for nd in self.vstack:
+            self.emit(f"s.append({lower_py(nd)})")
+        self.vstack.clear()
+
+    def _heap_object(self, k: int, r: str, cls: str,
+                     operands: List[str]) -> str:
+        self.needs_heap = True
+        self.guard(f"{r}.__class__ is not Ref", k, operands)
+        o = self.temp()
+        self.emit(f"{o} = H.get({r}.oid)")
+        self.guard(f"{o}.__class__ is not {cls}", k, operands)
+        return o
+
+    # ------------------------------------------------------ per instruction
+    def compile_ins(self, ins, k: int) -> None:
+        name = ins.op
+        if name == op.LDC:
+            if not isinstance(ins.a, _CONSTABLE):
+                raise CodegenError(f"unconstable LDC operand {ins.a!r}")
+            self.push(TreeNode(_CONST_FOR.get(ins.b, "ICONST"), value=ins.a))
+        elif name == op.ACONST_NULL:
+            self.push(TreeNode("NULL", value=None))
+        elif name in op.LOADS:
+            if self.ilocals is not None:
+                self.push(TreeNode("TEMP", value=self.ilocals[ins.a]))
+            else:
+                self.push(TreeNode("LOCAL", value=ins.a))
+        elif name in op.STORES:
+            if self.ilocals is not None:
+                # callee locals are write-once temps (SSA-style), so trees
+                # already referencing the old temp stay valid
+                val = self.pop()
+                t = self.temp()
+                self.emit(f"{t} = {lower_py(val)}")
+                self.ilocals[ins.a] = t
+                return
+            val = self.pop()
+            # aliasing: any deferred tree reading this slot must evaluate
+            # against the *old* value, so materialize it first
+            for i, nd in enumerate(self.vstack):
+                if nd.op != "TEMP" and ins.a in _local_slots(nd, set()):
+                    self.vstack[i] = self._materialized(nd)
+            self.emit(f"L[{ins.a}] = {lower_py(val)}")
+        elif name == op.DUP:
+            self.need(1)
+            nd = self._materialized(self.vstack[-1])
+            self.vstack[-1] = nd
+            self.vstack.append(TreeNode("TEMP", value=nd.value))
+        elif name == op.POP:
+            self.pop()
+        elif name == op.SWAP:
+            self.need(2)
+            self.vstack[-1], self.vstack[-2] = self.vstack[-2], self.vstack[-1]
+        elif name in _TREE_BIN:
+            b = self.pop()
+            a = self.pop()
+            self.push(TreeNode(_TREE_BIN[name], kids=[a, b]))
+        elif name in _TREE_NEG:
+            self.push(TreeNode(_TREE_NEG[name], kids=[self.pop()]))
+        elif name in _TREE_CONV:
+            self.push(TreeNode(name, kids=[self.pop()]))
+        elif name in _TREE_DIV:
+            root, zero = _TREE_DIV[name]
+            b = self.pop()
+            a = self.pop()
+            ta = self._materialized(a).value
+            tb = self._materialized(b).value
+            self.guard(f"{tb} == {zero}", k, [ta, tb])
+            self.push(TreeNode(root, kids=[TreeNode("TEMP", value=ta),
+                                           TreeNode("TEMP", value=tb)]))
+        elif name == op.GETSTATIC:
+            self.needs_statics = True
+            t = self.temp()
+            self.emit(f"{t} = S.get(({ins.a!r}, {ins.b!r}))")
+            self.vstack.append(TreeNode("TEMP", value=t))
+        elif name == op.PUTSTATIC:
+            self.needs_statics = True
+            val = self.pop()
+            self.emit(f"S[({ins.a!r}, {ins.b!r})] = {lower_py(val)}")
+        elif name == op.GETFIELD:
+            r = self.pop_temp()
+            o = self._heap_object(k, r, "HeapObject", [r])
+            v = self.temp()
+            self.emit(f"{v} = {o}.fields.get({ins.b!r}, _MISS)")
+            self.guard(f"{v} is _MISS", k, [r])
+            self.vstack.append(TreeNode("TEMP", value=v))
+        elif name == op.PUTFIELD:
+            val = self.pop()
+            r = self.pop_temp()
+            v = self._materialized(val).value
+            o = self._heap_object(k, r, "HeapObject", [r, v])
+            self.guard(f"{ins.b!r} not in {o}.fields", k, [r, v])
+            self.emit(f"{o}.fields[{ins.b!r}] = {v}")
+        elif name == op.ARRAYLENGTH:
+            r = self.pop_temp()
+            o = self._heap_object(k, r, "HeapArray", [r])
+            t = self.temp()
+            self.emit(f"{t} = len({o}.data)")
+            self.vstack.append(TreeNode("TEMP", value=t))
+        elif name == op.XALOAD:
+            xi = self.pop_temp()
+            r = self.pop_temp()
+            o = self._heap_object(k, r, "HeapArray", [r, xi])
+            d = self.temp()
+            self.emit(f"{d} = {o}.data")
+            self.guard(f"not 0 <= {xi} < len({d})", k, [r, xi])
+            t = self.temp()
+            self.emit(f"{t} = {d}[{xi}]")
+            self.vstack.append(TreeNode("TEMP", value=t))
+        elif name == op.XASTORE:
+            val = self.pop()
+            xi = self.pop_temp()
+            r = self.pop_temp()
+            v = self._materialized(val).value
+            o = self._heap_object(k, r, "HeapArray", [r, xi, v])
+            d = self.temp()
+            self.emit(f"{d} = {o}.data")
+            self.guard(f"not 0 <= {xi} < len({d})", k, [r, xi, v])
+            self.emit(f"{d}[{xi}] = {v}")
+        elif name == op.GOTO:
+            self.flush()
+            self.emit(f"f.pc = {ins.a}")
+        elif name in op.CMP_BRANCHES:
+            b = self.pop()
+            a = self.pop()
+            ea, eb = lower_py(a), lower_py(b)
+            self.flush()
+            if name == op.IF_ACMP:
+                cond = f"_aeq({ea}, {eb})"
+                if ins.a != "EQ":
+                    cond = f"not {cond}"
+            else:
+                sym = _CMP_SYM.get(ins.a)
+                if sym is None:
+                    raise CodegenError(f"uncompilable condition {ins.a!r}")
+                cond = f"({ea}) {sym} ({eb})"
+            self.emit(f"if {cond}:")
+            self.emit(f"    f.pc = {ins.b}")
+        elif name == op.IFTRUE or name == op.IFFALSE:
+            c = lower_py(self.pop())
+            self.flush()
+            cond = f"({c})" if name == op.IFTRUE else f"not ({c})"
+            self.emit(f"if {cond}:")
+            self.emit(f"    f.pc = {ins.a}")
+        else:
+            raise CodegenError(f"untraceable opcode {name}")
+
+    # --------------------------------------------------------------- driver
+    def compile(self):
+        for k, ins in enumerate(self.run.instrs):
+            self.compile_ins(ins, k)
+        self.flush()
+        body = ["s = f.stack", "L = f.locals"]
+        if self.needs_heap:
+            body.append("H = m.heap._store")
+        if self.needs_statics:
+            body.append("S = m.statics")
+        body.extend(self.lines)
+        first = self.run.instrs[0]
+        return _assemble("_trace", body, f"trace@{self.run.start}:{first.op}")
+
+
+# --------------------------------------------------------------------------
+# loop regions: whole syscall-free loops compiled into one closure
+# --------------------------------------------------------------------------
+
+#: bound on loop-region size (instructions) — keeps exec-compile time flat
+_MAX_REGION = 1024
+
+#: bound on inlined-callee size (instructions)
+_INLINE_MAX = 40
+
+
+def _stack_effect(name: str):
+    """``(pops, pushes)`` of one *pure* traceable opcode, or ``None`` for
+    anything a pure leaf callee may not contain (mutators, branches,
+    calls).  Used to prove an inline candidate never touches its caller's
+    operand stack and exits with exactly its return value."""
+    if name == op.LDC or name == op.ACONST_NULL or name in op.LOADS \
+            or name == op.GETSTATIC:
+        return (0, 1)
+    if name == op.DUP:
+        return (1, 2)
+    if name == op.POP or name in op.STORES:
+        return (1, 0)
+    if name == op.SWAP:
+        return (2, 2)
+    if name in _TREE_BIN or name in _TREE_DIV or name == op.XALOAD:
+        return (2, 1)
+    if name in _TREE_NEG or name in _TREE_CONV \
+            or name == op.GETFIELD or name == op.ARRAYLENGTH:
+        return (1, 1)
+    return None
+
+
+def _inline_target(program, ins):
+    """The pure leaf method a region may inline at this call site, or
+    ``None``.  Eligible: ``INVOKEVIRTUAL``/``INVOKESTATIC`` resolving to a
+    bytecode method (no natives) whose body is straight-line, side-effect
+    free (reads only), single-exit, and provably stack-disciplined — so a
+    failed guard anywhere inside can deopt to the call instruction itself
+    and re-execute through the reference path with nothing to undo."""
+    o = ins.op
+    if program is None or (o != op.INVOKEVIRTUAL and o != op.INVOKESTATIC):
+        return None
+    if ins.a == DEPENDENT_OBJECT:
+        return None
+    method = program.lookup_method(ins.a, ins.b)
+    if method is None or method.is_ctor:
+        return None
+    nargs = ins.c or 0
+    if nargs != method.nargs or method.is_static != (o == op.INVOKESTATIC):
+        return None
+    body = method.flat().instrs
+    if not 1 <= len(body) <= _INLINE_MAX:
+        return None
+    last = body[-1]
+    if last.op not in op.RETURNS:
+        return None
+    void = last.op == op.RETURN
+    if void != (method.ret_type is VOID):
+        return None
+    depth = 0
+    for b in body[:-1]:
+        eff = _stack_effect(b.op)
+        if eff is None:
+            return None
+        if b.op == op.LDC and not isinstance(b.a, _CONSTABLE):
+            return None
+        pops, pushes = eff
+        if depth < pops:
+            return None
+        depth += pushes - pops
+    if depth != (0 if void else 1):
+        return None
+    return method
+
+
+def _find_region(flat, start: int, program=None):
+    """Connected component of fully-fusible basic blocks reachable from
+    ``start``, provided some branch inside it loops back (target at or
+    before its own block — i.e. the component contains a syscall-free
+    loop).  Edges to non-fusible blocks become clean region exits, so a
+    loop whose body calls a method still compiles everything around the
+    call; a block ending in a call to a pure leaf method (see
+    :func:`_inline_target`) is itself included, the callee inlined behind
+    a receiver-class guard.  Returns the sorted list of ``(a, b)`` block
+    ranges, or ``None`` when the shape does not apply."""
+    instrs = flat.instrs
+    bmap = dict(flat.basic_blocks())
+    if start not in bmap:
+        return None  # run starts mid-block (after a NEW / NEWARRAY / ...)
+    blocks: Dict[int, int] = {}
+    total = 0
+    work = [start]
+    while work:
+        a = work.pop()
+        if a in blocks or a not in bmap:
+            continue
+        b = bmap[a]
+        last = instrs[b - 1]
+        o = last.op
+        if o in op.INVOKES:
+            callee = _inline_target(program, last)
+            if callee is None:
+                continue  # exits here fall back to the engine loop
+            if not all(_fusible(i) for i in instrs[a:b - 1]):
+                continue
+            total += (b - a) + len(callee.flat().instrs)
+        else:
+            if not all(_fusible(i) for i in instrs[a:b]):
+                continue
+            total += b - a
+        if total > _MAX_REGION:
+            return None
+        blocks[a] = b
+        if o in op.INVOKES:
+            work.append(b)
+        elif o == op.GOTO:
+            work.append(last.a)
+        elif o in op.CMP_BRANCHES:
+            work.append(last.b)
+            work.append(b)
+        elif o in op.BRANCHES:  # IFTRUE / IFFALSE
+            work.append(last.a)
+            work.append(b)
+        else:
+            work.append(b)
+    for a, b in blocks.items():
+        last = instrs[b - 1]
+        o = last.op
+        if o in op.BRANCHES:
+            t = last.b if o in op.CMP_BRANCHES else last.a
+            if t in blocks and t <= a:
+                return [(a, blocks[a]) for a in sorted(blocks)]
+    return None
+
+
+def _inline_call(tc: "_TraceCompiler", inv, a: int, b: int,
+                 prefix: List[int], program) -> None:
+    """Epilogue of a region block ending in an inlinable call: guard the
+    receiver's runtime class (virtual calls), then compile the callee's
+    body in place with its locals mapped to write-once temps.  Any failed
+    guard inside the callee deopts to the call instruction itself with the
+    receiver/arguments restored — the callee is pure, so the plain
+    ``INVOKE`` handler re-executes it with reference semantics."""
+    callee = _inline_target(program, inv)
+    cf = callee.flat().instrs
+    nargs = inv.c or 0
+    virtual = inv.op == op.INVOKEVIRTUAL
+    kinv = b - 1 - a        # run-relative index of the call instruction
+    cinv = prefix[kinv]     # cycles of the completed caller prefix
+
+    # materialize receiver + args to temps (top of stack: ... rcv a1 .. an)
+    tc.need(nargs + (1 if virtual else 0))
+    argts = [tc.pop_temp() for _ in range(nargs)][::-1]
+    rcv = tc.pop_temp() if virtual else None
+    tc.flush()  # caller residue below the operands goes to the real stack
+
+    pushback = [f"s.append({t})" for t in ([rcv] if virtual else []) + argts]
+    saved_tail = tc.deopt_tail
+    tc.deopt_tail = lambda k: [f"return ({b - 1}, n + {kinv}, c + {cinv}, 1)"]
+    tc.inline_pushback = pushback
+
+    nslots = max(callee.max_locals, (0 if callee.is_static else 1) + nargs)
+    ilocals = ["None"] * nslots
+    idx = 0
+    if virtual:
+        # monomorphic inline cache: exact-class check makes the compile-time
+        # resolution from the static class valid at runtime (a subclass —
+        # overriding or not — deopts to the dynamic lookup)
+        tc.needs_heap = True
+        tc.guard(f"{rcv}.__class__ is not Ref", 0, [])
+        o = tc.temp()
+        tc.emit(f"{o} = H.get({rcv}.oid)")
+        tc.guard(f"{o}.__class__ is not HeapObject", 0, [])
+        tc.guard(f"{o}.class_name != {inv.a!r}", 0, [])
+        ilocals[0] = rcv
+        idx = 1
+    for t in argts:
+        ilocals[idx] = t
+        idx += 1
+
+    tc.ilocals = ilocals
+    for cins in cf[:-1]:
+        tc.compile_ins(cins, 0)  # k unused: inline deopts ignore it
+    ret = cf[-1]
+    retval = tc.pop() if ret.op != op.RETURN else None
+    tc.ilocals = None
+    tc.inline_pushback = None
+    tc.deopt_tail = saved_tail
+    tc.vstack = []
+    if retval is not None:
+        tc.vstack.append(retval)
+
+    ncallee = len(cf)
+    ntot = (b - a) + ncallee  # caller prefix + INVOKE + callee body
+    ctot = cinv + inv.cost + sum(i.cost for i in cf)
+    tc.flush()
+    tc.emit(f"n += {ntot}")
+    tc.emit(f"c += {ctot}")
+    tc.emit(f"pc = {b}")
+
+
+def _compile_region(flat, ext: List[Tuple[int, int]], entry: int,
+                    program=None):
+    """Compile a loop region into one closure with an internal
+    block-dispatch loop: iterations of the hot loop never return to the
+    engine.  Returns ``(exit_pc, steps, cycles, deopt)`` — ``deopt=1``
+    leaves the machine exactly at a failed guard (stack rebuilt, prefix
+    accounted), ``deopt=0`` is a clean exit at a pc outside the region
+    (a call/return block, or the loop's natural exit)."""
+    instrs = flat.instrs
+    tc = _TraceCompiler()
+    chain: List[str] = []
+    for bi, (a, b) in enumerate(ext):
+        blk = instrs[a:b]
+        costs = [i.cost for i in blk]
+        prefix: List[int] = []
+        tot = 0
+        for cst in costs:
+            prefix.append(tot)
+            tot += cst
+        tc.vstack = []
+        tc.deopt_tail = (
+            lambda a=a, prefix=prefix:
+            lambda k: [f"return ({a + k}, n + {k}, c + {prefix[k]}, 1)"]
+        )()
+        mark = len(tc.lines)
+        last = blk[-1]
+        terminal = last.op in op.BRANCHES
+        is_call = last.op in op.INVOKES
+        for k, ins in enumerate(blk[:-1] if (terminal or is_call) else blk):
+            tc.compile_ins(ins, k)
+        nblk, cblk = len(blk), sum(costs)
+        if is_call:
+            _inline_call(tc, last, a, b, prefix, program)
+        elif terminal:
+            o = last.op
+            if o == op.GOTO:
+                tc.flush()
+                tc.emit(f"n += {nblk}")
+                tc.emit(f"c += {cblk}")
+                tc.emit(f"pc = {last.a}")
+            else:
+                if o in op.CMP_BRANCHES:
+                    bb = tc.pop()
+                    aa = tc.pop()
+                    ea, eb = lower_py(aa), lower_py(bb)
+                    if o == op.IF_ACMP:
+                        cond = f"_aeq({ea}, {eb})"
+                        if last.a != "EQ":
+                            cond = f"not {cond}"
+                    else:
+                        sym = _CMP_SYM.get(last.a)
+                        if sym is None:
+                            raise CodegenError(
+                                f"uncompilable condition {last.a!r}"
+                            )
+                        cond = f"({ea}) {sym} ({eb})"
+                    target = last.b
+                else:  # IFTRUE / IFFALSE
+                    c = lower_py(tc.pop())
+                    cond = f"({c})" if o == op.IFTRUE else f"not ({c})"
+                    target = last.a
+                tc.flush()
+                tc.emit(f"n += {nblk}")
+                tc.emit(f"c += {cblk}")
+                tc.emit(f"pc = {target} if {cond} else {b}")
+        else:
+            tc.flush()
+            tc.emit(f"n += {nblk}")
+            tc.emit(f"c += {cblk}")
+            tc.emit(f"pc = {b}")
+        blk_lines = tc.lines[mark:]
+        del tc.lines[mark:]
+        chain.append(f"{'if' if bi == 0 else 'elif'} pc == {a}:")
+        chain.extend("    " + ln for ln in blk_lines)
+    chain.append("else:")
+    chain.append("    return (pc, n, c, 0)")
+    body = ["s = f.stack", "L = f.locals"]
+    if tc.needs_heap:
+        body.append("H = m.heap._store")
+    if tc.needs_statics:
+        body.append("S = m.statics")
+    body += ["n = 0", "c = 0", f"pc = {entry}", "while 1:"]
+    body += ["    " + ln for ln in chain]
+    return _assemble("_region", body, f"region@{entry}")
+
+
+def promote(run: Run, flat=None, program=None) -> bool:
+    """Trace-compile a hot run — as a whole loop region when its block
+    heads one, else as a straight-line closure.  On any lowering failure
+    the run keeps its superinstruction handler permanently (``promoted``
+    flips either way so the attempt happens once)."""
+    run.promoted = True
+    if flat is not None:
+        try:
+            ext = _find_region(flat, run.start, program)
+            fn = (_compile_region(flat, ext, run.start, program)
+                  if ext else None)
+        except Exception:
+            fn = None
+        if fn is not None:
+            run.fn = fn
+            run.region = True
+            run.compiled = True
+            return True
+    if run.n < 4:
+        # the superinstruction is already near-optimal for tiny runs;
+        # don't pay compile time for no win
+        return False
+    try:
+        fn = _TraceCompiler(run).compile()
+    except Exception:
+        return False
+    run.fn = fn
+    run.compiled = True
+    return True
+
+
+# --------------------------------------------------------------------------
+# the engine loop
+# --------------------------------------------------------------------------
+
+def run_block_compiled(machine, stop_depth: int = 1):
+    """Compiled-tier twin of :meth:`Machine.run_block`: same contract
+    (returns ``(kind, gen, push, cost)``; parks ``pending_block_cost`` on
+    error), but run starts execute through fused superinstructions or
+    trace-compiled closures, deoptimizing to the plain threaded handlers
+    at guards, syscalls and faults."""
+    m = machine
+    frames = m.frames
+    acc = m.inject_overcharge  # 0 unless a self-test injects a fault
+    nsteps = 0
+    # engine-tier accounting, flushed to the machine at every exit
+    ss = sc = cs = cc = dn = pn = 0
+    frame = frames[-1]
+    flat = frame.flat
+    plan = flat.fused
+    if plan is None:
+        plan = build_fused(flat)
+    thr = flat.threaded
+    nplan = len(plan)
+    while True:
+        pc = frame.pc
+        if pc >= nplan:
+            m.steps += nsteps
+            m.pending_block_cost = acc
+            _flush_stats(m, ss, sc, cs, cc, dn, pn)
+            raise VMError(f"{frame.method.qualified}: fell off end of code")
+        entry = plan[pc]
+        if entry.__class__ is Run:
+            entry.count += 1
+            if not entry.promoted and entry.count >= entry.threshold:
+                if promote(entry, flat, m.program):
+                    pn += 1
+            if entry.region:
+                # whole-loop closure: executes many iterations per call and
+                # reports exact step/cycle totals and its exit point
+                exit_pc, rn, rc, de = entry.fn(m, frame, entry.instrs)
+                nsteps += rn
+                acc += rc
+                cs += rn
+                cc += rc
+                if de == 0:
+                    frame.pc = exit_pc
+                    continue
+                dn += 1
+                pc = exit_pc
+                handler, ins = thr[pc]
+            else:
+                frame.pc = entry.end
+                r = entry.fn(m, frame, entry.instrs)
+                if r is None:
+                    nsteps += entry.n
+                    acc += entry.cost
+                    if entry.compiled:
+                        cs += entry.n
+                        cc += entry.cost
+                    else:
+                        ss += entry.n
+                        sc += entry.cost
+                    continue
+                # deopt: instructions < r completed; charge the prefix and
+                # re-execute instruction r through its plain handler, which
+                # raises / syscalls with exact reference semantics
+                dn += 1
+                p = entry.prefix[r]
+                nsteps += r
+                acc += p
+                if entry.compiled:
+                    cs += r
+                    cc += p
+                else:
+                    ss += r
+                    sc += p
+                pc = entry.start + r
+                handler, ins = thr[pc]
+        else:
+            handler, ins = entry
+        frame.pc = pc + 1
+        nsteps += 1
+        acc += ins.cost
+        try:
+            if handler is INVOKE_HANDLER:
+                # a native reached through this call (Sys.time) may read
+                # the cycle counter: publish the completed prefix so it
+                # sees the per-step path's exact value
+                m.inflight_cycles = acc - ins.cost
+                r = handler(m, frame, ins)
+                m.inflight_cycles = 0
+            else:
+                r = handler(m, frame, ins)
+        except BaseException:
+            # the failing instruction's own cost is never charged — the
+            # per-step path raises out of step() before returning it
+            m.inflight_cycles = 0
+            m.steps += nsteps
+            m.pending_block_cost = acc - ins.cost
+            _flush_stats(m, ss, sc, cs, cc, dn, pn)
+            raise
+        if r is None:
+            continue
+        if r is FRAME_SWITCH:
+            if len(frames) < stop_depth:
+                break
+            frame = frames[-1]
+            flat = frame.flat
+            plan = flat.fused
+            if plan is None:
+                plan = build_fused(flat)
+            thr = flat.threaded
+            nplan = len(plan)
+            continue
+        m.steps += nsteps
+        _flush_stats(m, ss, sc, cs, cc, dn, pn)
+        return (r[0], r[1], r[2], acc)
+    m.steps += nsteps
+    _flush_stats(m, ss, sc, cs, cc, dn, pn)
+    return (None, None, None, acc)
+
+
+def _flush_stats(m, ss, sc, cs, cc, dn, pn) -> None:
+    m.jit_super_steps += ss
+    m.jit_super_cycles += sc
+    m.jit_compiled_steps += cs
+    m.jit_compiled_cycles += cc
+    m.jit_deopts += dn
+    m.jit_promotions += pn

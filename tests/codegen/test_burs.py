@@ -88,3 +88,77 @@ def test_aux_missing_raises():
     tree = TreeNode("JUMP", kids=[])
     with pytest.raises(CodegenError, match="no TARGET"):
         aux(tree, "TARGET")
+
+
+# ---------------------------------------------------------------------------
+# the Python target (repro.codegen.pytarget): the rule set the trace
+# compiler reduces hot-block operator trees against
+# ---------------------------------------------------------------------------
+from repro.codegen.pytarget import PY_BURS, fold_const, lower_py
+from repro.vm.values import i32, i64, iushr
+
+
+def _bin(root, a, b):
+    return TreeNode(root, kids=[a, b])
+
+
+def test_pytarget_lowers_local_arithmetic():
+    tree = _bin("ADD_I", TreeNode("LOCAL", value=2), TreeNode("ICONST", value=7))
+    expr = lower_py(tree)
+    assert eval(expr, {"i32": i32}, {"L": [0, 0, 35]}) == 42
+
+
+def test_pytarget_folds_constant_subtrees():
+    tree = _bin(
+        "MUL_I",
+        _bin("ADD_I", TreeNode("ICONST", value=2), TreeNode("ICONST", value=3)),
+        TreeNode("ICONST", value=4),
+    )
+    assert fold_const(tree) == 20
+    # the folded constant also feeds the py goal as a plain literal
+    assert eval(lower_py(tree), {"i32": i32}, {}) == 20
+
+
+def test_pytarget_folding_wraps_exactly_like_the_vm():
+    big = TreeNode("ICONST", value=2**31 - 1)
+    one = TreeNode("ICONST", value=1)
+    assert fold_const(_bin("ADD_I", big, one)) == i32(2**31) == -(2**31)
+    lbig = TreeNode("LCONST", value=2**63 - 1)
+    assert fold_const(_bin("ADD_L", lbig, TreeNode("LCONST", value=1))) == -(2**63)
+
+
+def test_pytarget_shift_immediate_form_masks_at_compile_time():
+    tree = _bin("SHL_I", TreeNode("LOCAL", value=0), TreeNode("ICONST", value=33))
+    expr = lower_py(tree)
+    assert "<< 1" in expr  # 33 & 31 applied by the labeler, not at runtime
+    assert eval(expr, {"i32": i32}, {"L": [3]}) == 6
+
+
+def test_pytarget_ushr_matches_vm_semantics():
+    tree = _bin("USHR_I", TreeNode("ICONST", value=-8), TreeNode("ICONST", value=1))
+    assert fold_const(tree) == iushr(-8, 1, 32)
+
+
+def test_pytarget_mixed_tree_lowers_once_per_node():
+    # (L[0] + 1) * (L[1] - 2) — labeling is a single bottom-up pass
+    tree = _bin(
+        "MUL_I",
+        _bin("ADD_I", TreeNode("LOCAL", value=0), TreeNode("ICONST", value=1)),
+        _bin("SUB_I", TreeNode("LOCAL", value=1), TreeNode("ICONST", value=2)),
+    )
+    expr = lower_py(tree)
+    assert eval(expr, {"i32": i32}, {"L": [5, 9]}) == 42
+
+
+def test_pytarget_fold_const_refuses_runtime_leaves():
+    tree = _bin("ADD_I", TreeNode("LOCAL", value=0), TreeNode("ICONST", value=1))
+    with pytest.raises(CodegenError):
+        fold_const(tree)
+
+
+def test_pytarget_conversions_fold():
+    assert fold_const(TreeNode("I2L", kids=[TreeNode("ICONST", value=-1)])) == -1
+    assert (
+        fold_const(TreeNode("L2I", kids=[TreeNode("LCONST", value=2**32 + 5)])) == 5
+    )
+    assert fold_const(TreeNode("F2I", kids=[TreeNode("FCONST", value=2.9)])) == 2

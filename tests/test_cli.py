@@ -149,7 +149,8 @@ def test_bench_command_writes_and_gates(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "speedup" in captured.out
     doc = json.loads(out.read_text())
-    assert doc["schema"] == "repro.bench_vm/1"
+    assert doc["schema"] == "repro.bench_vm/2"
+    assert doc["engines"] == ["reference", "fast", "compiled"]
     bank = doc["workloads"]["bank"]
     assert bank["interpreter"]["speedup"] > 1.0
     assert bank["simulator"]["event_reduction"] > 5.0

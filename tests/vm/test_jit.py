@@ -1,0 +1,302 @@
+"""Differential tests for the compiled execution tier.
+
+The third engine (:func:`repro.vm.jit.run_block_compiled` driven through
+:meth:`Machine.drive`) layers superinstruction fusion, trace-compiled hot
+blocks, loop regions and pure-leaf call inlining on top of the threaded
+fast path — and must stay observationally identical to the per-step
+reference oracle on every program: same ``cycles``, ``steps``, ``result``,
+``stdout``, and the same fault text when the program faults.  These tests
+pin that bit-identity on the bundled workloads, on hypothesis-driven
+generated programs (including faulting and overcharge-injected ones), and
+exercise the deopt and promotion machinery directly.
+"""
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import compile_mj
+
+from repro.errors import VMError
+from repro.testing.genprog import GenConfig, generate_source
+from repro.vm.interpreter import Machine, forced_engine, run_sync
+from repro.vm.jit import (
+    Run,
+    build_fused,
+    jit_threshold,
+    plan_runs,
+    super_cache_size,
+)
+from repro.workloads import WORKLOADS
+
+
+def _observe(loaded, engine):
+    """(cycles, steps, result, stdout, error-text, machine) on one tier."""
+    machine = Machine(loaded)
+    machine.statics = loaded.fresh_statics()
+    machine.call_bmethod(loaded.main_method(), None, [None])
+    error = None
+    with forced_engine(engine):
+        try:
+            run_sync(machine)
+        except VMError as exc:
+            error = str(exc)
+    return (
+        (machine.cycles, machine.steps, machine.result,
+         tuple(machine.stdout), error),
+        machine,
+    )
+
+
+def assert_tiers_agree(source: str):
+    loaded = compile_mj(source)
+    ref, _ = _observe(loaded, "reference")
+    fast, _ = _observe(loaded, "fast")
+    comp, _ = _observe(loaded, "compiled")
+    assert fast == ref, f"fast tier diverged:\n{fast}\nvs\n{ref}"
+    assert comp == ref, f"compiled tier diverged:\n{comp}\nvs\n{ref}"
+
+
+# ------------------------------------------------------------------ workloads
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_workload_compiled_equals_reference(workload):
+    """compiled ≡ step on (cycles, steps, result, stdout) for every
+    bundled workload — warm code included (the FlatCode plan persists, so
+    the second run executes promoted traces from the start)."""
+    from repro.api.experiment import compile_workload
+
+    loaded = compile_workload(workload, "test").loaded
+    ref, _ = _observe(loaded, "reference")
+    for _ in range(2):  # cold, then warm (promoted) plans
+        comp, machine = _observe(loaded, "compiled")
+        assert comp == ref
+    stats = machine.jit_stats()
+    assert stats["super_steps"] + stats["compiled_steps"] > 0
+
+
+# ------------------------------------------------------------------ plan
+def test_fused_plan_covers_syscall_free_runs():
+    """Runs of >= 2 fusible instructions become Run entries; interior
+    positions keep their plain handlers so deopt can resume anywhere."""
+    loaded = compile_mj(
+        """
+        class Main {
+            static void main(String[] a) {
+                int s = 0;
+                for (int i = 0; i < 50; i = i + 1) { s = s + i * 2; }
+                Sys.println(s);
+            }
+        }
+        """
+    )
+    flat = loaded.main_method().flat()
+    runs = plan_runs(flat)
+    assert runs, "the loop body must fuse"
+    plan = flat.fused
+    for run in runs:
+        assert plan[run.start] is run
+        assert run.n >= 2
+        assert run.cost == sum(i.cost for i in run.instrs)
+        assert run.prefix[0] == 0
+        for j in range(run.start + 1, run.end):
+            assert not isinstance(plan[j], Run)
+
+
+def test_superinstruction_cache_is_shared_across_methods():
+    """Identical opcode sequences (by interned ``opx``) share one compiled
+    composite handler process-wide."""
+    before = super_cache_size()
+    loaded = compile_mj(
+        """
+        class Main {
+            static int f(int x) { int y = x + 1; return y * 2; }
+            static int g(int x) { int y = x + 1; return y * 2; }
+            static void main(String[] a) {
+                Sys.println(f(3) + g(4));
+            }
+        }
+        """
+    )
+    fa = build_fused(loaded.lookup_method("Main", "f").flat())
+    ga = build_fused(loaded.lookup_method("Main", "g").flat())
+    fruns = [e for e in fa if isinstance(e, Run)]
+    gruns = [e for e in ga if isinstance(e, Run)]
+    assert fruns and gruns
+    shared = {id(r.fn) for r in fruns} & {id(r.fn) for r in gruns}
+    assert shared, "identical opx sequences must share a handler"
+    assert super_cache_size() >= before
+
+
+def test_hot_block_promotion_and_counters():
+    """Below the threshold blocks stay fused; past it they are
+    trace-compiled, and the machine's jit counters say so."""
+    src = """
+        class Main {
+            static void main(String[] a) {
+                int s = 0;
+                for (int i = 0; i < 200; i = i + 1) { s = s + i; }
+                Sys.println(s);
+            }
+        }
+    """
+    with jit_threshold(4):
+        loaded = compile_mj(src)
+        comp, machine = _observe(loaded, "compiled")
+        ref, _ = _observe(loaded, "reference")
+    assert comp == ref
+    stats = machine.jit_stats()
+    assert stats["promotions"] >= 1
+    assert stats["compiled_steps"] > 0
+    flat = loaded.main_method().flat()
+    assert any(r.promoted and r.count >= 4 for r in plan_runs(flat))
+
+
+def test_unreachable_threshold_means_no_promotion():
+    src = """
+        class Main {
+            static void main(String[] a) {
+                int s = 0;
+                for (int i = 0; i < 50; i = i + 1) { s = s + i; }
+                Sys.println(s);
+            }
+        }
+    """
+    with jit_threshold(10**9):
+        loaded = compile_mj(src)
+        comp, machine = _observe(loaded, "compiled")
+        ref, _ = _observe(loaded, "reference")
+    assert comp == ref
+    assert machine.jit_stats()["promotions"] == 0
+    assert machine.jit_stats()["super_steps"] > 0
+
+
+# ------------------------------------------------------------------ deopt
+def test_guard_deopt_charges_exactly():
+    """A division that faults mid-trace deopts to the threaded tier and
+    charges the identical cycle prefix the oracle charges."""
+    src = """
+        class Main {
+            static void main(String[] a) {
+                int s = 1;
+                int z = 0;
+                for (int i = 0; i < 40; i = i + 1) {
+                    s = s + 7 / (20 - i + z * i);
+                }
+                Sys.println(s);
+            }
+        }
+    """
+    with jit_threshold(2):
+        assert_tiers_agree(src)
+
+
+def test_array_bounds_deopt_matches_oracle():
+    src = """
+        class Main {
+            static void main(String[] a) {
+                int[] xs = new int[8];
+                int s = 0;
+                for (int i = 0; i < 40; i = i + 1) {
+                    xs[i] = i;
+                    s = s + xs[i];
+                }
+                Sys.println(s);
+            }
+        }
+    """
+    with jit_threshold(2):
+        assert_tiers_agree(src)
+
+
+def test_inlined_leaf_call_region():
+    """The region compiler inlines small pure callees (the crypt shape: a
+    hot loop calling a straight-line getter) and stays bit-identical."""
+    src = """
+        class K {
+            int a;
+            int b;
+            int get(int i) { return this.a * i + this.b; }
+        }
+        class Main {
+            static void main(String[] a) {
+                K k = new K();
+                k.a = 3;
+                k.b = 5;
+                int s = 0;
+                for (int i = 0; i < 100; i = i + 1) { s = s + k.get(i); }
+                Sys.println(s);
+            }
+        }
+    """
+    with jit_threshold(2):
+        loaded = compile_mj(src)
+        ref, _ = _observe(loaded, "reference")
+        comp, machine = _observe(loaded, "compiled")
+    assert comp == ref
+    assert machine.jit_stats()["promotions"] >= 1
+
+
+# ------------------------------------------------------------- fault paths
+def test_overcharge_injection_detected_identically(monkeypatch):
+    """The PR-6 seeded accounting fault lives in the block engines only —
+    the per-step oracle is the clean side of the differential.  The
+    compiled tier must mis-charge *identically* to the fast tier (same
+    overcharged cycle total), so the fuzz oracle keeps catching the fault
+    as a ``vm.cycles`` divergence on both."""
+    src = """
+        class Main {
+            static void main(String[] a) {
+                int s = 0;
+                for (int i = 0; i < 60; i = i + 1) { s = s + i; }
+                Sys.println(s);
+            }
+        }
+    """
+    loaded = compile_mj(src)
+    ref, _ = _observe(loaded, "reference")
+    monkeypatch.setenv("REPRO_VM_INJECT_OVERCHARGE", "3")
+    with jit_threshold(2):
+        injected_ref, _ = _observe(loaded, "reference")
+        fast, _ = _observe(loaded, "fast")
+        comp, _ = _observe(loaded, "compiled")
+    assert injected_ref == ref  # the oracle stays clean
+    assert comp == fast  # block tiers mis-charge identically
+    assert fast[0] > ref[0]  # and the fault is observable
+    assert fast[1:] == ref[1:]  # cycles only: steps/result/stdout intact
+
+
+# ---------------------------------------------------------------- hypothesis
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    max_stmts=st.integers(min_value=1, max_value=6),
+)
+def test_random_flat_programs_compiled_equals_reference(seed, max_stmts):
+    """Property: generated single-class programs — arithmetic with faulting
+    division, branches, nested loops — behave identically on all three
+    tiers, fault text included."""
+    source = generate_source(
+        GenConfig(seed=seed, n_classes=0, max_stmts=max_stmts,
+                  allow_faults=True)
+    )
+    with jit_threshold(2):  # promote aggressively: exercise traces + deopts
+        assert_tiers_agree(source)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_classes=st.integers(min_value=1, max_value=3),
+)
+def test_random_rich_programs_compiled_equals_reference(seed, n_classes):
+    """Property, multi-class: cross-class field/method access, arrays,
+    bounded recursion, possible faults — identical on all three tiers."""
+    source = generate_source(
+        GenConfig(seed=seed, n_classes=n_classes, allow_faults=(seed % 2 == 0))
+    )
+    with jit_threshold(2):
+        assert_tiers_agree(source)
