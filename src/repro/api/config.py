@@ -152,8 +152,12 @@ class ClusterConfig(_Config):
     #: seeded fault plan injected at runtime (None = fault-free); accepts a
     #: FaultPlan or its dict form and normalizes to the typed plan
     faults: Optional[Any] = None
+    #: recovery plan: checkpointing + heartbeat leases + object migration
+    #: (None = degradation only); accepts a RecoveryPlan or its dict form
+    recovery: Optional[Any] = None
 
     def __post_init__(self) -> None:
+        from repro.runtime.checkpoint import RecoveryPlan
         from repro.runtime.cluster import NETWORKS
         from repro.runtime.faults import FaultPlan
 
@@ -165,6 +169,17 @@ class ClusterConfig(_Config):
                     f"got {type(self.faults).__name__}"
                 )
             object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        if self.recovery is not None and not isinstance(
+            self.recovery, RecoveryPlan
+        ):
+            if not isinstance(self.recovery, dict):
+                raise ConfigError(
+                    "ClusterConfig.recovery must be a RecoveryPlan or dict, "
+                    f"got {type(self.recovery).__name__}"
+                )
+            object.__setattr__(
+                self, "recovery", RecoveryPlan.from_dict(self.recovery)
+            )
         if self.speeds is not None:
             # normalize the JSON round-trip (lists) to the hashable tuple
             object.__setattr__(
@@ -188,6 +203,8 @@ class ClusterConfig(_Config):
         d = super().to_dict()
         if self.faults is not None:
             d["faults"] = self.faults.to_dict()
+        if self.recovery is not None:
+            d["recovery"] = self.recovery.to_dict()
         return d
 
     @property
@@ -319,6 +336,7 @@ class ExperimentConfig(_Config):
         pin_main: bool = True,
         async_writes: bool = False,
         faults: Optional[Any] = None,
+        recovery: Optional[Any] = None,
         replication: int = 1,
         engine: str = "default",
     ) -> "ExperimentConfig":
@@ -330,7 +348,9 @@ class ExperimentConfig(_Config):
                 method=method, nparts=nparts, granularity=granularity,
                 pin_main=pin_main, replication=replication,
             ),
-            cluster=ClusterConfig(nodes=nodes, network=network, faults=faults),
+            cluster=ClusterConfig(
+                nodes=nodes, network=network, faults=faults, recovery=recovery
+            ),
             backend=BackendConfig(
                 name=backend, async_writes=async_writes, engine=engine
             ),

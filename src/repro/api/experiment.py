@@ -601,6 +601,7 @@ class Experiment:
                 async_writes=backend.async_writes, backend=backend.name,
                 faults=self.config.cluster.faults, replicas=replicas,
                 engine=backend.engine,
+                recovery=self.config.cluster.recovery,
             ).run(max_events=backend.max_events)
 
         if backend.is_virtual:
@@ -627,7 +628,10 @@ class Experiment:
             and dist.stdout[-1] != seq.stdout[-1]
         ):
             # a degraded run legitimately produced partial output — the
-            # divergence check only applies to fault-free completions
+            # divergence check only applies to fault-free completions.
+            # A *recovered* run (crashes masked by the recovery tier) is
+            # not degraded, so it is held to full output equality: that is
+            # the recovery contract.
             raise ExperimentError(
                 f"{self.config.label()}: distributed output diverged: "
                 f"{seq.stdout[-1]!r} vs {dist.stdout[-1]!r}"
@@ -718,6 +722,14 @@ class Experiment:
                 f if isinstance(f, dict) else f.to_dict() for f in dist.faults
             ]
             report.degraded = dist.degraded
+            report.recovered = [
+                f if isinstance(f, dict) else f.to_dict()
+                for f in (getattr(dist, "recovered", None) or [])
+            ]
+            report.checkpoint_overhead_cycles = getattr(
+                dist, "checkpoint_overhead_cycles", 0
+            )
+            report.recovery_cycles = getattr(dist, "recovery_cycles", 0)
             if self.config.partition.replication > 1:
                 from repro.distgen.quorum import plan_availability
 

@@ -63,6 +63,14 @@ class Report:
     faults: Optional[List[Dict[str, Any]]] = None
     #: True when the distributed run survived one or more faults
     degraded: bool = False
+    #: crashes that were fully *masked* by the recovery tier (FaultRecord
+    #: dicts, kind "recovered"); None until a run, empty list when the run
+    #: had no recovery plan or nothing to recover
+    recovered: Optional[List[Dict[str, Any]]] = None
+    #: cycles spent taking/shipping checkpoints across the cluster
+    checkpoint_overhead_cycles: int = 0
+    #: cycles spent restoring state and replaying lost work
+    recovery_cycles: int = 0
     #: replication factor of the run (1 = unreplicated)
     replication: int = 1
     #: modeled availability of the replica arrangement (see
@@ -104,6 +112,9 @@ class Report:
             "cache_misses": self.cache_misses,
             "faults": self.faults,
             "degraded": self.degraded,
+            "recovered": self.recovered,
+            "checkpoint_overhead_cycles": self.checkpoint_overhead_cycles,
+            "recovery_cycles": self.recovery_cycles,
             "replication": self.replication,
             "availability": self.availability,
             "vm_engine": self.vm_engine,

@@ -45,12 +45,31 @@ def _experiment(args: argparse.Namespace, backend: str):
     from repro.api import Experiment
 
     replication = getattr(args, "replication", 1)
+    faults = None
+    crash = getattr(args, "crash", None)
+    if crash:
+        from repro.runtime.faults import FaultPlan
+
+        try:
+            node_s, _, cycle_s = crash.partition(":")
+            faults = FaultPlan(crashes=((int(node_s), int(cycle_s)),))
+        except ValueError:
+            raise SystemExit(f"error: --crash must be NODE:CYCLE, got {crash!r}")
+    recovery = None
+    if getattr(args, "recovery", False):
+        from repro.runtime.checkpoint import RecoveryPlan
+
+        recovery = RecoveryPlan(
+            interval=getattr(args, "recovery_interval", 60_000)
+        )
     return Experiment.from_options(
         args.workload,
         size=args.size,
         nparts=getattr(args, "nodes", 2),
         backend=backend,
         replication=replication,
+        faults=faults,
+        recovery=recovery,
         engine=getattr(args, "vm_engine", "default"),
         # replicas need somewhere to live: give each extra copy its own
         # (otherwise idle) machine beyond the nparts the plan uses
@@ -149,6 +168,18 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
     if res.report.replication > 1 and res.report.availability is not None:
         print(f"replication: {res.report.replication} copies/safe class, "
               f"modeled availability {res.report.availability:.3f}")
+    if res.report.faults:
+        verdict = (
+            "degraded" if res.report.degraded
+            else "masked" if res.report.recovered
+            else "survived"
+        )
+        print(f"faults     : {len(res.report.faults)} record(s), run {verdict}")
+    if res.report.recovered:
+        nodes = sorted({r['node'] for r in res.report.recovered})
+        print(f"recovery   : masked crash of node(s) {nodes} — "
+              f"{res.report.checkpoint_overhead_cycles} checkpoint cycles, "
+              f"{res.report.recovery_cycles} recovery cycles")
     return 0
 
 
@@ -178,6 +209,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             networks=tuple(args.networks.split(",")),
             size=args.size,
             backends=tuple(args.backends.split(",")),
+            crash=args.crash,
+            recovery_intervals=tuple(
+                int(n) for n in args.recovery_intervals.split(",")
+            ),
         )
     except ValueError as exc:  # e.g. non-integer --nodes
         print(f"error: {exc}", file=sys.stderr)
@@ -268,7 +303,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         budget=args.budget,
         include_thread=not args.no_thread,
         include_process=args.include_process,
-        include_faults=args.faults,
+        include_faults=args.faults or args.recovery,
+        include_recovery=args.recovery,
         deep=args.deep,
         shrink_budget=args.max_shrink,
         collect_golden=bool(args.save_corpus),
@@ -358,6 +394,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="quorum-replicate safe remote classes over N copies "
         "(adds N-1 extra nodes to host them; default 1 = off)",
     )
+    p.add_argument(
+        "--crash", metavar="NODE:CYCLE",
+        help="inject a planned node crash, e.g. --crash 0:20000",
+    )
+    p.add_argument(
+        "--recovery", action="store_true",
+        help="enable the recovery tier (checkpoints + heartbeat leases + "
+        "object migration): a --crash of a non-main node is then masked "
+        "with byte-identical output instead of degrading",
+    )
+    p.add_argument(
+        "--recovery-interval", type=int, default=60_000, metavar="CYCLES",
+        help="checkpoint cadence in cycles for --recovery (default 60000)",
+    )
     p.add_argument("--vm-engine", default="default", metavar="TIER",
                    choices=("default", "reference", "fast", "compiled"),
                    help="force the VM execution tier on every machine "
@@ -395,6 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated runtime backends (sim,thread,process)",
     )
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
+    p.add_argument(
+        "--crash", default="", metavar="NODE:CYCLE",
+        help="inject a planned crash into every grid point (pairs with "
+        "--recovery-intervals to measure masking cost)",
+    )
+    p.add_argument(
+        "--recovery-intervals", default="0", metavar="CYCLES,...",
+        help="comma-separated checkpoint intervals as a sweep axis "
+        "(0 = recovery off; default 0)",
+    )
     p.add_argument(
         "--workers", type=int, default=0,
         help="process-pool width; <=1 runs serially in-process",
@@ -484,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="let worlds carry seeded FaultPlans (message loss, node "
         "crashes) and quorum replication; crashes must degrade to "
         "structured fault reports, transient loss must be masked",
+    )
+    p.add_argument(
+        "--recovery", action="store_true",
+        help="(with --faults) let crash worlds carry RecoveryPlans: the "
+        "oracle then hunts recovered-vs-fault-free divergence — masked "
+        "crashes must reproduce byte-identical output with RECOVERED "
+        "evidence",
     )
     p.add_argument(
         "--max-shrink", type=int, default=120,

@@ -58,9 +58,36 @@ class SweepConfig:
     network: str = "ethernet_100m"
     granularity: str = "class"
     backend: str = "sim"
+    #: planned crash as "node:cycle" ("" = fault-free) — the fault the
+    #: recovery axis masks
+    crash: str = ""
+    #: checkpoint interval in cycles (0 = recovery off); a non-zero value
+    #: puts the recovery tier's overhead/latency on the sweep axis
+    recovery_interval: int = 0
 
     def __post_init__(self) -> None:
         self.experiment_config()  # validates every field
+
+    def _faults(self):
+        if not self.crash:
+            return None
+        from repro.runtime.faults import FaultPlan
+
+        try:
+            node_s, _, cycle_s = self.crash.partition(":")
+            crash = (int(node_s), int(cycle_s))
+        except ValueError:
+            raise SweepError(
+                f"crash must be 'node:cycle', got {self.crash!r}"
+            ) from None
+        return FaultPlan(crashes=(crash,))
+
+    def _recovery(self):
+        if self.recovery_interval <= 0:
+            return None
+        from repro.runtime.checkpoint import RecoveryPlan
+
+        return RecoveryPlan(interval=self.recovery_interval)
 
     def experiment_config(self) -> ExperimentConfig:
         """The typed config this grid point denotes."""
@@ -68,15 +95,21 @@ class SweepConfig:
             self.workload, size=self.size, method=self.method,
             nparts=self.nparts, granularity=self.granularity,
             network=self.network, backend=self.backend,
+            faults=self._faults(), recovery=self._recovery(),
         )
 
     def key(self) -> dict:
         return asdict(self)
 
     def label(self) -> str:
+        tags = ""
+        if self.crash:
+            tags += f"/crash{self.crash}"
+        if self.recovery_interval > 0:
+            tags += f"/rec{self.recovery_interval}"
         return (
             f"{self.workload}/{self.method}/k{self.nparts}/{self.network}"
-            f"/{self.backend}"
+            f"/{self.backend}{tags}"
         )
 
 
@@ -95,20 +128,27 @@ def sweep_grid(
     size: str = "test",
     granularity: str = "class",
     backends: Sequence[str] = ("sim",),
+    crash: str = "",
+    recovery_intervals: Sequence[int] = (0,),
 ) -> List[SweepConfig]:
     """The full cross product (workload × method × nparts × network ×
-    backend)."""
+    backend × recovery interval).  ``recovery_intervals`` puts the
+    checkpoint cadence on an axis (0 = recovery off); pair it with
+    ``crash="node:cycle"`` to measure what masking that crash costs at
+    each cadence."""
     names = list(workloads) if workloads is not None else list(TABLE1_ORDER)
     return [
         SweepConfig(
             workload=name, size=size, method=method, nparts=nparts,
             network=network, granularity=granularity, backend=backend,
+            crash=crash, recovery_interval=interval,
         )
         for name in names
         for method in methods
         for nparts in cluster_sizes
         for network in networks
         for backend in backends
+        for interval in recovery_intervals
     ]
 
 
@@ -243,6 +283,14 @@ class SweepResult:
         rows = []
         for r in self.records:
             agg = r.aggregate if r.ok else {"busy_frac": 0.0}
+            status = "ok" if r.ok else "ERROR"
+            if r.ok and r.report is not None:
+                # fault-free grids keep rendering "ok" byte-identically;
+                # fault/recovery axes say what actually happened to the run
+                if r.report.recovered:
+                    status = "recovered"
+                elif r.report.degraded:
+                    status = "degraded"
             rows.append(
                 [
                     r.config.workload,
@@ -258,7 +306,7 @@ class SweepResult:
                     f"{r.edgecut:.0f}",
                     r.rewrites,
                     f"{100.0 * agg['busy_frac']:.1f}",
-                    "ok" if r.ok else "ERROR",
+                    status,
                 ]
             )
         return _fmt_table(

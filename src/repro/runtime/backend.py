@@ -32,6 +32,7 @@ from typing import Callable, ClassVar, Dict, List, Optional, Set, Tuple, Type
 
 from repro.api.registry import Registry
 from repro.errors import RuntimeServiceError
+from repro.runtime.checkpoint import NodeRecovery, RecoveryPlan
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.faults import FaultInjector, FaultPlan, FaultRecord
 from repro.runtime.message import Message
@@ -47,13 +48,19 @@ class RunPolicy:
     inject (None = fault-free).  ``replicas`` maps a dependent class name to
     the ordered tuple of node ids holding its copies (primary first); the
     message exchange routes creates/accesses of those classes through the
-    quorum protocol."""
+    quorum protocol.  ``recovery`` is the
+    :class:`~repro.runtime.checkpoint.RecoveryPlan` controlling the
+    checkpoint/heartbeat/takeover tier (None or disabled = PR-6 degrade-only
+    semantics); ``nparts`` is how many partitions the plan actually uses —
+    recovery-home placement prefers the idle nodes beyond it."""
 
     main_partition: int = 0
     async_writes: bool = False
     max_events: int = 200_000_000
     faults: Optional[FaultPlan] = None
     replicas: Optional[Dict[str, Tuple[int, ...]]] = None
+    recovery: Optional["RecoveryPlan"] = None
+    nparts: int = 0
 
 
 # ---------------------------------------------------------------------- stats
@@ -172,6 +179,9 @@ class BackendNode:
         #: (primary_node, primary_oid) -> local oid of this node's replica
         self.replica_dir: Dict[Tuple[int, int], int] = {}
         self._seen_frames: Set[Tuple[int, int, int]] = set()
+        #: recovery tier engine (see repro.runtime.checkpoint); None when
+        #: the run policy carries no enabled RecoveryPlan
+        self.recovery: Optional[NodeRecovery] = None
 
     @property
     def busy_s(self) -> float:
@@ -261,6 +271,101 @@ class BackendRun:
     #: True when the run survived one or more faults — results may be
     #: partial (e.g. the main program completed but a replica died)
     degraded: bool = False
+    #: RECOVERED evidence: one record per crash the recovery tier masked
+    #: (kind "recovered"); such crashes do NOT degrade the run
+    recovered: List[FaultRecord] = field(default_factory=list)
+    #: cycles spent producing checkpoints, summed over all nodes
+    checkpoint_overhead_cycles: int = 0
+    #: cycles spent restoring state and replaying lost work
+    recovery_cycles: int = 0
+
+
+#: fault kinds that are evidence of a *masked* crash when the crashed node
+#: appears in the recovered set — they must not degrade the run by
+#: themselves.  "torn_checkpoint" never degrades: it only means recovery
+#: fell back one epoch (or the run finished without needing the blob).
+_MASKABLE_KINDS = frozenset({"crash", "worker_lost", "lease_expired"})
+_BENIGN_KINDS = frozenset({"torn_checkpoint"})
+
+
+def summarize_recovery(
+    faults: List[FaultRecord],
+    recovered: List[FaultRecord],
+    recovering: bool = False,
+    main_partition: int = -1,
+) -> bool:
+    """Recompute ``BackendRun.degraded`` in the presence of recovery: a run
+    is degraded only by fault evidence the recovery tier did not mask.
+
+    With an active recovery plan (``recovering``), a crash is harmful only
+    through its *consequences* — a client that hit the dead node and could
+    not be re-routed (``peer_lost``), an exhausted retry budget, an aborted
+    takeover.  Every one of those leaves its own non-maskable record, so a
+    crash/worker_lost/lease_expired record with no such evidence anywhere
+    describes a death nobody was hurt by (an idle node, or a server whose
+    objects were never needed again).  Those are masked *vacuously*: a
+    synthetic RECOVERED record is appended for each (mutating ``recovered``
+    in place) so reports and oracles still see one piece of recovery
+    evidence per masked death."""
+    masked_nodes = {r.node for r in recovered}
+    degraded = False
+    for rec in faults:
+        if rec.kind in _BENIGN_KINDS:
+            continue
+        if rec.kind in _MASKABLE_KINDS and rec.node != main_partition:
+            if rec.node in masked_nodes:
+                continue
+            if recovering:
+                continue  # maskable alone never degrades; judged below
+        # the main partition's own death is never maskable: its stack IS
+        # the computation, and no checkpoint of remote objects restores it
+        degraded = True
+    if degraded or not recovering:
+        return degraded
+    for rec in faults:
+        if (
+            rec.kind in ("crash", "worker_lost")
+            and rec.node != main_partition
+            and rec.node not in masked_nodes
+        ):
+            masked_nodes.add(rec.node)
+            recovered.append(
+                FaultRecord(
+                    node=rec.node,
+                    kind="recovered",
+                    detail=(
+                        f"crash of node {rec.node} had no post-crash "
+                        f"consequences; nothing to re-home"
+                    ),
+                    at_cycle=rec.at_cycle,
+                    time_s=rec.time_s,
+                )
+            )
+    return False
+
+
+def finalize_recovery(nodes, stats: List[NodeStats]):
+    """Fold the recovery tier's evidence out of the in-process nodes after a
+    run: collects every RECOVERED record and the overhead counters, and
+    replaces a recovered node's reported stdout with the reconstructed
+    stream its takeover node adopted (checkpointed prefix + re-executed
+    suffix) — that is what makes a fully-masked run's aggregate stdout
+    byte-identical to the fault-free one.  Returns ``(recovered_records,
+    checkpoint_overhead_cycles, recovery_cycles)``."""
+    recovered: List[FaultRecord] = []
+    overhead = 0
+    spent = 0
+    for node in nodes:
+        r = getattr(node, "recovery", None)
+        if r is None:
+            continue
+        overhead += r.checkpoint_overhead_cycles
+        spent += r.recovery_cycles
+        recovered.extend(r.recovered_records)
+        for dead, lines in r.adopted.items():
+            if dead in r.recovered and 0 <= dead < len(stats):
+                stats[dead].stdout = list(lines)
+    return recovered, overhead, spent
 
 
 class RuntimeBackend(ABC):
@@ -313,6 +418,14 @@ def provision_node(node: BackendNode, transport: Transport, loaded,
         node.injector = FaultInjector(policy.faults, node.node_id)
     node.mpi = MPIService(node, transport)
     node.exchange = MessageExchange(node)
+    if (
+        policy.recovery is not None
+        and policy.recovery.enabled
+        and transport.nnodes > 1
+    ):
+        node.recovery = NodeRecovery(
+            node, policy.recovery, policy.nparts or transport.nnodes
+        )
     machine.syscall = make_node_syscall(
         node,
         async_writes=policy.async_writes,

@@ -29,6 +29,7 @@ from repro.runtime.backend import (  # noqa: F401  (re-exported for consumers)
     create_backend,
     snapshot_machine,
 )
+from repro.runtime.checkpoint import RecoveryPlan
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.faults import FaultPlan, FaultRecord
 from repro.vm.interpreter import Machine, forced_engine, run_sync
@@ -50,6 +51,13 @@ class DistributedResult:
     faults: List[FaultRecord] = field(default_factory=list)
     #: True when the run survived one or more faults
     degraded: bool = False
+    #: RECOVERED evidence: crashes the recovery tier masked (such a run is
+    #: NOT degraded — its result/stdout match the fault-free execution)
+    recovered: List[FaultRecord] = field(default_factory=list)
+    #: cycles spent producing checkpoints across the cluster
+    checkpoint_overhead_cycles: int = 0
+    #: cycles spent restoring checkpoints and replaying lost work
+    recovery_cycles: int = 0
     #: cluster-wide JIT counters (see Machine.jit_stats); empty when the
     #: backend exposes no machines
     jit: Dict[str, int] = field(default_factory=dict)
@@ -88,6 +96,7 @@ class DistributedExecutor:
         faults: Optional[FaultPlan] = None,
         replicas: Optional[Dict[str, tuple]] = None,
         engine: str = "default",
+        recovery: Optional[RecoveryPlan] = None,
     ) -> None:
         if plan.nparts > cluster_spec.size:
             raise RuntimeServiceError(
@@ -108,6 +117,8 @@ class DistributedExecutor:
         self.replicas = replicas
         #: VM execution tier for every node machine ("default" = ambient)
         self.engine = engine
+        #: recovery plan (checkpoint/heartbeat/takeover tier), or None
+        self.recovery = recovery
 
     def run(self, max_events: int = 200_000_000) -> DistributedResult:
         backend = create_backend(self.backend, self.cluster_spec)
@@ -120,6 +131,8 @@ class DistributedExecutor:
             max_events=max_events,
             faults=self.faults,
             replicas=self.replicas,
+            recovery=self.recovery,
+            nparts=self.plan.nparts,
         )
         if self.engine != "default":
             with forced_engine(self.engine):
@@ -142,6 +155,9 @@ class DistributedExecutor:
             stdout=run.stdout,
             faults=run.faults,
             degraded=run.degraded,
+            recovered=run.recovered,
+            checkpoint_overhead_cycles=run.checkpoint_overhead_cycles,
+            recovery_cycles=run.recovery_cycles,
             jit=jit,
         )
 

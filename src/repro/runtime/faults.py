@@ -40,6 +40,7 @@ __all__ = [
     "PeerLost",
     "RetriesExhausted",
     "QuorumLost",
+    "RecoveryAborted",
 ]
 
 
@@ -81,6 +82,14 @@ class QuorumLost(FaultError):
     quorum, or the read quorum disagreed."""
 
     kind = "quorum_lost"
+
+
+class RecoveryAborted(FaultError):
+    """Recovery of a crashed node could not be completed soundly (e.g. a
+    replayed operation needed outbound traffic, or replay logs arrived
+    from more than one client) — the run degrades instead of masking."""
+
+    kind = "recovery_aborted"
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +141,14 @@ class FaultPlan:
         for node, cycle in self.crashes:
             if node < 0 or cycle < 0:
                 raise ConfigError(f"bad crash entry ({node}, {cycle})")
+        seen_nodes = set()
+        for node, _cycle in self.crashes:
+            if node in seen_nodes:
+                raise ValueError(
+                    f"FaultPlan.crashes lists node {node} more than once; "
+                    "a node dies at most once — merge the entries"
+                )
+            seen_nodes.add(node)
 
     @property
     def transient_only(self) -> bool:

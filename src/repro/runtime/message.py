@@ -42,6 +42,12 @@ class MessageKind(Enum):
     SHUTDOWN = 4
     REPLICA_NEW = 5
     REPLICA_DEP = 6
+    # recovery tier (see repro.runtime.checkpoint)
+    HEARTBEAT = 7        # cycle-charged liveness frame (no reply)
+    CHECKPOINT = 8       # epoch snapshot blob shipped to a checkpoint home
+    CHECKPOINT_ACK = 9   # [epoch, highwater] back to a client: trim replay log
+    REPLAY = 10          # re-issued post-checkpoint frame (epoch-keyed)
+    RECOVER_NEW = 11     # create re-homed to a dead node's recovery home
 
 
 #: req_id of an emergency SHUTDOWN frame announcing that ``src`` died (the

@@ -107,7 +107,16 @@ class MPIService:
         while True:
             msg = self.node.take_matching(match)
             if msg is not None:
-                yield ("cost", RECV_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload))
+                # heartbeats are absorbed for free: their cost lives on the
+                # sender.  Charging receipt would let idle nodes push each
+                # other past their next heartbeat threshold — a
+                # self-sustaining storm that races clocks ahead of the
+                # nodes doing real work (and false-fires liveness leases).
+                if msg.kind is not MessageKind.HEARTBEAT:
+                    yield (
+                        "cost",
+                        RECV_BASE_CYCLES + CYCLES_PER_BYTE * len(msg.payload),
+                    )
                 return msg
             yield ("wait",)
 

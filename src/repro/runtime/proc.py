@@ -33,6 +33,7 @@ from repro.runtime.backend import (
     Transport,
     provision_node,
     register_backend,
+    summarize_recovery,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.faults import FaultError, FaultRecord, NodeCrashed, PeerLost
@@ -102,6 +103,17 @@ class ProcNode(BackendNode):
             raise RuntimeServiceError(
                 f"process backend: node {self.node_id} blocked with every "
                 "peer disconnected"
+            )
+        # short-circuit: when every peer is disconnected or already marked
+        # dead, no application frame can ever arrive — degrade immediately
+        # instead of riding out the full wall-clock timeout
+        if not any(
+            src != PARENT_CTRL and src not in self.dead_peers
+            for src in self._conns
+        ):
+            raise PeerLost(
+                f"node {self.node_id} is waiting for messages but every "
+                f"peer is already dead"
             )
         ready = mp_connection.wait(list(self._conns.values()), timeout_s)
         if not ready:
@@ -217,13 +229,29 @@ def _worker_main(
         node.clock = time.perf_counter() - t0
         stats = node.snapshot_stats()
         result_payload = None
-        if starter is not None and report["error"] is None and not node.faults:
+        # evidence *about other nodes* (lease verdicts, torn blobs) does not
+        # invalidate this node's own result — only its own failure does
+        own_failure = any(f.node == node_id for f in node.faults)
+        if starter is not None and report["error"] is None and not own_failure:
             try:
                 result_payload = encode_value(
                     starter.result, node_id, node.machine.heap
                 )
             except RuntimeServiceError:
                 result_payload = None
+        recovered: List[dict] = []
+        adopted_stdout: Dict[int, List[str]] = {}
+        ckpt_cycles = rec_cycles = 0
+        if node.recovery is not None:
+            r = node.recovery
+            ckpt_cycles = r.checkpoint_overhead_cycles
+            rec_cycles = r.recovery_cycles
+            recovered = [x.to_dict() for x in r.recovered_records]
+            adopted_stdout = {
+                dead: list(lines)
+                for dead, lines in r.adopted.items()
+                if dead in r.recovered
+            }
         report.update(
             clock_s=stats.clock_s,
             busy_s=stats.busy_s,
@@ -235,6 +263,10 @@ def _worker_main(
             stdout=stats.stdout,
             faults=stats.faults,
             result=result_payload,
+            recovered=recovered,
+            adopted_stdout=adopted_stdout,
+            checkpoint_overhead_cycles=ckpt_cycles,
+            recovery_cycles=rec_cycles,
         )
     except BaseException as exc:  # provisioning/load failure
         report["error"] = {"type": type(exc).__name__, "message": str(exc)}
@@ -271,6 +303,8 @@ class ProcessBackend(RuntimeBackend):
             "clock_s": 0.0, "busy_s": 0.0, "messages_sent": 0,
             "bytes_sent": 0, "requests_served": 0, "heap_objects": 0,
             "heap_bytes": 0, "stdout": [], "result": None,
+            "recovered": [], "adopted_stdout": {},
+            "checkpoint_overhead_cycles": 0, "recovery_cycles": 0,
         }
 
     def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
@@ -410,6 +444,17 @@ class ProcessBackend(RuntimeBackend):
             for rep in ordered
             for d in (rep.get("faults") or [])
         ]
+        recovered = [
+            FaultRecord.from_dict(d)
+            for rep in ordered
+            for d in (rep.get("recovered") or [])
+        ]
+        masked = {r.node for r in recovered}
+        for rep in ordered:
+            for dead, lines in (rep.get("adopted_stdout") or {}).items():
+                dead = int(dead)
+                if dead in masked and 0 <= dead < len(stats):
+                    stats[dead].stdout = list(lines)
         main_rep = reports[policy.main_partition]
         result = (
             decode_value(main_rep["result"], policy.main_partition)
@@ -424,5 +469,18 @@ class ProcessBackend(RuntimeBackend):
             node_stats=stats,
             stdout=[line for s in stats for line in s.stdout],
             faults=faults,
-            degraded=bool(faults),
+            degraded=summarize_recovery(
+                faults,
+                recovered,
+                recovering=policy.recovery is not None
+                and policy.recovery.enabled,
+                main_partition=policy.main_partition,
+            ),
+            recovered=recovered,
+            checkpoint_overhead_cycles=sum(
+                rep.get("checkpoint_overhead_cycles", 0) for rep in ordered
+            ),
+            recovery_cycles=sum(
+                rep.get("recovery_cycles", 0) for rep in ordered
+            ),
         )

@@ -17,10 +17,20 @@ remote calls may call back into the requester):
 * ``REPLICA_DEP [primary_node, primary_oid, access_type, member, args]`` →
   reply ``[status, value]`` — a dependence access addressed to whichever
   local copy aliases that identity
-* ``REPLY [status, value]`` — status 0 = ok, 1 = remote error (message text)
+* ``REPLY [status, value]`` — status 0 = ok, 1 = remote error (message
+  text), 2 = recovery failure (the peer is unrecoverable; the requester
+  degrades via :class:`~repro.runtime.faults.PeerLost`)
 * ``SHUTDOWN`` — ends a node's serve loop; with ``req_id == FAULT_NOTICE``
   it is instead an emergency notice that ``src`` died (receivers mark the
   peer dead and keep serving unless the dead node ran ``main``).
+
+The recovery tier (``repro.runtime.checkpoint``) adds HEARTBEAT /
+CHECKPOINT / CHECKPOINT_ACK / REPLAY / RECOVER_NEW frames.  Its hooks live
+here, at protocol quiescence: the top of the serve loop and the entry of
+each outgoing request call ``NodeRecovery.tick`` (heartbeats, leases,
+checkpoint barriers), clients retain state-bearing frames in a replay log,
+and requests addressed to a recoverably-dead peer are transparently
+re-routed to that peer's recovery home.
 """
 
 from __future__ import annotations
@@ -38,12 +48,23 @@ from repro.vm.values import DependentRef, Ref
 
 OK = 0
 ERR = 1
+#: reply status: the request touched an unrecoverable dead peer — the
+#: requester raises PeerLost (degrade), not VMError (program error)
+RECOVERY_ERR = 2
 
 #: cycles charged for dispatching one incoming request (scheduling + lookup)
 DISPATCH_CYCLES = 250
 
-#: req_id marking a fire-and-forget request (no reply expected)
+#: req_id marking a fire-and-forget request (no reply expected).  Under an
+#: enabled RecoveryPlan, posts instead carry *negative* unique ids (same
+#: counter as requests) so checkpoint highwater marks cover them; any
+#: ``req_id <= NO_REPLY`` means "do not reply".
 NO_REPLY = 0
+
+#: request kinds the recovery tier can transparently re-route to a dead
+#: peer's recovery home (replicated-object traffic keeps its own quorum
+#: fallback instead)
+_RECOVERABLE_KINDS = (MessageKind.NEW, MessageKind.DEPENDENCE)
 
 
 class MessageExchange:
@@ -61,7 +82,18 @@ class MessageExchange:
         node = self.node
         if dst == node.node_id:
             raise RuntimeServiceError("request addressed to self")
+        recovery = node.recovery
+        if recovery is not None:
+            recovery.guard_outbound()
+            yield from recovery.tick(serving=False)
         if dst in node.dead_peers:
+            if (
+                recovery is not None
+                and kind in _RECOVERABLE_KINDS
+                and recovery.can_recover(dst)
+            ):
+                result = yield from self._recover_request(dst, kind, payload_obj)
+                return result
             raise PeerLost(
                 f"node {node.node_id} requested {kind.name} from node {dst}, "
                 f"which already failed"
@@ -69,9 +101,30 @@ class MessageExchange:
         req_id = node.mpi.next_req_id()
         payload = encode_value(payload_obj, node.node_id, node.machine.heap)
         msg = Message(kind, node.node_id, dst, req_id, payload)
+        if recovery is not None:
+            recovery.log_request(dst, req_id, kind, payload)
         self.requests_sent += 1
-        yield from node.mpi.send(msg)
-        return (yield from self._await_reply(req_id, dst))
+        try:
+            yield from node.mpi.send(msg)
+        except PeerLost:
+            # transport-level death notice (e.g. the process backend's pipe
+            # closed under the write): the frame never left this node, so it
+            # is safe to drop from the replay log and re-issue against the
+            # recovered state — same reasoning as the FAULT_NOTICE path below
+            node.dead_peers.add(dst)
+            if (
+                recovery is not None
+                and kind in _RECOVERABLE_KINDS
+                and recovery.can_recover(dst)
+            ):
+                recovery.unlog_request(dst, req_id)
+                result = yield from self._recover_request(dst, kind, payload_obj)
+                return result
+            raise
+        return (
+            yield from self._await_reply(req_id, dst, kind=kind,
+                                         payload_obj=payload_obj)
+        )
 
     def post(self, dst: int, kind: MessageKind, payload_obj) -> Iterator:
         """Fire-and-forget request (the asynchronous point-to-point style
@@ -81,13 +134,60 @@ class MessageExchange:
         node = self.node
         if dst == node.node_id:
             raise RuntimeServiceError("post addressed to self")
+        recovery = node.recovery
+        req_id = NO_REPLY
+        if recovery is not None:
+            recovery.guard_outbound()
+            if (
+                dst in node.dead_peers
+                and kind is MessageKind.DEPENDENCE
+                and recovery.can_recover(dst)
+            ):
+                # re-route the write to the dead peer's recovery home
+                yield from recovery.flush_replay(dst)
+                home = recovery.home_of(dst)
+                oid, access_type, member, args = payload_obj
+                routed = [dst, oid, access_type, member, args]
+                if home == node.node_id:
+                    yield from recovery.recovered_op(
+                        dst, MessageKind.DEPENDENCE, payload_obj
+                    )
+                else:
+                    yield from self.post(home, MessageKind.REPLICA_DEP, routed)
+                return None
+            # unique negative ids keep fire-and-forget posts inside the
+            # checkpoint highwater accounting without soliciting replies
+            req_id = -node.mpi.next_req_id()
         payload = encode_value(payload_obj, node.node_id, node.machine.heap)
-        msg = Message(kind, node.node_id, dst, NO_REPLY, payload)
+        msg = Message(kind, node.node_id, dst, req_id, payload)
+        if recovery is not None:
+            recovery.log_request(dst, req_id, kind, payload)
         self.requests_sent += 1
-        yield from node.mpi.isend(msg)
+        try:
+            yield from node.mpi.isend(msg)
+        except PeerLost:
+            # the pipe closed under the write: the frame never left, so
+            # unlog it and re-enter — the dead-peer branch at the top now
+            # owns the re-route
+            node.dead_peers.add(dst)
+            if (
+                recovery is not None
+                and kind is MessageKind.DEPENDENCE
+                and recovery.can_recover(dst)
+            ):
+                recovery.unlog_request(dst, req_id)
+                result = yield from self.post(dst, kind, payload_obj)
+                return result
+            raise
         return None
 
-    def _await_reply(self, req_id: int, dst: Optional[int] = None) -> Iterator:
+    def _await_reply(
+        self,
+        req_id: int,
+        dst: Optional[int] = None,
+        kind: Optional[MessageKind] = None,
+        payload_obj=None,
+    ) -> Iterator:
         node = self.node
 
         def match(m: Message) -> bool:
@@ -105,10 +205,31 @@ class MessageExchange:
                 status, value = decode_value(msg.payload, node.node_id)
                 if status == ERR:
                     raise VMError(f"remote error from node {msg.src}: {value}")
+                if status == RECOVERY_ERR:
+                    raise PeerLost(
+                        f"recovery failed behind node {msg.src}: {value}"
+                    )
                 return value
             if msg.kind is MessageKind.SHUTDOWN:
                 if msg.req_id == FAULT_NOTICE:
                     node.dead_peers.add(msg.src)
+                    if msg.src == dst:
+                        recovery = node.recovery
+                        if (
+                            recovery is not None
+                            and kind in _RECOVERABLE_KINDS
+                            and recovery.can_recover(dst)
+                        ):
+                            # the in-flight request died with the peer: it
+                            # was never applied (FIFO: its reply would have
+                            # preceded any checkpoint ack), so drop it from
+                            # the replay log and re-issue it against the
+                            # recovered state
+                            recovery.unlog_request(dst, req_id)
+                            result = yield from self._recover_request(
+                                dst, kind, payload_obj
+                            )
+                            return result
                     if msg.src == dst or msg.src == node.main_partition:
                         raise PeerLost(
                             f"node {msg.src} died while node {node.node_id} "
@@ -121,15 +242,81 @@ class MessageExchange:
                 )
             yield from self.handle_request(msg)
 
+    def _recover_request(self, dead: int, kind: MessageKind,
+                         payload_obj) -> Iterator:
+        """Generator: transparently satisfy a request whose destination
+        died recoverably — flush this client's replay log (the leading
+        marker frame is the home's death verdict), then execute against
+        the recovered state, locally when this node *is* the home."""
+        node = self.node
+        recovery = node.recovery
+        yield from recovery.flush_replay(dead)
+        home = recovery.home_of(dead)
+        if home == node.node_id:
+            result = yield from recovery.recovered_op(dead, kind, payload_obj)
+            return result
+        if kind is MessageKind.NEW:
+            class_name, ctor_args = payload_obj
+            result = yield from self.request(
+                home, MessageKind.RECOVER_NEW, [dead, class_name, ctor_args]
+            )
+            return result
+        oid, access_type, member, args = payload_obj
+        result = yield from self.request(
+            home, MessageKind.REPLICA_DEP, [dead, oid, access_type, member, args]
+        )
+        return result
+
     # ------------------------------------------------------------------ server
     def handle_request(self, msg: Message) -> Iterator:
         node = self.node
         machine = node.machine
+        recovery = node.recovery
+        if recovery is not None:
+            recovery.note_frame(msg.src)
+            if msg.kind is MessageKind.HEARTBEAT:
+                from repro.runtime.checkpoint import HEARTBEAT_PING
+
+                if msg.req_id == HEARTBEAT_PING:
+                    yield from recovery.pong(msg.src)
+                return None
+            if msg.kind is MessageKind.CHECKPOINT:
+                recovery.store_blob(msg.src, msg.payload)
+                return None
+            if msg.kind is MessageKind.CHECKPOINT_ACK:
+                epoch, highwater = decode_value(msg.payload, node.node_id)
+                recovery.note_ack(msg.src, epoch, highwater)
+                return None
+            if msg.kind is MessageKind.REPLAY:
+                dead, _epoch, orig_req, kind_value, inner = (
+                    recovery.parse_replay_frame(msg.payload)
+                )
+                yield ("cost", DISPATCH_CYCLES)
+                yield from recovery.apply_replay(
+                    dead, msg.src, orig_req, kind_value, inner
+                )
+                return None
         self.requests_served += 1
         yield ("cost", DISPATCH_CYCLES)
         try:
             body = decode_value(msg.payload, node.node_id)
-            if msg.kind is MessageKind.NEW:
+            if recovery is not None and msg.kind in (
+                MessageKind.NEW,
+                MessageKind.DEPENDENCE,
+                MessageKind.REPLICA_NEW,
+                MessageKind.REPLICA_DEP,
+            ):
+                recovery.note_applied(msg.src, msg.req_id)
+            if msg.kind is MessageKind.RECOVER_NEW and recovery is not None:
+                dead, class_name, ctor_args = body
+                try:
+                    value = yield from recovery.recovered_op(
+                        dead, MessageKind.NEW, [class_name, ctor_args or []]
+                    )
+                    result: List = [OK, value]
+                except FaultError as exc:
+                    result = [RECOVERY_ERR, str(exc)]
+            elif msg.kind is MessageKind.NEW:
                 class_name, ctor_args = body
                 ref = yield from create_local(machine, class_name, ctor_args or [])
                 result: List = [OK, ref]
@@ -147,8 +334,33 @@ class MessageExchange:
                 result = [OK, True]
             elif msg.kind is MessageKind.REPLICA_DEP:
                 pnode, poid, access_type, member, args = body
-                if pnode == node.node_id:
+                if recovery is not None and (
+                    recovery.responsible_for(pnode)
+                    or (pnode in recovery.aborted)
+                    or (
+                        pnode != node.node_id
+                        and pnode in node.dead_peers
+                        and (pnode, poid) not in node.replica_dir
+                        and recovery.home_of(pnode) == node.node_id
+                    )
+                ):
+                    # an access re-routed to us as the dead primary's
+                    # recovery home (the takeover is lazy: the replay
+                    # marker normally precedes this, but a never-acked
+                    # client may lead with the access itself)
+                    try:
+                        value = yield from recovery.recovered_op(
+                            pnode, MessageKind.REPLICA_DEP, body
+                        )
+                        result = [OK, value]
+                    except FaultError as exc:
+                        result = [RECOVERY_ERR, str(exc)]
+                elif pnode == node.node_id:
                     oid = poid
+                    value = yield from access_local(
+                        machine, Ref(oid), access_type, member, args or []
+                    )
+                    result = [OK, value]
                 else:
                     oid = node.replica_dir.get((pnode, poid))
                     if oid is None:
@@ -156,15 +368,15 @@ class MessageExchange:
                             f"node {node.node_id} holds no replica of "
                             f"object n{pnode}#{poid}"
                         )
-                value = yield from access_local(
-                    machine, Ref(oid), access_type, member, args or []
-                )
-                result = [OK, value]
+                    value = yield from access_local(
+                        machine, Ref(oid), access_type, member, args or []
+                    )
+                    result = [OK, value]
             else:
                 raise RuntimeServiceError(f"unexpected request {msg!r}")
         except VMError as exc:
             result = [ERR, str(exc)]
-        if msg.req_id == NO_REPLY:
+        if msg.req_id <= NO_REPLY:
             return None  # asynchronous request: nobody is waiting
         payload = encode_value(result, node.node_id, machine.heap)
         yield from node.mpi.send(node.mpi.reply_to(msg, payload))
@@ -176,6 +388,11 @@ class MessageExchange:
         minority of its replicas."""
         node = self.node
         while True:
+            if node.recovery is not None:
+                # protocol quiescence: no request is half-applied here, so
+                # this is where heartbeats, leases and checkpoint barriers
+                # are evaluated
+                yield from node.recovery.tick(serving=True)
             msg = yield from node.mpi.recv_any()
             if msg.kind is MessageKind.SHUTDOWN:
                 if msg.req_id == FAULT_NOTICE:

@@ -41,8 +41,10 @@ from repro.runtime.backend import (
     RunPolicy,
     RuntimeBackend,
     Transport,
+    finalize_recovery,
     provision,
     register_backend,
+    summarize_recovery,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
 from repro.runtime.faults import FaultError, NodeCrashed
@@ -271,6 +273,9 @@ class SimBackend(SimCluster, RuntimeBackend):
         starter = provision(self, loaded, policy)
         self.run(max_events=policy.max_events)
         stats = [n.snapshot_stats() for n in self.nodes]
+        recovered, ckpt_cycles, rec_cycles = finalize_recovery(
+            self.nodes, stats
+        )
         stdout = [line for s in stats for line in s.stdout]
         faults = [f for n in self.nodes for f in n.faults]
         return BackendRun(
@@ -281,5 +286,14 @@ class SimBackend(SimCluster, RuntimeBackend):
             node_stats=stats,
             stdout=stdout,
             faults=faults,
-            degraded=bool(faults),
+            degraded=summarize_recovery(
+                faults,
+                recovered,
+                recovering=policy.recovery is not None
+                and policy.recovery.enabled,
+                main_partition=policy.main_partition,
+            ),
+            recovered=recovered,
+            checkpoint_overhead_cycles=ckpt_cycles,
+            recovery_cycles=rec_cycles,
         )

@@ -25,11 +25,13 @@ from repro.runtime.backend import (
     RunPolicy,
     RuntimeBackend,
     Transport,
+    finalize_recovery,
     provision,
     register_backend,
+    summarize_recovery,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.faults import FaultError, NodeCrashed
+from repro.runtime.faults import FaultError, NodeCrashed, PeerLost
 from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
 
 
@@ -45,6 +47,7 @@ class ThreadNode(BackendNode):
         # while nothing new has been delivered since that scan
         self._version = 0
         self._seen = 0
+        self._cluster_size = 0  # set by the backend at construction
 
     def deliver(self, msg: Message) -> None:
         with self._cond:
@@ -68,6 +71,18 @@ class ThreadNode(BackendNode):
             return any(match(m) for m in self._queue)
 
     def wait_for_message(self, timeout_s: float) -> None:
+        # short-circuit: only this node's own thread mutates dead_peers, so
+        # if every peer is already known dead *now*, nothing can ever be
+        # delivered — waiting out the full timeout would just stall the run
+        if self._cluster_size > 1 and all(
+            p in self.dead_peers
+            for p in range(self._cluster_size)
+            if p != self.node_id
+        ):
+            raise PeerLost(
+                f"node {self.node_id} is waiting for messages but every "
+                f"peer is already dead"
+            )
         with self._cond:
             deadline = time.monotonic() + timeout_s
             while self._version == self._seen:
@@ -92,6 +107,8 @@ class ThreadBackend(RuntimeBackend, Transport):
     def __init__(self, spec: ClusterSpec) -> None:
         super().__init__(spec)
         self.nodes = [ThreadNode(i, ns) for i, ns in enumerate(spec.nodes)]
+        for node in self.nodes:
+            node._cluster_size = len(self.nodes)
         self._totals_lock = threading.Lock()
         self.total_messages = 0
         self.total_bytes = 0
@@ -177,6 +194,9 @@ class ThreadBackend(RuntimeBackend, Transport):
 
         makespan = time.perf_counter() - t0
         stats = [n.snapshot_stats() for n in self.nodes]
+        recovered, ckpt_cycles, rec_cycles = finalize_recovery(
+            self.nodes, stats
+        )
         stdout = [line for s in stats for line in s.stdout]
         faults = [f for n in self.nodes for f in n.faults]
         return BackendRun(
@@ -187,7 +207,16 @@ class ThreadBackend(RuntimeBackend, Transport):
             node_stats=stats,
             stdout=stdout,
             faults=faults,
-            degraded=bool(faults),
+            degraded=summarize_recovery(
+                faults,
+                recovered,
+                recovering=policy.recovery is not None
+                and policy.recovery.enabled,
+                main_partition=policy.main_partition,
+            ),
+            recovered=recovered,
+            checkpoint_overhead_cycles=ckpt_cycles,
+            recovery_cycles=rec_cycles,
         )
 
     def _fault_notice(self, src: int) -> None:

@@ -24,6 +24,7 @@ import random
 from dataclasses import asdict, dataclass, fields
 from typing import Optional, Tuple
 
+from repro.runtime.checkpoint import RecoveryPlan
 from repro.runtime.faults import FaultPlan
 
 __all__ = [
@@ -54,6 +55,9 @@ class WorldSpec:
     async_writes: bool = False
     #: seeded fault plan injected at runtime (None = fault-free world)
     faults: Optional[FaultPlan] = None
+    #: recovery plan (checkpoint + heartbeat + migration); None keeps the
+    #: degradation-only contract of PR 6
+    recovery: Optional[RecoveryPlan] = None
     #: quorum replication factor (1 = unreplicated)
     replication: int = 1
     #: VM execution tier every machine in the world is forced to
@@ -65,6 +69,10 @@ class WorldSpec:
         object.__setattr__(self, "backends", tuple(self.backends))
         if isinstance(self.faults, dict):
             object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        if isinstance(self.recovery, dict):
+            object.__setattr__(
+                self, "recovery", RecoveryPlan.from_dict(self.recovery)
+            )
 
     @property
     def nnodes(self) -> int:
@@ -74,6 +82,8 @@ class WorldSpec:
         tags = ""
         if self.faults is not None:
             tags += "/faulty" if not self.faults.transient_only else "/lossy"
+        if self.recovery is not None:
+            tags += "/rec"
         if self.replication > 1:
             tags += f"/r{self.replication}"
         if self.engine != "default":
@@ -90,6 +100,8 @@ class WorldSpec:
         d["backends"] = list(self.backends)
         if self.faults is not None:
             d["faults"] = self.faults.to_dict()
+        if self.recovery is not None:
+            d["recovery"] = self.recovery.to_dict()
         return d
 
     @classmethod
@@ -102,6 +114,8 @@ class WorldSpec:
             kwargs["backends"] = tuple(kwargs["backends"])
         if kwargs.get("faults") is not None:
             kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
+        if kwargs.get("recovery") is not None:
+            kwargs["recovery"] = RecoveryPlan.from_dict(kwargs["recovery"])
         return cls(**kwargs)
 
     # ------------------------------------------------------------- configs
@@ -131,6 +145,7 @@ class WorldSpec:
                 speeds=self.speeds,
                 mem_mb=self.mem_mb,
                 faults=self.faults,
+                recovery=self.recovery,
             ),
             backend=BackendConfig(
                 name=backend if backend is not None else self.backends[0],
@@ -152,6 +167,7 @@ def generate_world(
     include_process: bool = False,
     max_nodes: int = 16,
     include_faults: bool = False,
+    include_recovery: bool = False,
 ) -> WorldSpec:
     """Sample one world.  Distribution is deliberately corner-heavy: about
     one scenario in five runs a degenerate topology (1 node, or a wide
@@ -163,7 +179,14 @@ def generate_world(
     or a planned node crash (the run must degrade to a structured fault
     report, never hang) — and multi-node worlds may enable quorum
     replication.  Fault-free sampling is untouched, so existing corpora
-    replay identically."""
+    replay identically.
+
+    With ``include_recovery`` (requires ``include_faults``) crash worlds
+    may additionally carry a :class:`RecoveryPlan`, under which the crash
+    must be *masked*: the run is held to byte-identical output against the
+    fault-free execution, not just graceful degradation.  All recovery
+    draws are gated behind the flag, so fault corpora generated before the
+    recovery tier replay identically too."""
     from repro.partition.api import PARTITIONERS
     from repro.runtime.cluster import NETWORKS
 
@@ -212,6 +235,19 @@ def generate_world(
             )
         if nnodes > nparts and rng.random() < 0.4:
             replication = min(rng.choice((2, 3)), nnodes)
+    recovery = None
+    if (
+        include_recovery
+        and faults is not None
+        and faults.crashes
+        and rng.random() < 0.7
+    ):
+        # pair the crash with a recovery plan: the oracle then holds the
+        # run to byte-identical output, not just graceful degradation
+        recovery = RecoveryPlan(
+            interval=rng.choice((4_000, 16_000, 60_000)),
+            heartbeat_cycles=rng.choice((150_000, 300_000)),
+        )
     # the VM execution tier is an explicit world axis: half the scenarios
     # run the cluster on a forced tier so the distributed checks exercise
     # the compiled/fast/reference engines, not just the ambient default
@@ -228,6 +264,7 @@ def generate_world(
         backends=tuple(backends),
         async_writes=rng.random() < 0.3,
         faults=faults,
+        recovery=recovery,
         replication=replication,
         engine=engine,
     )

@@ -311,6 +311,8 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
     divs: List[Divergence] = []
     checks = 0
     plan_faults = exp.config.cluster.faults
+    rec_plan = exp.config.cluster.recovery
+    recovering = rec_plan is not None and rec_plan.enabled
     crashy = plan_faults is not None and not plan_faults.transient_only
     try:
         res = exp.run()
@@ -342,7 +344,53 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
                     actual=len(stats),
                 )
             )
+        if recovering:
+            # the recovery contract: a run may only degrade when something
+            # genuinely unmaskable happened (the main node itself died, a
+            # replay had to be aborted, the network gave out).  If every
+            # fault on record is a maskable crash of a non-main node with
+            # no abort evidence, the recovery tier silently failed.
+            checks += 1
+            main_node = exp.plan().main_partition
+            records = res.distributed.faults
+            maskable = {"crash", "worker_lost", "lease_expired"}
+            silent_failure = bool(records) and all(
+                f.kind in maskable and f.node != main_node for f in records
+            )
+            if silent_failure:
+                divs.append(
+                    Divergence(
+                        f"recovery.masked[{backend}]",
+                        "every fault was a maskable non-main crash yet the "
+                        "run degraded without abort evidence — the recovery "
+                        "tier should have masked them",
+                        actual=[(f.node, f.kind) for f in records],
+                    )
+                )
         return divs, checks
+    if recovering:
+        # an undegraded run that absorbed crashes must say so: each crashed
+        # node needs a matching "recovered" record (the evidence the report
+        # and the corpus goldens key on)
+        checks += 1
+        crashed = {
+            f.node
+            for f in res.distributed.faults
+            if f.kind in ("crash", "worker_lost")
+        }
+        masked = {
+            f.node for f in (getattr(res.distributed, "recovered", None) or [])
+        }
+        if not crashed <= masked:
+            divs.append(
+                Divergence(
+                    f"recovery.evidence[{backend}]",
+                    "undegraded run absorbed crashes without RECOVERED "
+                    "records naming the dead nodes",
+                    expected=sorted(crashed),
+                    actual=sorted(masked),
+                )
+            )
     seq = exp.baseline()
     checks += 1
     if list(res.stdout) != list(seq.stdout):
@@ -401,6 +449,7 @@ def _check_backend(exp, backend: str, deep: bool) -> Tuple[List[Divergence], int
                 faults=plan_faults,
                 replicas=exp.replicas(),
                 engine=engine,
+                recovery=rec_plan,
             ).run()
             return (
                 run.stdout, run.result, run.makespan_s,
@@ -550,6 +599,7 @@ def run_fuzz(
     include_thread: bool = True,
     include_process: bool = False,
     include_faults: bool = False,
+    include_recovery: bool = False,
     deep: bool = False,
     shrink_budget: int = 120,
     max_failures: int = 5,
@@ -577,6 +627,7 @@ def run_fuzz(
             include_thread=include_thread,
             include_process=include_process,
             include_faults=include_faults,
+            include_recovery=include_recovery,
         )
         scenario = Scenario(
             name=f"fuzz-{seed}-{i}",

@@ -122,6 +122,37 @@ def test_fault_plan_validation():
         FaultPlan(max_retries=-1)
 
 
+@pytest.mark.parametrize("plan", (
+    FaultPlan(),                                     # the empty plan
+    FaultPlan(partitions=()),                        # explicit empty edges
+    FaultPlan(max_retries=0),                        # no retry budget at all
+    FaultPlan(crashes=((0, 0),)),                    # crash at cycle zero
+    FaultPlan(crashes=((3, 1),), max_retries=0, backoff_cycles=1),
+    FaultPlan(drop_pct=1.0, dup_pct=1.0),            # probability extremes
+    FaultPlan(partitions=((0, 1), (1, 0))),          # both link directions
+), ids=("empty", "no-partitions", "no-retries", "cycle-zero",
+        "minima", "extremes", "bidirectional"))
+def test_fault_plan_round_trip_edge_shapes(plan):
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again == plan
+    assert again.to_dict() == plan.to_dict()
+    # and a second hop is a fixed point
+    assert FaultPlan.from_dict(again.to_dict()) == again
+
+
+def test_fault_plan_rejects_duplicate_crash_entries():
+    with pytest.raises(ValueError, match="node 2 more than once"):
+        FaultPlan(crashes=((2, 1_000), (2, 5_000)))
+    # even an exact duplicate of the same entry is refused: a node dies
+    # at most once, so the plan is ambiguous either way
+    with pytest.raises(ValueError, match="more than once"):
+        FaultPlan(crashes=((1, 100), (1, 100)))
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict(
+            {"crashes": [[0, 10], [1, 20], [0, 30]], "seed": 7}
+        )
+
+
 def test_cluster_config_coerces_fault_dict():
     from repro.api.config import ClusterConfig
 

@@ -26,7 +26,9 @@ def test_message_kinds_match_paper():
     assert MessageKind.NEW.value == 1
     assert MessageKind.DEPENDENCE.value == 2
     assert {k.name for k in MessageKind} == {
-        "NEW", "DEPENDENCE", "REPLY", "SHUTDOWN", "REPLICA_NEW", "REPLICA_DEP"
+        "NEW", "DEPENDENCE", "REPLY", "SHUTDOWN", "REPLICA_NEW", "REPLICA_DEP",
+        # the recovery tier's frames (repro.runtime.checkpoint)
+        "HEARTBEAT", "CHECKPOINT", "CHECKPOINT_ACK", "REPLAY", "RECOVER_NEW",
     }
 
 
