@@ -110,6 +110,11 @@ class PartitionConfig(_Config):
     #: copies per replication-safe dependent object (1 = no replication;
     #: >= 2 enables the quorum protocol of repro.distgen.quorum)
     replication: int = 1
+    #: service deployment: force a genuine distribution even when the
+    #: makespan objective would co-locate everything (a request-serving
+    #: workload wants the service on a remote node, like the paper's
+    #: service/computation testbed split)
+    force_distribution: bool = False
 
     def __post_init__(self) -> None:
         from repro.partition.api import PARTITIONERS
@@ -155,6 +160,9 @@ class ClusterConfig(_Config):
     #: recovery plan: checkpointing + heartbeat leases + object migration
     #: (None = degradation only); accepts a RecoveryPlan or its dict form
     recovery: Optional[Any] = None
+    #: ``host:port`` endpoint per node for socket transports (the tcp
+    #: backend); None = localhost with OS-assigned ephemeral ports
+    roster: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         from repro.runtime.checkpoint import RecoveryPlan
@@ -198,6 +206,23 @@ class ClusterConfig(_Config):
             raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
         if self.mem_mb is not None and self.mem_mb < 1:
             raise ConfigError(f"mem_mb must be >= 1, got {self.mem_mb}")
+        if self.roster is not None:
+            # normalize the JSON round-trip (lists) to the hashable tuple
+            object.__setattr__(
+                self, "roster", tuple(str(e) for e in self.roster)
+            )
+            for entry in self.roster:
+                host, sep, port = entry.rpartition(":")
+                if not sep or not host or not port.isdigit():
+                    raise ConfigError(
+                        f"roster entry {entry!r} is not host:port"
+                    )
+            pinned = self.size
+            if pinned is not None and len(self.roster) != pinned:
+                raise ConfigError(
+                    f"roster names {len(self.roster)} endpoints for "
+                    f"{pinned} nodes"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         d = super().to_dict()
@@ -226,6 +251,7 @@ class ClusterConfig(_Config):
         )
 
         link = NETWORKS.get(self.network)()
+        roster = list(self.roster) if self.roster is not None else None
         if self.speeds is not None:
             mem = (self.mem_mb if self.mem_mb is not None else 512) * MB
             return ClusterSpec(
@@ -234,13 +260,20 @@ class ClusterConfig(_Config):
                     for i, hz in enumerate(self.speeds)
                 ],
                 link=link,
+                roster=roster,
             )
         size = self.nodes if self.nodes is not None else nparts
         if size == 2:
             base = paper_testbed()
-            cluster = ClusterSpec(nodes=list(base.nodes), link=link)
+            cluster = ClusterSpec(nodes=list(base.nodes), link=link,
+                                  roster=roster)
         else:
             cluster = homogeneous(max(size, 1), link=link)
+            if roster is not None:
+                # re-construct so ClusterSpec validates roster vs node count
+                cluster = ClusterSpec(
+                    nodes=cluster.nodes, link=link, roster=roster
+                )
         if self.mem_mb is not None:
             from dataclasses import replace as _replace
 
@@ -339,6 +372,8 @@ class ExperimentConfig(_Config):
         recovery: Optional[Any] = None,
         replication: int = 1,
         engine: str = "default",
+        roster: Optional[tuple] = None,
+        force_distribution: bool = False,
     ) -> "ExperimentConfig":
         """Flat-kwargs convenience constructor — the shape the CLI and the
         sweep grid speak."""
@@ -347,9 +382,11 @@ class ExperimentConfig(_Config):
             partition=PartitionConfig(
                 method=method, nparts=nparts, granularity=granularity,
                 pin_main=pin_main, replication=replication,
+                force_distribution=force_distribution,
             ),
             cluster=ClusterConfig(
-                nodes=nodes, network=network, faults=faults, recovery=recovery
+                nodes=nodes, network=network, faults=faults,
+                recovery=recovery, roster=roster,
             ),
             backend=BackendConfig(
                 name=backend, async_writes=async_writes, engine=engine

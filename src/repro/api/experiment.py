@@ -248,12 +248,14 @@ def _plan_entry(
     method: str,
     cluster: Optional[ClusterSpec],
     pin_main: bool,
+    force_distribution: bool = False,
 ) -> Tuple[str, dict, Callable[[], Any]]:
     tpwgts, pin_to = _cluster_plan_targets(cluster, nparts, pin_main)
     key = {
         "source_fp": work.source_fp,
         "granularity": granularity,
         "pin_to": pin_to,
+        "force_distribution": force_distribution,
         "partition": part_config_key(
             nparts, method, PLAN_UBFACTOR, tpwgts=tpwgts
         ),
@@ -261,6 +263,7 @@ def _plan_entry(
     builder = lambda: build_plan(  # noqa: E731
         work.bprogram, nparts, granularity=granularity, method=method,
         tpwgts=tpwgts, ubfactor=PLAN_UBFACTOR, pin_main_to=pin_to,
+        force_distribution=force_distribution,
     )
     return "plan", key, builder
 
@@ -540,7 +543,7 @@ class Experiment:
             lambda: self.cache.get_or_build_info(
                 *_plan_entry(
                     work, p.nparts, p.granularity, p.method, self.cluster(),
-                    p.pin_main,
+                    p.pin_main, p.force_distribution,
                 )
             ),
         )
@@ -730,6 +733,15 @@ class Experiment:
                 dist, "checkpoint_overhead_cycles", 0
             )
             report.recovery_cycles = getattr(dist, "recovery_cycles", 0)
+            from repro.runtime.backend import latency_summary
+
+            served = sum(ns.requests_served for ns in dist.node_stats)
+            report.throughput_rps = served / max(dist.makespan_s, 1e-9)
+            lat = latency_summary(getattr(dist, "latency_s", None))
+            report.latency_count = lat["latency_count"]
+            report.latency_p50_ms = lat["latency_p50_ms"]
+            report.latency_p95_ms = lat["latency_p95_ms"]
+            report.latency_p99_ms = lat["latency_p99_ms"]
             if self.config.partition.replication > 1:
                 from repro.distgen.quorum import plan_availability
 

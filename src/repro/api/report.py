@@ -82,6 +82,18 @@ class Report:
     #: cluster-wide JIT counters (see Machine.jit_stats) merged across the
     #: distributed nodes and the sequential baseline; None until a run
     jit: Optional[Dict[str, int]] = None
+    #: requests served per second of makespan across the cluster (the
+    #: "users/sec sustained" figure service workloads target); None until
+    #: a distributed run
+    throughput_rps: Optional[float] = None
+    #: per-request latency distribution merged across all nodes, in
+    #: milliseconds (virtual on the simulator, wall elsewhere); None until
+    #: a distributed run, 0.0 when the run exchanged no requests
+    latency_p50_ms: Optional[float] = None
+    latency_p95_ms: Optional[float] = None
+    latency_p99_ms: Optional[float] = None
+    #: number of request round-trips behind those percentiles
+    latency_count: Optional[int] = None
 
     # -------------------------------------------------------------- views
     def stage_timings_ms(self) -> Dict[str, float]:
@@ -119,6 +131,11 @@ class Report:
             "availability": self.availability,
             "vm_engine": self.vm_engine,
             "jit": self.jit,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_count": self.latency_count,
         }
 
     def to_json(self, **dumps_kwargs: Any) -> str:

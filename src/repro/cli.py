@@ -62,6 +62,11 @@ def _experiment(args: argparse.Namespace, backend: str):
         recovery = RecoveryPlan(
             interval=getattr(args, "recovery_interval", 60_000)
         )
+    roster_s = getattr(args, "roster", "") or ""
+    roster = (
+        tuple(entry.strip() for entry in roster_s.split(","))
+        if roster_s else None
+    )
     return Experiment.from_options(
         args.workload,
         size=args.size,
@@ -71,6 +76,8 @@ def _experiment(args: argparse.Namespace, backend: str):
         faults=faults,
         recovery=recovery,
         engine=getattr(args, "vm_engine", "default"),
+        roster=roster,
+        force_distribution=getattr(args, "serve", False),
         # replicas need somewhere to live: give each extra copy its own
         # (otherwise idle) machine beyond the nparts the plan uses
         nodes=(
@@ -213,6 +220,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             recovery_intervals=tuple(
                 int(n) for n in args.recovery_intervals.split(",")
             ),
+            serve=args.serve,
+            roster=args.roster,
         )
     except ValueError as exc:  # e.g. non-integer --nodes
         print(f"error: {exc}", file=sys.stderr)
@@ -303,6 +312,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         budget=args.budget,
         include_thread=not args.no_thread,
         include_process=args.include_process,
+        include_tcp=args.include_tcp,
         include_faults=args.faults or args.recovery,
         include_recovery=args.recovery,
         deep=args.deep,
@@ -363,11 +373,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.add_argument(
         "--backend", default="seq", metavar="NAME",
-        help="seq = centralized baseline; sim/thread/process = distributed "
-        "execution on that runtime backend",
+        help="seq = centralized baseline; sim/thread/process/tcp = "
+        "distributed execution on that runtime backend",
     )
     p.add_argument("--nodes", type=int, default=2,
                    help="partitions for non-seq backends")
+    p.add_argument(
+        "--serve", action="store_true",
+        help="service deployment: force a genuine multi-node placement so "
+        "request/reply traffic (throughput, latency percentiles) is real "
+        "instead of co-located away",
+    )
+    p.add_argument(
+        "--roster", default="", metavar="HOST:PORT,...",
+        help="tcp backend only: comma-separated host:port listen endpoints, "
+        "one per node (default: 127.0.0.1 with ephemeral ports)",
+    )
     p.add_argument("--vm-engine", default="default", metavar="TIER",
                    choices=("default", "reference", "fast", "compiled"),
                    help="force the VM execution tier on every machine "
@@ -388,7 +409,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default="bench", choices=("test", "bench", "large"))
     p.add_argument("--nodes", type=int, default=2)
     p.add_argument("--backend", default="sim", metavar="NAME",
-                   help="runtime backend (sim, thread, process)")
+                   help="runtime backend (sim, thread, process, tcp)")
+    p.add_argument(
+        "--serve", action="store_true",
+        help="service deployment: force a genuine multi-node placement so "
+        "request/reply traffic (throughput, latency percentiles) is real "
+        "instead of co-located away",
+    )
+    p.add_argument(
+        "--roster", default="", metavar="HOST:PORT,...",
+        help="tcp backend only: comma-separated host:port listen endpoints, "
+        "one per node (default: 127.0.0.1 with ephemeral ports)",
+    )
     p.add_argument(
         "--replication", type=int, default=1, metavar="N",
         help="quorum-replicate safe remote classes over N copies "
@@ -442,7 +474,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backends", default="sim",
-        help="comma-separated runtime backends (sim,thread,process)",
+        help="comma-separated runtime backends (sim,thread,process,tcp)",
+    )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="service deployment for every grid point: force a genuine "
+        "multi-node placement so the throughput/latency columns carry "
+        "real request/reply traffic",
+    )
+    p.add_argument(
+        "--roster", default="", metavar="HOST:PORT,...",
+        help="tcp backend only: comma-separated host:port listen endpoints "
+        "applied to every grid point (default: ephemeral localhost ports)",
     )
     p.add_argument("--size", default="test", choices=("test", "bench", "large"))
     p.add_argument(
@@ -538,6 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--include-process", action="store_true",
         help="let worlds include the multiprocessing backend (slow)",
+    )
+    p.add_argument(
+        "--include-tcp", action="store_true",
+        help="let worlds include the real-socket tcp backend on localhost "
+        "(slow; gated off by default so existing corpora replay unchanged)",
     )
     p.add_argument(
         "--faults", action="store_true",

@@ -64,6 +64,13 @@ class SweepConfig:
     #: checkpoint interval in cycles (0 = recovery off); a non-zero value
     #: puts the recovery tier's overhead/latency on the sweep axis
     recovery_interval: int = 0
+    #: service deployment: force a genuine distribution even when the
+    #: makespan objective would co-locate (open-loop service workloads
+    #: need remote round-trips for throughput/latency to mean anything)
+    serve: bool = False
+    #: comma-separated ``host:port`` endpoints for socket backends
+    #: ("" = localhost ephemeral ports)
+    roster: str = ""
 
     def __post_init__(self) -> None:
         self.experiment_config()  # validates every field
@@ -91,11 +98,17 @@ class SweepConfig:
 
     def experiment_config(self) -> ExperimentConfig:
         """The typed config this grid point denotes."""
+        roster = (
+            tuple(e.strip() for e in self.roster.split(","))
+            if self.roster
+            else None
+        )
         return ExperimentConfig.from_options(
             self.workload, size=self.size, method=self.method,
             nparts=self.nparts, granularity=self.granularity,
             network=self.network, backend=self.backend,
             faults=self._faults(), recovery=self._recovery(),
+            force_distribution=self.serve, roster=roster,
         )
 
     def key(self) -> dict:
@@ -107,6 +120,8 @@ class SweepConfig:
             tags += f"/crash{self.crash}"
         if self.recovery_interval > 0:
             tags += f"/rec{self.recovery_interval}"
+        if self.serve:
+            tags += "/serve"
         return (
             f"{self.workload}/{self.method}/k{self.nparts}/{self.network}"
             f"/{self.backend}{tags}"
@@ -130,6 +145,8 @@ def sweep_grid(
     backends: Sequence[str] = ("sim",),
     crash: str = "",
     recovery_intervals: Sequence[int] = (0,),
+    serve: bool = False,
+    roster: str = "",
 ) -> List[SweepConfig]:
     """The full cross product (workload × method × nparts × network ×
     backend × recovery interval).  ``recovery_intervals`` puts the
@@ -141,7 +158,8 @@ def sweep_grid(
         SweepConfig(
             workload=name, size=size, method=method, nparts=nparts,
             network=network, granularity=granularity, backend=backend,
-            crash=crash, recovery_interval=interval,
+            crash=crash, recovery_interval=interval, serve=serve,
+            roster=roster,
         )
         for name in names
         for method in methods
@@ -291,6 +309,11 @@ class SweepResult:
                     status = "recovered"
                 elif r.report.degraded:
                     status = "degraded"
+            rep = r.report
+            tput = rep.throughput_rps if rep is not None else None
+            p50 = rep.latency_p50_ms if rep is not None else None
+            p95 = rep.latency_p95_ms if rep is not None else None
+            p99 = rep.latency_p99_ms if rep is not None else None
             rows.append(
                 [
                     r.config.workload,
@@ -306,6 +329,10 @@ class SweepResult:
                     f"{r.edgecut:.0f}",
                     r.rewrites,
                     f"{100.0 * agg['busy_frac']:.1f}",
+                    f"{tput:.0f}" if tput is not None else "-",
+                    f"{p50:.3f}" if p50 is not None else "-",
+                    f"{p95:.3f}" if p95 is not None else "-",
+                    f"{p99:.3f}" if p99 is not None else "-",
                     status,
                 ]
             )
@@ -313,7 +340,8 @@ class SweepResult:
             [
                 "workload", "method", "k", "network", "backend", "seq ms",
                 "dist ms", "speedup %", "msgs", "bytes", "edgecut",
-                "rewrites", "busy %", "status",
+                "rewrites", "busy %", "tput r/s", "p50 ms", "p95 ms",
+                "p99 ms", "status",
             ],
             rows,
         )

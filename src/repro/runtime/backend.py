@@ -26,6 +26,8 @@ a concrete backend class.
 
 from __future__ import annotations
 
+import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, List, Optional, Set, Tuple, Type
@@ -64,6 +66,28 @@ class RunPolicy:
 
 
 # ---------------------------------------------------------------------- stats
+def percentile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already *sorted* sample list (0 when
+    empty).  Deterministic — no interpolation, so virtual-time latency
+    summaries are byte-identical across VM engines and repeated runs."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def latency_summary(latencies_s: Optional[List[float]]) -> Dict[str, float]:
+    """count + p50/p95/p99 (milliseconds) of a per-request latency sample
+    set — the service-workload metrics NodeStats and Report carry."""
+    samples = sorted(latencies_s or [])
+    return {
+        "latency_count": len(samples),
+        "latency_p50_ms": percentile(samples, 0.50) * 1e3,
+        "latency_p95_ms": percentile(samples, 0.95) * 1e3,
+        "latency_p99_ms": percentile(samples, 0.99) * 1e3,
+    }
+
+
 @dataclass
 class NodeStats:
     """Per-node counters every backend reports through the same schema."""
@@ -79,6 +103,16 @@ class NodeStats:
     stdout: List[str] = field(default_factory=list)
     #: structured fault evidence (FaultRecord dicts) — empty on clean runs
     faults: List[dict] = field(default_factory=list)
+    #: requests this node *issued* through its MessageExchange (clients of
+    #: a service workload; servers count requests_served instead)
+    requests_sent: int = 0
+    #: per-request latency distribution observed at this node's exchange:
+    #: count + nearest-rank percentiles in ms.  Virtual (deterministic)
+    #: time on the simulator, wall time on real backends — like clock_s.
+    latency_count: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
 
 
 def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
@@ -94,8 +128,14 @@ def aggregate_node_stats(stats: List[NodeStats]) -> Dict[str, float]:
         "messages_sent": float(sum(s.messages_sent for s in stats)),
         "bytes_sent": float(sum(s.bytes_sent for s in stats)),
         "requests_served": float(sum(s.requests_served for s in stats)),
+        "requests_sent": float(sum(s.requests_sent for s in stats)),
         "heap_objects": float(sum(s.heap_objects for s in stats)),
         "heap_bytes": float(sum(s.heap_bytes for s in stats)),
+        #: cluster-wide service throughput: served requests per second of
+        #: makespan (virtual on the simulator, wall on real backends)
+        "throughput_rps": (
+            sum(s.requests_served for s in stats) / clock if clock else 0.0
+        ),
     }
 
 
@@ -109,12 +149,15 @@ def snapshot_machine(
     bytes_sent: int = 0,
     requests_served: int = 0,
     faults: Optional[List[dict]] = None,
+    requests_sent: int = 0,
+    latencies_s: Optional[List[float]] = None,
 ) -> NodeStats:
     """The single stats code path: turn a finished VM machine (plus the
     caller's transport counters) into a :class:`NodeStats` record.  Both
     the sequential baseline and every backend node report through here, so
     nothing else reaches into VM internals for heap sizes or stdout."""
     heap = machine.heap
+    lat = latency_summary(latencies_s)
     return NodeStats(
         name=name,
         clock_s=clock_s,
@@ -126,6 +169,11 @@ def snapshot_machine(
         heap_bytes=heap.allocated_bytes,
         stdout=list(machine.stdout),
         faults=list(faults) if faults else [],
+        requests_sent=requests_sent,
+        latency_count=lat["latency_count"],
+        latency_p50_ms=lat["latency_p50_ms"],
+        latency_p95_ms=lat["latency_p95_ms"],
+        latency_p99_ms=lat["latency_p99_ms"],
     )
 
 
@@ -189,6 +237,12 @@ class BackendNode:
         (identical for per-step and per-block charging)."""
         return self.charged_cycles / self.spec.cpu_hz
 
+    def now(self) -> float:
+        """The clock per-request latency is measured on: wall time on real
+        backends; the simulator overrides this with the node's virtual
+        clock, which makes its latency percentiles deterministic."""
+        return time.perf_counter()
+
     def charge(self, cycles: int) -> None:
         """Account one ``('cost', n)`` event: node busy time plus the VM's
         cycle counter.  The driver calls this once per event — whole blocks
@@ -235,6 +289,7 @@ class BackendNode:
         return rec
 
     def snapshot_stats(self) -> NodeStats:
+        exchange = self.exchange
         return snapshot_machine(
             self.spec.name,
             self.machine,
@@ -243,9 +298,15 @@ class BackendNode:
             messages_sent=self.msgs_sent,
             bytes_sent=self.bytes_sent,
             requests_served=(
-                self.exchange.requests_served if self.exchange is not None else 0
+                exchange.requests_served if exchange is not None else 0
             ),
             faults=[f.to_dict() for f in self.faults],
+            requests_sent=(
+                exchange.requests_sent if exchange is not None else 0
+            ),
+            latencies_s=(
+                exchange.latencies_s if exchange is not None else None
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -278,6 +339,21 @@ class BackendRun:
     checkpoint_overhead_cycles: int = 0
     #: cycles spent restoring state and replaying lost work
     recovery_cycles: int = 0
+    #: per-request latency samples merged across every node's exchange and
+    #: sorted ascending (seconds; virtual on the simulator, wall elsewhere)
+    latency_s: List[float] = field(default_factory=list)
+
+
+def collect_latencies(nodes) -> List[float]:
+    """Merge every in-process node's per-request latency samples into one
+    sorted list (the cluster-wide distribution Report summarizes)."""
+    samples: List[float] = []
+    for node in nodes:
+        exchange = getattr(node, "exchange", None)
+        if exchange is not None:
+            samples.extend(exchange.latencies_s)
+    samples.sort()
+    return samples
 
 
 #: fault kinds that are evidence of a *masked* crash when the crashed node
@@ -459,6 +535,7 @@ def _load_builtins() -> None:
     # the implementations self-register on import
     import repro.runtime.proc  # noqa: F401
     import repro.runtime.simnet  # noqa: F401
+    import repro.runtime.tcp  # noqa: F401
     import repro.runtime.threads  # noqa: F401
 
 

@@ -10,7 +10,7 @@ heterogeneous speeds, resource-constrained devices) are first-class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.errors import RuntimeServiceError
 
@@ -71,10 +71,36 @@ class ClusterSpec:
 
     nodes: List[NodeSpec] = field(default_factory=list)
     link: LinkSpec = field(default_factory=ethernet_100m)
+    #: optional ``host:port`` endpoint per node for socket transports (the
+    #: tcp backend).  ``None`` means localhost with ephemeral ports; a
+    #: ``:0`` port also asks the OS to pick one.
+    roster: Optional[List[str]] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
             raise RuntimeServiceError("cluster needs at least one node")
+        if self.roster is not None:
+            if len(self.roster) != len(self.nodes):
+                raise RuntimeServiceError(
+                    f"roster names {len(self.roster)} endpoints for "
+                    f"{len(self.nodes)} nodes"
+                )
+            for entry in self.roster:
+                host, sep, port = str(entry).rpartition(":")
+                if not sep or not host or not port.isdigit():
+                    raise RuntimeServiceError(
+                        f"roster entry {entry!r} is not host:port"
+                    )
+
+    def endpoints(self) -> List[tuple]:
+        """Resolved ``(host, port)`` per node; port 0 = OS-assigned."""
+        if self.roster is None:
+            return [("127.0.0.1", 0) for _ in self.nodes]
+        out = []
+        for entry in self.roster:
+            host, _, port = str(entry).rpartition(":")
+            out.append((host, int(port)))
+        return out
 
     @property
     def size(self) -> int:

@@ -61,6 +61,9 @@ class DistributedResult:
     #: cluster-wide JIT counters (see Machine.jit_stats); empty when the
     #: backend exposes no machines
     jit: Dict[str, int] = field(default_factory=dict)
+    #: sorted per-request latency samples merged across the cluster
+    #: (seconds; virtual on the simulator, wall elsewhere)
+    latency_s: List[float] = field(default_factory=list)
 
     @property
     def exec_time_s(self) -> float:
@@ -159,6 +162,7 @@ class DistributedExecutor:
             checkpoint_overhead_cycles=run.checkpoint_overhead_cycles,
             recovery_cycles=run.recovery_cycles,
             jit=jit,
+            latency_s=run.latency_s,
         )
 
 

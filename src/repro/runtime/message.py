@@ -20,8 +20,20 @@ import struct
 import zlib
 from dataclasses import dataclass
 from enum import Enum
+from typing import Optional, Tuple
 
 from repro.errors import RuntimeServiceError
+
+
+class FrameError(RuntimeServiceError):
+    """A wire frame failed validation (bad magic/version, length mismatch,
+    checksum).  Carries the machine-readable ``reason`` so stream readers
+    can distinguish a torn stream from a corrupted one."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
 
 #: fixed per-message header bytes charged to the network (kind, src, dst,
 #: req id, length) — exactly the size of the wire header below, so simnet
@@ -33,6 +45,11 @@ WIRE_MAGIC = b"RW"
 WIRE_VERSION = 1
 _WIRE = struct.Struct("<2sBBhhqII")
 assert _WIRE.size == HEADER_BYTES
+
+#: plausibility ceiling on the header's payload-length field.  A corrupted
+#: header claiming gigabytes would otherwise park a stream reassembler
+#: forever "waiting for the rest"; past this bound the frame is garbage.
+MAX_PAYLOAD_BYTES = 1 << 30
 
 
 class MessageKind(Enum):
@@ -88,25 +105,76 @@ class Message:
         ) + self.payload
 
     @classmethod
-    def deserialize(cls, data: bytes) -> "Message":
-        """Inverse of :meth:`serialize`; validates framing and checksum."""
-        if len(data) < HEADER_BYTES:
-            raise RuntimeServiceError(
-                f"truncated message frame ({len(data)} bytes)"
-            )
-        magic, version, kind, src, dst, req_id, plen, crc = _WIRE.unpack_from(data)
+    def _validate_header(
+        cls, data, offset: int
+    ) -> Tuple[int, int, int, int, int, int]:
+        """Unpack and validate the fixed header at ``offset``.  The caller
+        guarantees ``HEADER_BYTES`` are available."""
+        magic, version, kind, src, dst, req_id, plen, crc = _WIRE.unpack_from(
+            data, offset
+        )
         if magic != WIRE_MAGIC:
-            raise RuntimeServiceError(f"bad message magic {magic!r}")
+            raise FrameError("bad magic", f"{magic!r} at offset {offset}")
         if version != WIRE_VERSION:
-            raise RuntimeServiceError(f"unsupported wire version {version}")
-        payload = bytes(data[HEADER_BYTES:])
-        if len(payload) != plen:
-            raise RuntimeServiceError(
-                f"message length mismatch (header {plen}, got {len(payload)})"
+            raise FrameError("unsupported wire version", str(version))
+        if plen > MAX_PAYLOAD_BYTES:
+            raise FrameError(
+                "implausible payload length", f"header claims {plen} bytes"
             )
+        return kind, src, dst, req_id, plen, crc
+
+    @classmethod
+    def _finish(cls, data, offset, kind, src, dst, req_id, plen, crc):
+        payload = bytes(data[offset + HEADER_BYTES:offset + HEADER_BYTES + plen])
         if zlib.crc32(payload) != crc:
-            raise RuntimeServiceError("message payload checksum mismatch")
-        return cls(MessageKind(kind), src, dst, req_id, payload)
+            raise FrameError(
+                "payload checksum mismatch",
+                f"frame {src}->{dst} req={req_id}",
+            )
+        try:
+            mkind = MessageKind(kind)
+        except ValueError:
+            raise FrameError("unknown message kind", str(kind)) from None
+        return cls(mkind, src, dst, req_id, payload)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Message":
+        """Inverse of :meth:`serialize` for a complete, exact frame (one
+        datagram): validates framing, length and checksum."""
+        if len(data) < HEADER_BYTES:
+            raise FrameError(
+                "truncated message frame", f"{len(data)} bytes"
+            )
+        kind, src, dst, req_id, plen, crc = cls._validate_header(data, 0)
+        if len(data) - HEADER_BYTES != plen:
+            raise FrameError(
+                "message length mismatch",
+                f"header {plen}, got {len(data) - HEADER_BYTES}",
+            )
+        return cls._finish(data, 0, kind, src, dst, req_id, plen, crc)
+
+    @classmethod
+    def decode_stream(
+        cls, buffer, offset: int = 0
+    ) -> Optional[Tuple["Message", int]]:
+        """Extract the first complete frame from a byte *stream*.
+
+        Frames are self-delimiting: the header's ``plen`` field says where
+        this frame ends and the next begins, so back-to-back frames in one
+        buffer reassemble correctly.  Returns ``(message, bytes_consumed)``,
+        or ``None`` when the buffer holds only a frame prefix (torn read —
+        wait for more bytes).  Raises :class:`FrameError` when the bytes at
+        ``offset`` can never become a valid frame (garbage prefix, foreign
+        version, implausible length, checksum mismatch).
+        """
+        avail = len(buffer) - offset
+        if avail < HEADER_BYTES:
+            return None
+        kind, src, dst, req_id, plen, crc = cls._validate_header(buffer, offset)
+        if avail < HEADER_BYTES + plen:
+            return None  # torn frame: payload still in flight
+        msg = cls._finish(buffer, offset, kind, src, dst, req_id, plen, crc)
+        return msg, HEADER_BYTES + plen
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -18,33 +18,29 @@ the same message.
 from __future__ import annotations
 
 import multiprocessing
-import queue as _queue
-import time
 from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import RuntimeServiceError, VMError
+from repro.errors import RuntimeServiceError
 from repro.runtime.backend import (
     BackendNode,
     BackendRun,
-    NodeStats,
     RunPolicy,
     RuntimeBackend,
     Transport,
-    provision_node,
     register_backend,
-    summarize_recovery,
 )
 from repro.runtime.cluster import ClusterSpec, NodeSpec
-from repro.runtime.faults import FaultError, FaultRecord, NodeCrashed, PeerLost
-from repro.runtime.message import FAULT_NOTICE, Message, MessageKind
-
-#: safety net for protocol bugs; real waits return on frame arrival
-WAIT_TIMEOUT_S = 60.0
-
-#: the parent's control pipe appears in a worker's receive map under this
-#: pseudo source id (no node has a negative id)
-PARENT_CTRL = -1
+from repro.runtime.faults import PeerLost
+from repro.runtime.message import Message, MessageKind
+from repro.runtime.worker import (
+    PARENT_CTRL,
+    WAIT_TIMEOUT_S,
+    assemble_run,
+    collect_reports,
+    reap_workers,
+    worker_report,
+)
 
 
 def _mp_context():
@@ -65,18 +61,24 @@ class ProcNode(BackendNode):
         self._queue: List[Message] = []
 
     def _drain(self, conns) -> None:
-        for conn in conns:
-            while True:
+        # one select()-style readiness pass over the whole mesh per sweep
+        # (not a poll(0) syscall per pipe): an idle node makes exactly one
+        # wait() call and stops, instead of spinning N-1 polls per probe
+        pending = list(conns)
+        while pending:
+            ready = mp_connection.wait(pending, 0)
+            if not ready:
+                break
+            for conn in ready:
                 try:
-                    if not conn.poll(0):
-                        break
                     frame = conn.recv_bytes()
                 except (EOFError, OSError):
                     # peer exited; anything it sent was drained before EOF
                     self._conns = {
                         s: c for s, c in self._conns.items() if c is not conn
                     }
-                    break
+                    pending = [c for c in pending if c is not conn]
+                    continue
                 msg = Message.deserialize(frame)
                 # injected duplicates are dropped at intake so the
                 # request/reply protocol sees each frame once
@@ -176,9 +178,6 @@ def _worker_main(
     results,
 ) -> None:
     """One cluster node, start to finish, inside its own process."""
-    from repro.runtime.serial import encode_value
-    from repro.vm.loader import load_program
-
     # fork hands every worker the whole pipe mesh; close the ends that
     # belong to other nodes, otherwise a dead peer's pipe never reaches EOF
     # (an open write end somewhere keeps it alive)
@@ -190,88 +189,14 @@ def _worker_main(
             except OSError:  # pragma: no cover
                 pass
 
-    report = {"node_id": node_id, "name": node_spec.name, "error": None,
-              "faults": []}
     node = ProcNode(node_id, node_spec, recv_conns)
-    try:
-        transport = _WorkerTransport(nnodes, node, send_conns)
-        loaded = load_program(program)
-        starter = provision_node(node, transport, loaded, policy)
-        t0 = time.perf_counter()
-        events = 0
-        try:
-            for event in node.gen:
-                events += 1
-                if events > policy.max_events:
-                    raise RuntimeServiceError("execution exceeded event budget")
-                kind = event[0]
-                if kind == "cost":
-                    node.charge(event[1])
-                    if node.injector is not None and (
-                        node.injector.crash_due(node.charged_cycles)
-                    ):
-                        raise NodeCrashed(
-                            f"node {node_id} crashed at cycle "
-                            f"{node.charged_cycles} (planned)"
-                        )
-                elif kind == "wait":
-                    node.wait_for_message(WAIT_TIMEOUT_S)
-                else:  # pragma: no cover
-                    raise RuntimeServiceError(f"unknown event {event!r}")
-        except FaultError as exc:
-            # injected/fault-family failure: degrade — structured record,
-            # prompt notice to live peers, no error (the run continues)
-            node.record_fault(exc)
-            _broadcast(send_conns, node_id, FAULT_NOTICE)
-        except BaseException as exc:
-            report["error"] = {"type": type(exc).__name__, "message": str(exc)}
-            _broadcast(send_conns, node_id, 0)
-        node.clock = time.perf_counter() - t0
-        stats = node.snapshot_stats()
-        result_payload = None
-        # evidence *about other nodes* (lease verdicts, torn blobs) does not
-        # invalidate this node's own result — only its own failure does
-        own_failure = any(f.node == node_id for f in node.faults)
-        if starter is not None and report["error"] is None and not own_failure:
-            try:
-                result_payload = encode_value(
-                    starter.result, node_id, node.machine.heap
-                )
-            except RuntimeServiceError:
-                result_payload = None
-        recovered: List[dict] = []
-        adopted_stdout: Dict[int, List[str]] = {}
-        ckpt_cycles = rec_cycles = 0
-        if node.recovery is not None:
-            r = node.recovery
-            ckpt_cycles = r.checkpoint_overhead_cycles
-            rec_cycles = r.recovery_cycles
-            recovered = [x.to_dict() for x in r.recovered_records]
-            adopted_stdout = {
-                dead: list(lines)
-                for dead, lines in r.adopted.items()
-                if dead in r.recovered
-            }
-        report.update(
-            clock_s=stats.clock_s,
-            busy_s=stats.busy_s,
-            messages_sent=stats.messages_sent,
-            bytes_sent=stats.bytes_sent,
-            requests_served=stats.requests_served,
-            heap_objects=stats.heap_objects,
-            heap_bytes=stats.heap_bytes,
-            stdout=stats.stdout,
-            faults=stats.faults,
-            result=result_payload,
-            recovered=recovered,
-            adopted_stdout=adopted_stdout,
-            checkpoint_overhead_cycles=ckpt_cycles,
-            recovery_cycles=rec_cycles,
+    transport = _WorkerTransport(nnodes, node, send_conns)
+    results.put(
+        worker_report(
+            node, transport, program, policy,
+            lambda req_id: _broadcast(send_conns, node_id, req_id),
         )
-    except BaseException as exc:  # provisioning/load failure
-        report["error"] = {"type": type(exc).__name__, "message": str(exc)}
-        _broadcast(send_conns, node_id, 0)
-    results.put(report)
+    )
 
 
 @register_backend
@@ -285,31 +210,7 @@ class ProcessBackend(RuntimeBackend):
             "process backend routes messages inside its workers"
         )
 
-    @staticmethod
-    def _lost_report(node_id: int, name: str, exitcode) -> dict:
-        """Synthetic report for a worker that vanished before reporting
-        (killed, OOM, segfault): zero stats plus a structured fault."""
-        rec = FaultRecord(
-            node=node_id,
-            kind="worker_lost",
-            detail=(
-                f"worker process for node {node_id} exited with code "
-                f"{exitcode} before reporting"
-            ),
-        )
-        return {
-            "node_id": node_id, "name": name, "error": None,
-            "faults": [rec.to_dict()],
-            "clock_s": 0.0, "busy_s": 0.0, "messages_sent": 0,
-            "bytes_sent": 0, "requests_served": 0, "heap_objects": 0,
-            "heap_bytes": 0, "stdout": [], "result": None,
-            "recovered": [], "adopted_stdout": {},
-            "checkpoint_overhead_cycles": 0, "recovery_cycles": 0,
-        }
-
     def execute(self, program, loaded, policy: RunPolicy) -> BackendRun:
-        from repro.runtime.serial import decode_value
-
         ctx = _mp_context()
         n = self.nnodes
         recv_conns: Dict[int, Dict[int, object]] = {i: {} for i in range(n)}
@@ -351,7 +252,7 @@ class ProcessBackend(RuntimeBackend):
             )
             for i in range(n)
         ]
-        reports: Dict[int, dict] = {}
+        names = [ns.name for ns in self.spec.nodes]
         try:
             for p in procs:
                 p.start()
@@ -359,128 +260,7 @@ class ProcessBackend(RuntimeBackend):
             # the control write ends)
             for conn in all_conns:
                 conn.close()
-            # progress-aware collection: wait as long as workers are alive
-            # (blocking points inside them time out on their own); a worker
-            # that vanished without reporting becomes a structured fault,
-            # not a hang and not an exception
-            pending = set(range(n))
-            while pending:
-                try:
-                    rep = results.get(timeout=0.25)
-                except _queue.Empty:
-                    dead = [
-                        i for i in pending if procs[i].exitcode is not None
-                    ]
-                    if not dead:
-                        continue
-                    # grace period: the report may still be in the queue
-                    try:
-                        rep = results.get(timeout=0.5)
-                    except _queue.Empty:
-                        for i in dead:
-                            pending.discard(i)
-                            reports[i] = self._lost_report(
-                                i, self.spec.nodes[i].name, procs[i].exitcode
-                            )
-                            for j in pending:
-                                try:
-                                    ctrl_writers[j].send_bytes(
-                                        Message(
-                                            MessageKind.SHUTDOWN, i, j,
-                                            FAULT_NOTICE,
-                                        ).serialize()
-                                    )
-                                except (OSError, ValueError):
-                                    pass
-                        continue
-                reports[rep["node_id"]] = rep
-                pending.discard(rep["node_id"])
+            reports = collect_reports(procs, results, names, ctrl_writers)
         finally:
-            deadline = time.monotonic() + 10.0
-            for p in procs:
-                p.join(max(0.0, deadline - time.monotonic()))
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-                    p.join(5.0)
-            for w in ctrl_writers.values():
-                try:
-                    w.close()
-                except OSError:  # pragma: no cover
-                    pass
-
-        failed = {i: rep["error"] for i, rep in reports.items() if rep["error"]}
-        if failed:
-            # a VMError is the application-level root cause (remote errors
-            # propagate as ERR replies); teardown noise on other nodes —
-            # SHUTDOWN-while-awaiting-reply, disconnects — is secondary
-            for node_id, err in sorted(failed.items()):
-                if err["type"] == "VMError":
-                    raise VMError(err["message"])
-            detail = "; ".join(
-                f"node {i}: {err['type']}: {err['message']}"
-                for i, err in sorted(failed.items())
-            )
-            raise RuntimeServiceError(f"process backend failed: {detail}")
-
-        ordered = [reports[i] for i in sorted(reports)]
-        stats = [
-            NodeStats(
-                name=rep["name"],
-                clock_s=rep["clock_s"],
-                busy_s=rep["busy_s"],
-                messages_sent=rep["messages_sent"],
-                bytes_sent=rep["bytes_sent"],
-                requests_served=rep["requests_served"],
-                heap_objects=rep["heap_objects"],
-                heap_bytes=rep["heap_bytes"],
-                stdout=list(rep["stdout"]),
-                faults=list(rep.get("faults") or []),
-            )
-            for rep in ordered
-        ]
-        faults = [
-            FaultRecord.from_dict(d)
-            for rep in ordered
-            for d in (rep.get("faults") or [])
-        ]
-        recovered = [
-            FaultRecord.from_dict(d)
-            for rep in ordered
-            for d in (rep.get("recovered") or [])
-        ]
-        masked = {r.node for r in recovered}
-        for rep in ordered:
-            for dead, lines in (rep.get("adopted_stdout") or {}).items():
-                dead = int(dead)
-                if dead in masked and 0 <= dead < len(stats):
-                    stats[dead].stdout = list(lines)
-        main_rep = reports[policy.main_partition]
-        result = (
-            decode_value(main_rep["result"], policy.main_partition)
-            if main_rep["result"] is not None
-            else None
-        )
-        return BackendRun(
-            result=result,
-            makespan_s=max((s.clock_s for s in stats), default=0.0),
-            total_messages=sum(s.messages_sent for s in stats),
-            total_bytes=sum(s.bytes_sent for s in stats),
-            node_stats=stats,
-            stdout=[line for s in stats for line in s.stdout],
-            faults=faults,
-            degraded=summarize_recovery(
-                faults,
-                recovered,
-                recovering=policy.recovery is not None
-                and policy.recovery.enabled,
-                main_partition=policy.main_partition,
-            ),
-            recovered=recovered,
-            checkpoint_overhead_cycles=sum(
-                rep.get("checkpoint_overhead_cycles", 0) for rep in ordered
-            ),
-            recovery_cycles=sum(
-                rep.get("recovery_cycles", 0) for rep in ordered
-            ),
-        )
+            reap_workers(procs, ctrl_writers)
+        return assemble_run(reports, policy)

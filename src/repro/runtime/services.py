@@ -74,11 +74,23 @@ class MessageExchange:
         self.node = node
         self.requests_served = 0
         self.requests_sent = 0
+        #: per-request latency samples in seconds (send to reply-decoded);
+        #: the simulator's virtual clock makes these deterministic, real
+        #: backends record wall time
+        self.latencies_s: List[float] = []
 
     # ------------------------------------------------------------------ client
     def request(self, dst: int, kind: MessageKind, payload_obj) -> Iterator:
         """Generator: send a request and wait for its reply, serving any
-        incoming requests in the meantime (nested remote calls)."""
+        incoming requests in the meantime (nested remote calls).  Each
+        completed round-trip contributes one latency sample."""
+        t0 = self.node.now()
+        result = yield from self._request_inner(dst, kind, payload_obj)
+        self.latencies_s.append(self.node.now() - t0)
+        return result
+
+    def _request_inner(self, dst: int, kind: MessageKind,
+                       payload_obj) -> Iterator:
         node = self.node
         if dst == node.node_id:
             raise RuntimeServiceError("request addressed to self")

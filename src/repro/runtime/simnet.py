@@ -41,6 +41,7 @@ from repro.runtime.backend import (
     RunPolicy,
     RuntimeBackend,
     Transport,
+    collect_latencies,
     finalize_recovery,
     provision,
     register_backend,
@@ -71,6 +72,11 @@ class SimNode(BackendNode):
         self.clock = self._base_clock + (
             (self.charged_cycles - self._base_cycles) / self.spec.cpu_hz
         )
+
+    def now(self) -> float:
+        """Virtual time: latency samples on the simulator are functions of
+        the modeled timeline, hence deterministic across VM engines."""
+        return self.clock
 
     def fast_forward(self, t: float) -> None:
         """Jump the clock forward to ``t`` (a message arrival) and reset
@@ -296,4 +302,5 @@ class SimBackend(SimCluster, RuntimeBackend):
             recovered=recovered,
             checkpoint_overhead_cycles=ckpt_cycles,
             recovery_cycles=rec_cycles,
+            latency_s=collect_latencies(self.nodes),
         )

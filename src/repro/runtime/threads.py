@@ -25,6 +25,7 @@ from repro.runtime.backend import (
     RunPolicy,
     RuntimeBackend,
     Transport,
+    collect_latencies,
     finalize_recovery,
     provision,
     register_backend,
@@ -217,6 +218,7 @@ class ThreadBackend(RuntimeBackend, Transport):
             recovered=recovered,
             checkpoint_overhead_cycles=ckpt_cycles,
             recovery_cycles=rec_cycles,
+            latency_s=collect_latencies(self.nodes),
         )
 
     def _fault_notice(self, src: int) -> None:

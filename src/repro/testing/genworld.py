@@ -168,6 +168,7 @@ def generate_world(
     max_nodes: int = 16,
     include_faults: bool = False,
     include_recovery: bool = False,
+    include_tcp: bool = False,
 ) -> WorldSpec:
     """Sample one world.  Distribution is deliberately corner-heavy: about
     one scenario in five runs a degenerate topology (1 node, or a wide
@@ -214,6 +215,10 @@ def generate_world(
         backends.append("thread")
     if include_process and nnodes <= 4 and rng.random() < 0.25:
         backends.append("process")
+    # gated behind its own flag (and its own rng draw only when the flag is
+    # on) so corpora generated before the tcp backend replay identically
+    if include_tcp and nnodes <= 4 and rng.random() < 0.25:
+        backends.append("tcp")
     faults = None
     replication = 1
     if include_faults and nnodes > 1:

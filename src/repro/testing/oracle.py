@@ -600,6 +600,7 @@ def run_fuzz(
     include_process: bool = False,
     include_faults: bool = False,
     include_recovery: bool = False,
+    include_tcp: bool = False,
     deep: bool = False,
     shrink_budget: int = 120,
     max_failures: int = 5,
@@ -628,6 +629,7 @@ def run_fuzz(
             include_process=include_process,
             include_faults=include_faults,
             include_recovery=include_recovery,
+            include_tcp=include_tcp,
         )
         scenario = Scenario(
             name=f"fuzz-{seed}-{i}",

@@ -30,6 +30,7 @@ from repro.workloads import (
     jgf_heapsort,
     jgf_moldyn,
     jgf_search,
+    service_bank,
     spec_compress,
     spec_db,
 )
@@ -88,6 +89,11 @@ _BUILTINS: Dict[str, Workload] = {
     "db": Workload(
         "db", "SPEC JVM98 209_db", spec_db.source,
         "In-memory address database: add/find/delete/sort operations.",
+    ),
+    "service_bank": Workload(
+        "service_bank", "open-loop bank service", service_bank.source,
+        "Bank-as-RPC under a seeded open-loop arrival-rate request stream "
+        "(throughput + latency percentiles).",
     ),
 }
 

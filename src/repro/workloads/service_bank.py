@@ -1,0 +1,136 @@
+"""Open-loop service workload: the bank as an RPC server under a seeded
+arrival-rate request stream.
+
+Where the batch workloads measure *makespan*, this one measures *request
+serving*: a front-end generates a seeded pseudo-random schedule of
+deposit / withdraw / balance requests against a shared :class:`ServiceBank`
+and issues them open-loop — each request is sent when its arrival time
+comes up (modeled as a computed think-time spin between requests), not
+when the previous one finishes.  Distributed across nodes, every operation
+on the bank becomes a request/reply exchange, so the throughput and
+latency-percentile columns of the report describe real round-trips.
+
+The LCG state stays under 65536 and the multiplier under 2^8, so the
+generator behaves identically under arbitrary-precision and 32-bit-wrap
+integer semantics — the schedule is the same on every backend and engine.
+"""
+
+from __future__ import annotations
+
+_SIZES = {"test": 24, "bench": 160, "large": 1200}
+
+_TEMPLATE = """
+class Rng {{
+    int state;
+    Rng(int seed) {{
+        this.state = seed;
+    }}
+    int next(int bound) {{
+        state = (state * 131 + 7919) % 65536;
+        return state % bound;
+    }}
+}}
+
+class ServiceAccount {{
+    int id;
+    int balance;
+    ServiceAccount(int id, int balance) {{
+        this.id = id;
+        this.balance = balance;
+    }}
+    int getId() {{ return id; }}
+    int getBalance() {{ return balance; }}
+    void setBalance(int b) {{ balance = b; }}
+}}
+
+class ServiceBank {{
+    int numAccounts;
+    Vector accounts;
+    int served;
+    int denied;
+    ServiceBank(int numAccounts, int initialBalance) {{
+        this.numAccounts = numAccounts;
+        this.accounts = new Vector();
+        this.served = 0;
+        this.denied = 0;
+        int i = 0;
+        while (i < numAccounts) {{
+            ServiceAccount a = new ServiceAccount(i, initialBalance);
+            accounts.add(a);
+            i++;
+        }}
+    }}
+    int deposit(int accountId, int amount) {{
+        ServiceAccount a = (ServiceAccount) accounts.get(accountId);
+        a.setBalance(a.getBalance() + amount);
+        served = served + 1;
+        return a.getBalance();
+    }}
+    int withdraw(int accountId, int amount) {{
+        ServiceAccount a = (ServiceAccount) accounts.get(accountId);
+        if (a.getBalance() >= amount) {{
+            a.setBalance(a.getBalance() - amount);
+            served = served + 1;
+            return a.getBalance();
+        }}
+        denied = denied + 1;
+        return 0 - 1;
+    }}
+    int balanceOf(int accountId) {{
+        ServiceAccount a = (ServiceAccount) accounts.get(accountId);
+        served = served + 1;
+        return a.getBalance();
+    }}
+    int getServed() {{ return served; }}
+    int getDenied() {{ return denied; }}
+    int totalAssets() {{
+        int total = 0;
+        int i;
+        for (i = 0; i < accounts.size(); i++) {{
+            ServiceAccount a = (ServiceAccount) accounts.get(i);
+            total = total + a.getBalance();
+        }}
+        return total;
+    }}
+}}
+
+class ServiceMain {{
+    static void main(String[] args) {{
+        int requests = {n};
+        ServiceBank bank = new ServiceBank(16, 1000);
+        Rng rng = new Rng(13);
+        int checksum = 0;
+        int i;
+        for (i = 0; i < requests; i++) {{
+            int account = rng.next(16);
+            int op = rng.next(3);
+            int amount = 10 + rng.next(90);
+            if (op == 0) {{
+                checksum = checksum + bank.deposit(account, amount);
+            }} else {{
+                if (op == 1) {{
+                    checksum = checksum + bank.withdraw(account, amount);
+                }} else {{
+                    checksum = checksum + bank.balanceOf(account);
+                }}
+            }}
+            // open-loop arrival pacing: the think time before the next
+            // request comes from the seeded schedule, not from how long
+            // the request above took to serve
+            int gap = rng.next(8);
+            int spin = 0;
+            while (spin < gap) {{
+                spin++;
+            }}
+        }}
+        Sys.println("served=" + bank.getServed()
+            + " denied=" + bank.getDenied());
+        Sys.println("assets=" + bank.totalAssets()
+            + " checksum=" + checksum);
+    }}
+}}
+"""
+
+
+def source(size: str = "test") -> str:
+    return _TEMPLATE.format(n=_SIZES[size])

@@ -13,10 +13,11 @@ computes:
   are VM-internal and never inflate the user object count).
 
 The same equivalence holds across runtime *backends*: the simulator, the
-thread backend and the multiprocessing backend must produce byte-identical
-program output to sequential execution for every workload (the acceptance
-criterion for the pluggable transport layer).  ``REPRO_DIFF_BACKENDS``
-narrows the backend set — CI uses it to fan the suite over a matrix.
+thread backend, the multiprocessing backend and the real-socket tcp
+backend must produce byte-identical program output to sequential execution
+for every workload (the acceptance criterion for the pluggable transport
+layer).  ``REPRO_DIFF_BACKENDS`` narrows the backend set — CI uses it to
+fan the suite over a matrix.
 
 The Experiment API must be indistinguishable from the legacy pipeline:
 for every workload × partitioner × {sim, thread}, ``Experiment.run()``
@@ -43,7 +44,9 @@ PLAN_METHODS = ("kl", "multilevel", "spectral", "roundrobin")
 
 BACKENDS = tuple(
     b.strip()
-    for b in os.environ.get("REPRO_DIFF_BACKENDS", "sim,thread,process").split(",")
+    for b in os.environ.get(
+        "REPRO_DIFF_BACKENDS", "sim,thread,process,tcp"
+    ).split(",")
     if b.strip()
 )
 

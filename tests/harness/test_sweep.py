@@ -245,3 +245,98 @@ def test_pooled_sweep_carries_cache_counters_back():
     assert result.cache_misses > 0       # cold caches did real work
     assert result.cache_hits > 0         # later configs hit the warm shard
     assert "hit rate" in result.summary()
+
+
+# ----------------------------------------------------- bind failure (tcp cells)
+def test_tcp_bind_failure_becomes_per_config_error_record():
+    """PR 6 hardening, extended to the tcp backend: a grid cell whose
+    roster port is already occupied must produce a per-config error record
+    — the sweep keeps going and the other cells stay clean."""
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    spare = socket.socket()
+    spare.bind(("127.0.0.1", 0))
+    free = spare.getsockname()[1]
+    spare.close()
+    try:
+        grid = sweep_grid(
+            workloads=["bank"],
+            methods=("multilevel",),
+            backends=("sim", "tcp"),
+            roster=f"127.0.0.1:{port},127.0.0.1:{free}",
+        )
+        result = SweepRunner(grid, cache=StageCache()).run()
+    finally:
+        blocker.close()
+    assert len(result.records) == 2
+    by_backend = {r.config.backend: r for r in result.records}
+    assert by_backend["sim"].ok
+    bad = by_backend["tcp"]
+    assert not bad.ok
+    assert "cannot bind" in bad.error and str(port) in bad.error
+    assert "1 config(s) FAILED" in result.summary()
+    errs = result.to_dict()["errors"]
+    assert len(errs) == 1 and errs[0]["config"]["backend"] == "tcp"
+
+
+def test_tcp_bind_failure_does_not_poison_the_pool():
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    spare = socket.socket()
+    spare.bind(("127.0.0.1", 0))
+    free = spare.getsockname()[1]
+    spare.close()
+    try:
+        grid = sweep_grid(
+            workloads=["bank", "method"],
+            methods=("multilevel",),
+            backends=("sim", "tcp"),
+            roster=f"127.0.0.1:{port},127.0.0.1:{free}",
+        )
+        result = SweepRunner(grid, workers=2).run()
+    finally:
+        blocker.close()
+    assert len(result.records) == len(grid)
+    statuses = {
+        (r.config.workload, r.config.backend): r.ok for r in result.records
+    }
+    # every tcp cell fails on the occupied port; every sim cell survives
+    assert statuses == {
+        ("bank", "sim"): True, ("bank", "tcp"): False,
+        ("method", "sim"): True, ("method", "tcp"): False,
+    }
+
+
+# -------------------------------------------------------- service-grid columns
+def test_serve_sweep_reports_throughput_and_latency_columns():
+    """The service acceptance criterion: a --serve sweep over the open-loop
+    service workload reports throughput and p50/p95/p99 latency per cell."""
+    grid = sweep_grid(
+        workloads=["service_bank"],
+        methods=("multilevel",),
+        backends=("sim",),
+        serve=True,
+    )
+    assert all(c.serve for c in grid)
+    assert grid[0].label().endswith("/serve")
+    result = SweepRunner(grid, cache=StageCache()).run()
+    rec = result.records[0]
+    assert rec.ok
+    rep = rec.report
+    assert rep.throughput_rps > 0
+    assert rep.latency_count > 0
+    assert 0 < rep.latency_p50_ms <= rep.latency_p95_ms <= rep.latency_p99_ms
+    table = result.table()
+    for col in ("tput r/s", "p50 ms", "p95 ms", "p99 ms"):
+        assert col in table
+    # the cell's row carries real numbers, not the blank placeholder
+    row = next(ln for ln in table.splitlines() if "service_bank" in ln)
+    assert " - " not in row

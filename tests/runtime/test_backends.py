@@ -18,7 +18,7 @@ from repro.runtime.backend import backend_names, create_backend
 from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
 from repro.runtime.executor import DistributedExecutor
 
-BACKENDS = ("sim", "thread", "process")
+BACKENDS = ("sim", "thread", "process", "tcp")
 
 
 def run_split(src, homes, backend, main_partition=0, nparts=2,
@@ -43,7 +43,7 @@ def run_split(src, homes, backend, main_partition=0, nparts=2,
 
 # ------------------------------------------------------------------ registry
 def test_registry_lists_all_builtin_backends():
-    assert backend_names() == ["process", "sim", "thread"]
+    assert backend_names() == ["process", "sim", "tcp", "thread"]
 
 
 def test_unknown_backend_rejected():
@@ -184,7 +184,7 @@ def test_remote_error_propagates(backend):
         run_split(src, {"Risky": 1, "M": 0}, backend)
 
 
-@pytest.mark.parametrize("backend", ("thread", "process"))
+@pytest.mark.parametrize("backend", ("thread", "process", "tcp"))
 def test_peer_failure_fails_fast(backend):
     """A node dying outside the reply protocol (here: event-budget blowout)
     broadcasts SHUTDOWN; a peer stuck awaiting a reply must fail promptly

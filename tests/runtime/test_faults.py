@@ -35,7 +35,7 @@ from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
 from repro.runtime.executor import DistributedExecutor
 from repro.runtime.faults import FaultInjector, FaultPlan, FaultRecord
 
-BACKENDS = ("sim", "thread", "process")
+BACKENDS = ("sim", "thread", "process", "tcp")
 
 # a replication-safe worker (primitive state only, self-contained methods)
 # doing enough compute on its home node that a mid-run crash cycle exists

@@ -18,7 +18,7 @@ from helpers import compile_mj_raw
 
 from repro.distgen import rewrite_program
 from repro.distgen.plan import DistributionPlan
-from repro.runtime import proc as proc_mod
+from repro.runtime import worker as worker_mod
 from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
 from repro.runtime.executor import DistributedExecutor
 
@@ -42,14 +42,14 @@ def _run_process(monkeypatch, victim):
     """Run SRC on the process backend with node ``victim`` SIGKILLing
     itself during provisioning (fork inherits the patch, the parent keeps
     the real function)."""
-    real_provision = proc_mod.provision_node
+    real_provision = worker_mod.provision_node
 
     def killing_provision(node, transport, loaded, policy):
         if node.node_id == victim:
             os.kill(os.getpid(), signal.SIGKILL)
         return real_provision(node, transport, loaded, policy)
 
-    monkeypatch.setattr(proc_mod, "provision_node", killing_provision)
+    monkeypatch.setattr(worker_mod, "provision_node", killing_provision)
     bp, _ = compile_mj_raw(SRC)
     plan = DistributionPlan(
         nparts=2,

@@ -34,7 +34,7 @@ from repro.runtime.executor import DistributedExecutor
 from repro.runtime.faults import FaultPlan, PeerLost
 from repro.runtime.message import Message, MessageKind
 
-BACKENDS = ("sim", "thread", "process")
+BACKENDS = ("sim", "thread", "process", "tcp")
 
 # three classes over three partitions: Worker (node 0) and Helper (node 2)
 # both carry state the crashed run must reconstruct exactly

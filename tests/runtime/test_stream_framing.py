@@ -1,0 +1,147 @@
+"""Stream framing tests for the 24-byte wire format (PR 10 satellite).
+
+``Message.decode_stream`` is the reassembly primitive the tcp backend's
+read loop is built on: frames are self-delimiting via the header's payload
+length, a prefix of a frame is a *torn read* (return ``None``, wait for
+bytes), and bytes that can never become a valid frame raise
+:class:`FrameError` with a machine-readable reason.  These tests pin that
+contract down, including property-based round trips and arbitrary stream
+re-chunkings under hypothesis.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.message import (
+    HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameError,
+    Message,
+    MessageKind,
+)
+
+kinds = st.sampled_from(list(MessageKind))
+node_ids = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+req_ids = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+payloads = st.binary(max_size=512)
+
+messages = st.builds(
+    Message, kind=kinds, src=node_ids, dst=node_ids, req_id=req_ids,
+    payload=payloads,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(messages)
+def test_round_trip_property(msg):
+    frame = msg.serialize()
+    assert len(frame) == msg.size
+    back = Message.deserialize(frame)
+    assert back == msg
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(messages, min_size=1, max_size=6), st.data())
+def test_stream_reassembly_survives_arbitrary_chunking(msgs, data):
+    """Concatenated frames delivered in arbitrary chunk sizes reassemble to
+    exactly the original message sequence — the property the tcp read loop
+    depends on."""
+    stream = b"".join(m.serialize() for m in msgs)
+    # re-chunk the stream at hypothesis-chosen split points
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(stream)), max_size=8
+            )
+        )
+    )
+    chunks = [
+        stream[a:b] for a, b in zip([0] + cuts, cuts + [len(stream)])
+    ]
+    buffer = bytearray()
+    decoded = []
+    for chunk in chunks:
+        buffer.extend(chunk)
+        offset = 0
+        while True:
+            got = Message.decode_stream(buffer, offset)
+            if got is None:
+                break
+            msg, consumed = got
+            decoded.append(msg)
+            offset += consumed
+        del buffer[:offset]
+    assert decoded == msgs
+    assert not buffer  # nothing left over
+
+
+def test_back_to_back_frames_in_one_buffer():
+    a = Message(MessageKind.NEW, 0, 1, 7, b"first")
+    b = Message(MessageKind.REPLY, 1, 0, 7, b"second")
+    buf = a.serialize() + b.serialize()
+    m1, used1 = Message.decode_stream(buf)
+    m2, used2 = Message.decode_stream(buf, used1)
+    assert (m1, m2) == (a, b)
+    assert used1 + used2 == len(buf)
+
+
+def test_torn_reads_return_none():
+    frame = Message(MessageKind.DEPENDENCE, 2, 3, 11, b"payload!").serialize()
+    # every strict prefix is a torn read, never an error
+    for cut in range(len(frame)):
+        assert Message.decode_stream(frame[:cut]) is None
+
+
+def test_garbage_prefix_raises_structured_frame_error():
+    frame = Message(MessageKind.NEW, 0, 1, 1, b"x").serialize()
+    with pytest.raises(FrameError, match="bad magic") as exc_info:
+        Message.decode_stream(b"!!" + frame[2:])
+    assert exc_info.value.reason == "bad magic"
+
+
+def test_foreign_version_raises():
+    buf = bytearray(Message(MessageKind.NEW, 0, 1, 1).serialize())
+    buf[2] = WIRE_VERSION + 1
+    with pytest.raises(FrameError, match="version"):
+        Message.decode_stream(bytes(buf))
+
+
+def test_implausible_length_raises_instead_of_waiting_forever():
+    """A corrupted header claiming gigabytes must be rejected immediately —
+    the satellite bugfix: a reassembler must not park forever waiting for a
+    payload that will never arrive."""
+    hdr = struct.Struct("<2sBBhhqII").pack(
+        WIRE_MAGIC, WIRE_VERSION, MessageKind.NEW.value, 0, 1, 1,
+        MAX_PAYLOAD_BYTES + 1, 0,
+    )
+    with pytest.raises(FrameError, match="implausible") as exc_info:
+        Message.decode_stream(hdr)
+    assert exc_info.value.reason == "implausible payload length"
+
+
+def test_corrupt_payload_in_stream_raises():
+    buf = bytearray(Message(MessageKind.NEW, 0, 1, 1, b"hello").serialize())
+    buf[-1] ^= 0xFF
+    with pytest.raises(FrameError, match="checksum"):
+        Message.decode_stream(bytes(buf))
+
+
+def test_deserialize_validates_plen_exactly():
+    """The original bug: ``deserialize`` ignored the header's plen field.
+    Extra trailing bytes and missing payload bytes must both be length
+    mismatches now."""
+    frame = Message(MessageKind.NEW, 0, 1, 1, b"hello").serialize()
+    with pytest.raises(FrameError, match="length mismatch"):
+        Message.deserialize(frame + b"trailing")
+    with pytest.raises(FrameError, match="length mismatch"):
+        Message.deserialize(frame[:-1])
+
+
+def test_header_bytes_matches_struct():
+    assert HEADER_BYTES == 24
+    assert len(Message(MessageKind.SHUTDOWN, 0, 1, 0).serialize()) == 24

@@ -1,0 +1,180 @@
+"""TCP backend tests: real-socket cluster runs must be byte-identical to
+the in-memory backends, a roster pins listen endpoints, bind failures are
+structured errors (not tracebacks or hangs), and the service workload's
+throughput/latency reporting flows through the Experiment report.
+
+Cross-backend parity, fault injection and recovery composition are covered
+by the shared grids in ``test_backends.py`` / ``test_faults.py`` /
+``test_recovery.py`` / ``test_differential.py`` (all of which include
+``tcp``); this file holds the tcp-only contracts.
+"""
+
+import socket
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+import pytest
+
+from helpers import compile_mj_raw
+
+from repro.distgen import rewrite_program
+from repro.distgen.plan import DistributionPlan
+from repro.errors import RuntimeServiceError
+from repro.runtime.cluster import ClusterSpec, NodeSpec, ethernet_100m
+from repro.runtime.executor import DistributedExecutor
+
+SRC = """
+class Cell {
+    int v;
+    Cell(int v) { this.v = v; }
+    int get() { return v; }
+    void set(int x) { v = x; }
+}
+class M {
+    static void main(String[] args) {
+        Cell c = new Cell(20);
+        c.set(c.get() * 2 + 2);
+        Sys.println("cell:" + c.get());
+    }
+}
+"""
+
+
+def _free_ports(n):
+    """Reserve n distinct free localhost ports (closed again before use —
+    the tiny race is acceptable in a test)."""
+    socks, ports = [], []
+    for _ in range(n):
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+        ports.append(s.getsockname()[1])
+    for s in socks:
+        s.close()
+    return ports
+
+
+def _run_tcp(roster=None, nparts=2):
+    bp, _ = compile_mj_raw(SRC)
+    plan = DistributionPlan(
+        nparts=nparts,
+        granularity="class",
+        class_home={"Cell": 1, "M": 0},
+        dependent_classes={"Cell", "M"},
+        main_partition=0,
+    )
+    rewritten, _ = rewrite_program(bp, plan)
+    cluster = ClusterSpec(
+        nodes=[NodeSpec(f"n{i}", 1e9) for i in range(nparts)],
+        link=ethernet_100m(),
+        roster=roster,
+    )
+    return DistributedExecutor(
+        rewritten, plan, cluster, backend="tcp"
+    ).run()
+
+
+# ------------------------------------------------------------------- roster
+def test_roster_pins_listen_endpoints():
+    ports = _free_ports(2)
+    roster = [f"127.0.0.1:{p}" for p in ports]
+    run = _run_tcp(roster=roster)
+    assert run.stdout == ["cell:42"]
+    assert run.total_messages > 0
+
+
+def test_default_roster_uses_ephemeral_ports():
+    run = _run_tcp(roster=None)
+    assert run.stdout == ["cell:42"]
+
+
+def test_roster_length_must_match_cluster():
+    with pytest.raises(RuntimeServiceError, match="roster"):
+        ClusterSpec(
+            nodes=[NodeSpec("n0", 1e9), NodeSpec("n1", 1e9)],
+            link=ethernet_100m(),
+            roster=["127.0.0.1:9000"],
+        )
+
+
+def test_roster_entries_must_be_host_port():
+    with pytest.raises(RuntimeServiceError, match="host:port"):
+        ClusterSpec(
+            nodes=[NodeSpec("n0", 1e9)],
+            link=ethernet_100m(),
+            roster=["localhost"],
+        )
+
+
+# ------------------------------------------------------------- bind failure
+def test_bind_failure_is_structured_error():
+    """An occupied roster port must surface as a RuntimeServiceError naming
+    the endpoint — promptly, with no worker processes left behind."""
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    try:
+        free = _free_ports(1)[0]
+        with pytest.raises(RuntimeServiceError, match=f"cannot bind.*{port}"):
+            _run_tcp(roster=[f"127.0.0.1:{port}", f"127.0.0.1:{free}"])
+    finally:
+        blocker.close()
+
+
+# -------------------------------------------------- byte-identity (Experiment)
+@pytest.mark.parametrize("workload", ("bank", "service_bank"))
+def test_tcp_matches_process_through_experiment(workload):
+    """The tentpole acceptance criterion at the API level: a tcp run on
+    localhost is byte-identical to the process backend — stdout, result and
+    every deterministic NodeStats field."""
+    from repro.api import Experiment
+
+    def observe(backend):
+        res = Experiment.from_options(
+            workload, backend=backend, force_distribution=True
+        ).run()
+        det = [
+            (s.name, s.messages_sent, s.bytes_sent,
+             s.requests_served, s.requests_sent, s.heap_objects,
+             tuple(s.stdout))
+            for s in res.distributed.node_stats
+        ]
+        return list(res.stdout), res.distributed.result, det
+
+    assert observe("tcp") == observe("process")
+
+
+# ------------------------------------------------------------ service report
+def test_service_workload_reports_throughput_and_latency():
+    from repro.api import Experiment
+
+    exp = Experiment.from_options(
+        "service_bank", backend="sim", force_distribution=True
+    )
+    exp.run()
+    rep = exp.report()
+    assert rep.throughput_rps is not None and rep.throughput_rps > 0
+    assert rep.latency_count > 0
+    assert 0 < rep.latency_p50_ms <= rep.latency_p95_ms <= rep.latency_p99_ms
+    d = rep.to_dict()
+    for key in ("throughput_rps", "latency_p50_ms", "latency_p95_ms",
+                "latency_p99_ms", "latency_count"):
+        assert key in d
+
+
+def test_latency_samples_merge_sorted_across_backends():
+    """Every backend funnels request latencies into the run; the merged
+    sample list is sorted (the percentile input contract)."""
+    from repro.api import Experiment
+
+    for backend in ("sim", "thread", "tcp"):
+        res = Experiment.from_options(
+            "service_bank", backend=backend, force_distribution=True
+        ).run()
+        samples = res.distributed.latency_s
+        assert len(samples) > 0, backend
+        assert samples == sorted(samples), backend
+        assert all(s >= 0 for s in samples), backend
